@@ -1,0 +1,37 @@
+package main
+
+import (
+	"github.com/epsilondb/epsilondb/internal/experiment"
+	"github.com/epsilondb/epsilondb/internal/workload"
+)
+
+// ccAblation compares the ESR-TO engine against the serializable
+// baselines (strict 2PL, MVTO) across multiprogramming levels.
+func (r *runner) ccAblation() error {
+	protocols := []experiment.Protocol{
+		experiment.ProtocolTO, experiment.ProtocolTwoPL, experiment.ProtocolMVTO,
+	}
+	f, err := experiment.RunCCComparison(r.base, r.mpls(), workload.LevelHigh, protocols, r.progress)
+	if err != nil {
+		return err
+	}
+	return r.emit(f)
+}
+
+// historyAblation sweeps the per-object write-history depth K.
+func (r *runner) historyAblation() error {
+	f, err := experiment.RunHistoryAblation(r.base, []int{1, 5, 20, 100}, r.progress)
+	if err != nil {
+		return err
+	}
+	return r.emit(f)
+}
+
+// hierarchyAblation measures the bottom-up control cost by depth.
+func (r *runner) hierarchyAblation() error {
+	f, err := experiment.RunHierarchyOverhead([]int{1, 2, 3, 4, 6, 8}, 0)
+	if err != nil {
+		return err
+	}
+	return r.emit(f)
+}

@@ -1,0 +1,228 @@
+// Command esr-bench reruns the paper's performance evaluation and prints
+// the series behind every figure of §8 as aligned tables (and optionally
+// CSV files).
+//
+// Usage:
+//
+//	esr-bench -fig all                 # every figure, virtual timeline
+//	esr-bench -fig 7 -duration 2s      # throughput vs MPL, longer cells
+//	esr-bench -fig 12 -csv out/        # OIL sweep, also write CSV
+//	esr-bench -paper-scale             # the prototype's wall-clock RPC regime
+//
+// By default cells run on a deterministic virtual timeline (noise-free
+// and fast regardless of -duration); -paper-scale switches to the wall
+// clock with the prototype's 11 ms network + 6 ms service per operation,
+// reproducing the absolute tens-of-transactions-per-second regime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/experiment"
+	"github.com/epsilondb/epsilondb/internal/workload"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "figure to reproduce: 7, 8, 9, 10, 11, 12, 13, table, cc, hist, hier, or all")
+		duration   = flag.Duration("duration", time.Second, "measurement window per cell")
+		warmup     = flag.Duration("warmup", 200*time.Millisecond, "warmup before each measurement")
+		opLatency  = flag.Duration("oplatency", time.Millisecond, "simulated per-operation server service time")
+		netLatency = flag.Duration("netlatency", 0, "simulated per-operation network/client time (outside server capacity)")
+		realTime   = flag.Bool("realtime", false, "run on the wall clock instead of the virtual timeline")
+		paperScale = flag.Bool("paper-scale", false, "reproduce the prototype's RPC regime: 6 ms service + 11 ms network per op, wall clock")
+		mplMax     = flag.Int("mpl-max", 10, "largest multiprogramming level in the MPL sweeps")
+		seed       = flag.Int64("seed", 1, "workload and database seed")
+		reps       = flag.Int("reps", 3, "repetitions per cell (median reported)")
+		csvDir     = flag.String("csv", "", "directory to also write per-figure CSV files into")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+
+	if *paperScale {
+		*opLatency = 6 * time.Millisecond
+		*netLatency = 11 * time.Millisecond
+		*realTime = true
+	}
+	base := experiment.DefaultConfig(workload.LevelHigh)
+	base.Duration = *duration
+	base.Warmup = *warmup
+	base.OpLatency = *opLatency
+	base.NetLatency = *netLatency
+	base.RealTime = *realTime
+	base.Seed = *seed
+	base.Reps = *reps
+
+	progress := func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	if *quiet {
+		progress = nil
+	}
+
+	r := &runner{base: base, mplMax: *mplMax, progress: progress, csvDir: *csvDir}
+	var err error
+	switch strings.ToLower(*fig) {
+	case "table":
+		err = r.table()
+	case "7", "8", "9", "10":
+		err = r.mplSweep(*fig)
+	case "11":
+		err = r.tilSweep()
+	case "12", "13":
+		err = r.oilSweep(*fig)
+	case "cc":
+		err = r.ccAblation()
+	case "hist":
+		err = r.historyAblation()
+	case "hier":
+		err = r.hierarchyAblation()
+	case "all":
+		err = r.all()
+	default:
+		err = fmt.Errorf("unknown figure %q", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esr-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type runner struct {
+	base     experiment.Config
+	mplMax   int
+	progress func(string)
+	csvDir   string
+}
+
+// emit prints a figure and optionally writes its CSV.
+func (r *runner) emit(f experiment.Figure) error {
+	if err := experiment.WriteTable(os.Stdout, f); err != nil {
+		return err
+	}
+	fmt.Println()
+	if r.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(r.csvDir, f.ID+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return experiment.WriteCSV(file, f)
+}
+
+func (r *runner) mpls() []int {
+	out := make([]int, 0, r.mplMax)
+	for i := 1; i <= r.mplMax; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func (r *runner) table() error {
+	return r.emit(experiment.BoundLevelsTable())
+}
+
+// mplSweep runs the first test set and prints the requested figure(s).
+func (r *runner) mplSweep(which string) error {
+	s, err := experiment.RunMPLSweep(r.base, r.mpls(), workload.Levels(), r.progress)
+	if err != nil {
+		return err
+	}
+	return r.emitMPL(s, which)
+}
+
+func (r *runner) emitMPL(s *experiment.MPLSweep, which string) error {
+	figs := map[string]experiment.Figure{
+		"7": s.Figure7(), "8": s.Figure8(), "9": s.Figure9(), "10": s.Figure10(),
+	}
+	if which != "all" {
+		return r.emit(figs[which])
+	}
+	for _, id := range []string{"7", "8", "9", "10"} {
+		if err := r.emit(figs[id]); err != nil {
+			return err
+		}
+	}
+	for i, level := range s.Levels {
+		fmt.Printf("thrashing point (%s): MPL %d\n", level.Name, s.ThrashingPoint(i))
+	}
+	fmt.Println()
+	return nil
+}
+
+func (r *runner) tilSweep() error {
+	f, err := experiment.RunTILSweep(r.base, 4, tilAxis(), telLevels(), r.progress)
+	if err != nil {
+		return err
+	}
+	return r.emit(f)
+}
+
+func (r *runner) oilSweep(which string) error {
+	s, err := experiment.RunOILSweep(r.base, 4, oilAxis(), tilLevels(), r.progress)
+	if err != nil {
+		return err
+	}
+	if which == "12" || which == "all" {
+		if err := r.emit(s.Figure12()); err != nil {
+			return err
+		}
+	}
+	if which == "13" || which == "all" {
+		if err := r.emit(s.Figure13()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *runner) all() error {
+	if err := r.table(); err != nil {
+		return err
+	}
+	s, err := experiment.RunMPLSweep(r.base, r.mpls(), workload.Levels(), r.progress)
+	if err != nil {
+		return err
+	}
+	if err := r.emitMPL(s, "all"); err != nil {
+		return err
+	}
+	if err := r.tilSweep(); err != nil {
+		return err
+	}
+	if err := r.oilSweep("all"); err != nil {
+		return err
+	}
+	if err := r.ccAblation(); err != nil {
+		return err
+	}
+	if err := r.historyAblation(); err != nil {
+		return err
+	}
+	return r.hierarchyAblation()
+}
+
+// tilAxis is the Figure 11 x axis: TIL from SR to beyond the paper's
+// high level.
+func tilAxis() []core.Distance {
+	return []core.Distance{0, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000}
+}
+
+// telLevels holds TEL at the paper's three levels for Figure 11.
+func telLevels() []core.Distance { return []core.Distance{1_000, 5_000, 10_000} }
+
+// tilLevels holds TIL at the paper's three levels for Figures 12–13.
+func tilLevels() []core.Distance { return []core.Distance{10_000, 50_000, 100_000} }
+
+// oilAxis is the Figure 12/13 x axis: OIL in units of w.
+func oilAxis() []float64 { return []float64{0, 0.5, 1, 2, 4, 8, 16, 32, 64} }

@@ -1,0 +1,134 @@
+// Command esr-client is a workload-driving transaction client (§6): it
+// connects to an esr-server, synchronizes its virtual clock, and submits
+// randomly generated epsilon transactions, resubmitting aborted ones
+// with fresh timestamps until they commit.
+//
+//	esr-client -addr 127.0.0.1:7400 -site 1 -txns 500 -level high
+//
+// Several clients with distinct -site ids form a multiprogramming level,
+// exactly like the paper's one-client-per-workstation setup. -skew
+// offsets this client's local clock to exercise the correction factor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/client"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/txnlang"
+	"github.com/epsilondb/epsilondb/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7400", "server address")
+		site     = flag.Int("site", 1, "client site id (unique per client)")
+		txns     = flag.Int("txns", 100, "transactions to complete")
+		level    = flag.String("level", "high", "bound level: zero, low, medium, high")
+		objects  = flag.Int("objects", 1000, "object-id space (must match the server)")
+		hot      = flag.Int("hot", 20, "hot-set size")
+		seed     = flag.Int64("seed", 0, "workload seed (0 derives from site)")
+		skew     = flag.Duration("skew", 0, "simulated local clock skew")
+		loadFile = flag.String("file", "", "replay a transaction load file instead of generating")
+		generate = flag.String("generate", "", "write a load file of -txns transactions and exit")
+	)
+	flag.Parse()
+
+	var lv workload.Level
+	switch *level {
+	case "zero":
+		lv = workload.LevelZero
+	case "low":
+		lv = workload.LevelLow
+	case "medium":
+		lv = workload.LevelMedium
+	case "high":
+		lv = workload.LevelHigh
+	default:
+		log.Fatalf("esr-client: unknown level %q", *level)
+	}
+	params := workload.DefaultParams(lv)
+	params.NumObjects = *objects
+	params.HotSetSize = *hot
+	if *seed == 0 {
+		*seed = int64(*site)*9973 + 7
+	}
+	gen, err := workload.NewGenerator(params, *seed)
+	if err != nil {
+		log.Fatalf("esr-client: %v", err)
+	}
+
+	if *generate != "" {
+		// Emit the pre-generated per-client data file of §6 and exit.
+		f, err := os.Create(*generate)
+		if err != nil {
+			log.Fatalf("esr-client: %v", err)
+		}
+		if err := gen.WriteLoadFile(f, *txns); err != nil {
+			log.Fatalf("esr-client: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("esr-client: %v", err)
+		}
+		fmt.Printf("wrote %d transactions to %s\n", *txns, *generate)
+		return
+	}
+
+	clock := tsgen.Clock(tsgen.WallClock{})
+	if *skew != 0 {
+		clock = tsgen.SkewedClock{Base: tsgen.WallClock{}, Skew: skew.Microseconds()}
+	}
+	c, err := client.Dial(*addr, client.Options{Site: *site, Clock: clock})
+	if err != nil {
+		log.Fatalf("esr-client: %v", err)
+	}
+	defer c.Close()
+	log.Printf("esr-client: site %d connected, clock correction %d µs", *site, c.Correction())
+
+	start := time.Now()
+	attempts, completed := 0, 0
+	if *loadFile != "" {
+		// Replay a pre-generated load file through the transaction
+		// language, the prototype's client mode (§6).
+		src, err := os.ReadFile(*loadFile)
+		if err != nil {
+			log.Fatalf("esr-client: %v", err)
+		}
+		scripts, err := txnlang.ParseAll(string(src))
+		if err != nil {
+			log.Fatalf("esr-client: %s: %v", *loadFile, err)
+		}
+		runner := txnlang.ClientRunner{Client: c}
+		for i, s := range scripts {
+			_, a, err := txnlang.RunRetry(s, runner, nil, 0)
+			attempts += a
+			if err != nil {
+				log.Fatalf("esr-client: script %d: %v", i, err)
+			}
+			completed++
+		}
+	} else {
+		for i := 0; i < *txns; i++ {
+			p := gen.Next()
+			_, a, err := c.RunRetry(p, 0)
+			attempts += a
+			if err != nil {
+				log.Fatalf("esr-client: txn %d: %v", i, err)
+			}
+			completed++
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("site %d: %d txns in %v (%.1f txn/s), %d attempts (%d retries)\n",
+		*site, completed, elapsed.Round(time.Millisecond),
+		float64(completed)/elapsed.Seconds(), attempts, attempts-completed)
+	if snap, misses, err := c.Stats(); err == nil {
+		fmt.Printf("server: %d commits, %d aborts, %d inconsistent ops, %d proper-misses\n",
+			snap.Commits, snap.Aborts(), snap.InconsistentOps(), misses)
+	}
+}

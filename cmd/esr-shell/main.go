@@ -1,0 +1,104 @@
+// Command esr-shell runs transaction scripts written in the paper's
+// transaction language (§3) against an esr-server — or, with -embed,
+// against an in-process engine, which is handy for trying the language
+// without starting a server.
+//
+//	echo 'BEGIN Query TIL 10000
+//	t1 = Read 17
+//	t2 = Read 42
+//	output("Sum is: ", t1+t2)
+//	COMMIT' | esr-shell -embed -objects 100
+//
+//	esr-shell -addr 127.0.0.1:7400 script.txn
+//
+// Each file (or standard input) may hold any number of transaction
+// scripts back to back — a load file in the §6 sense (esr-client
+// -generate writes them); aborted scripts are resubmitted with fresh
+// timestamps until they commit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+
+	"github.com/epsilondb/epsilondb/internal/client"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/txnlang"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7400", "server address")
+		embed   = flag.Bool("embed", false, "run against an in-process engine instead of a server")
+		objects = flag.Int("objects", 1000, "objects to load in -embed mode")
+		site    = flag.Int("site", 1, "client site id")
+		retries = flag.Int("retries", 100, "maximum attempts per script")
+	)
+	flag.Parse()
+
+	var runner txnlang.Beginner
+	if *embed {
+		store := storage.NewStore(storage.Config{})
+		rng := rand.New(rand.NewSource(1))
+		if err := store.Populate(*objects, 1000, 9999, 1<<40, 1<<40, 1<<40, 1<<40, rng); err != nil {
+			log.Fatalf("esr-shell: %v", err)
+		}
+		runner = txnlang.EngineRunner{
+			Engine: tso.NewEngine(store, tso.Options{}),
+			Gen:    tsgen.NewGenerator(*site, &tsgen.LogicalClock{}),
+		}
+	} else {
+		c, err := client.Dial(*addr, client.Options{Site: *site})
+		if err != nil {
+			log.Fatalf("esr-shell: %v", err)
+		}
+		defer c.Close()
+		runner = txnlang.ClientRunner{Client: c}
+	}
+
+	sources := flag.Args()
+	if len(sources) == 0 {
+		sources = []string{"-"}
+	}
+	for _, src := range sources {
+		text, err := readSource(src)
+		if err != nil {
+			log.Fatalf("esr-shell: %s: %v", src, err)
+		}
+		scripts, err := txnlang.ParseAll(text)
+		if err != nil {
+			log.Fatalf("esr-shell: %s: %v", src, err)
+		}
+		for i, script := range scripts {
+			_, attempts, err := txnlang.RunRetry(script, runner, os.Stdout, *retries)
+			if err != nil {
+				log.Fatalf("esr-shell: %s script %d: %v", src, i+1, err)
+			}
+			if attempts > 1 {
+				fmt.Fprintf(os.Stderr, "(%s script %d committed after %d attempts)\n", name(src), i+1, attempts)
+			}
+		}
+	}
+}
+
+func readSource(src string) (string, error) {
+	if src == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(src)
+	return string(b), err
+}
+
+func name(src string) string {
+	if src == "-" {
+		return "stdin script"
+	}
+	return src
+}

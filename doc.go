@@ -1,0 +1,14 @@
+// Package epsilondb is a from-scratch Go reproduction of Kamath &
+// Ramamritham, "Performance Characteristics of Epsilon Serializability
+// with Hierarchical Inconsistency Bounds" (ICDE 1993): an epsilon-
+// serializability transaction processing system built on timestamp-
+// ordering concurrency control, with hierarchical inconsistency bounds,
+// a client-server prototype, and the full performance evaluation of the
+// paper's Figures 7–13.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for the reproduced
+// results. The root package holds the per-figure benchmarks
+// (bench_test.go); the implementation lives under internal/ and the
+// runnable tools under cmd/ and examples/.
+package epsilondb

@@ -1,0 +1,3 @@
+module github.com/epsilondb/epsilondb
+
+go 1.22

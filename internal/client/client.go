@@ -1,0 +1,298 @@
+// Package client implements the transaction clients of the prototype:
+// they connect to the central server, synchronize their virtual clock,
+// submit transactions operation by operation over a synchronous
+// connection, and resubmit aborted transactions with fresh timestamps
+// until they commit (§6).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// AbortError is the client-side view of a server abort; the retry loop
+// catches it and resubmits.
+type AbortError struct {
+	Reason  metrics.AbortReason
+	Message string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("client: aborted (%s): %s", e.Reason, e.Message)
+}
+
+// IsAbort reports whether err is a server abort.
+func IsAbort(err error) (*AbortError, bool) {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}
+
+// Options configures a client connection.
+type Options struct {
+	// Site is this client's site id, appended to every timestamp for
+	// uniqueness across clients (§6).
+	Site int
+	// Clock is the client's local clock; nil means the wall clock. The
+	// paper's workstation clocks disagreed by up to two minutes —
+	// simulate that with tsgen.SkewedClock.
+	Clock tsgen.Clock
+	// SyncSamples is the number of round trips used to estimate the
+	// clock correction factor; zero means 4.
+	SyncSamples int
+}
+
+// Client is one transaction client: a connection plus a synchronized
+// timestamp generator. It is not safe for concurrent use — the
+// prototype's clients are single-threaded and its RPC synchronous.
+type Client struct {
+	conn *wire.Conn
+	gen  *tsgen.Generator
+	site int
+}
+
+// Dial connects to a server, performs the clock-synchronization
+// handshake, and returns a ready client.
+func Dial(addr string, opts Options) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c, err := newClient(wire.NewConn(nc), opts)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewPipe builds a client over an existing byte stream (e.g. a net.Pipe
+// to an embedded server). It performs the same sync handshake as Dial.
+func NewPipe(conn *wire.Conn, opts Options) (*Client, error) {
+	return newClient(conn, opts)
+}
+
+func newClient(conn *wire.Conn, opts Options) (*Client, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = tsgen.WallClock{}
+	}
+	c := &Client{conn: conn, gen: tsgen.NewGenerator(opts.Site, clock), site: opts.Site}
+	samples := opts.SyncSamples
+	if samples <= 0 {
+		samples = 4
+	}
+	// Virtual clock synchronization (§6): estimate server − local over a
+	// few probes and install the correction factor.
+	var total int64
+	for i := 0; i < samples; i++ {
+		local := clock.Now()
+		resp, err := c.conn.Call(&wire.Sync{ClientTicks: local})
+		if err != nil {
+			return nil, fmt.Errorf("client: clock sync: %w", err)
+		}
+		so, ok := resp.(*wire.SyncOK)
+		if !ok {
+			return nil, fmt.Errorf("client: clock sync: unexpected response %v", resp.MsgType())
+		}
+		total += so.ServerTicks - local
+	}
+	c.gen.SetCorrection(total / int64(samples))
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Site returns the client's site id.
+func (c *Client) Site() int { return c.site }
+
+// Correction returns the installed clock correction factor.
+func (c *Client) Correction() int64 { return c.gen.Correction() }
+
+// call sends a request and converts abort responses to AbortError.
+func (c *Client) call(req wire.Message) (wire.Message, error) {
+	resp, err := c.conn.Call(req)
+	if err == nil {
+		return resp, nil
+	}
+	var we *wire.Error
+	if errors.As(err, &we) && we.Code == wire.CodeAbort {
+		return nil, &AbortError{Reason: we.Reason, Message: we.Message}
+	}
+	return nil, err
+}
+
+// Txn is one transaction attempt in progress.
+type Txn struct {
+	c    *Client
+	id   core.TxnID
+	kind core.Kind
+	done bool
+}
+
+// Begin starts an attempt with a fresh timestamp.
+func (c *Client) Begin(kind core.Kind, spec core.BoundSpec) (*Txn, error) {
+	resp, err := c.call(&wire.Begin{Kind: kind, Timestamp: c.gen.Next(), Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	ok, isOK := resp.(*wire.BeginOK)
+	if !isOK {
+		return nil, fmt.Errorf("client: unexpected Begin response %v", resp.MsgType())
+	}
+	return &Txn{c: c, id: ok.Txn, kind: kind}, nil
+}
+
+// Read reads one object.
+func (t *Txn) Read(obj core.ObjectID) (core.Value, error) {
+	resp, err := t.c.call(&wire.Read{Txn: t.id, Object: obj})
+	if err != nil {
+		t.noteIfAbort(err)
+		return 0, err
+	}
+	v, ok := resp.(*wire.Value)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected Read response %v", resp.MsgType())
+	}
+	return v.Value, nil
+}
+
+// Write writes an absolute value.
+func (t *Txn) Write(obj core.ObjectID, value core.Value) error {
+	_, err := t.writeMsg(&wire.Write{Txn: t.id, Object: obj, Value: value})
+	return err
+}
+
+// WriteDelta writes current+delta and returns the value written.
+func (t *Txn) WriteDelta(obj core.ObjectID, delta core.Value) (core.Value, error) {
+	return t.writeMsg(&wire.Write{Txn: t.id, Object: obj, Delta: true, Value: delta})
+}
+
+func (t *Txn) writeMsg(m *wire.Write) (core.Value, error) {
+	resp, err := t.c.call(m)
+	if err != nil {
+		t.noteIfAbort(err)
+		return 0, err
+	}
+	v, ok := resp.(*wire.Value)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected Write response %v", resp.MsgType())
+	}
+	return v.Value, nil
+}
+
+// Commit finishes the attempt.
+func (t *Txn) Commit() error {
+	if t.done {
+		return errors.New("client: transaction already finished")
+	}
+	_, err := t.c.call(&wire.Commit{Txn: t.id})
+	if err == nil {
+		t.done = true
+	}
+	return err
+}
+
+// Abort abandons the attempt.
+func (t *Txn) Abort() error {
+	if t.done {
+		return nil
+	}
+	_, err := t.c.call(&wire.Abort{Txn: t.id})
+	t.done = true
+	return err
+}
+
+// noteIfAbort marks the attempt finished when the server aborted it
+// internally (the footprint is already cleaned up server-side).
+func (t *Txn) noteIfAbort(err error) {
+	if _, ok := IsAbort(err); ok {
+		t.done = true
+	}
+}
+
+// Result mirrors tso.Result for network executions.
+type Result struct {
+	Values []core.Value
+	Sum    core.Value
+}
+
+// RunProgram executes one attempt of a program over the connection.
+func (c *Client) RunProgram(p *core.Program) (*Result, error) {
+	t, err := c.Begin(p.Kind, p.Bounds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Values: make([]core.Value, 0, len(p.Ops))}
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case core.OpRead:
+			v, err := t.Read(op.Object)
+			if err != nil {
+				return nil, err
+			}
+			res.Values = append(res.Values, v)
+			res.Sum += v
+		case core.OpWrite:
+			var v core.Value
+			var err error
+			if op.UseDelta {
+				v, err = t.WriteDelta(op.Object, op.Delta)
+			} else {
+				v, err = op.Value, t.Write(op.Object, op.Value)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.Values = append(res.Values, v)
+		}
+	}
+	if err := t.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunRetry executes a program to completion, resubmitting after every
+// abort with a fresh timestamp — the client loop of §6. maxAttempts caps
+// retries; zero means unlimited. It returns the result and the number of
+// attempts made.
+func (c *Client) RunRetry(p *core.Program, maxAttempts int) (*Result, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		res, err := c.RunProgram(p)
+		if err == nil {
+			return res, attempts, nil
+		}
+		if _, isAbort := IsAbort(err); !isAbort {
+			return nil, attempts, err
+		}
+		if maxAttempts > 0 && attempts >= maxAttempts {
+			return nil, attempts, err
+		}
+	}
+}
+
+// Stats fetches the server's performance counters.
+func (c *Client) Stats() (metrics.Snapshot, int64, error) {
+	resp, err := c.call(&wire.Stats{})
+	if err != nil {
+		return metrics.Snapshot{}, 0, err
+	}
+	so, ok := resp.(*wire.StatsOK)
+	if !ok {
+		return metrics.Snapshot{}, 0, fmt.Errorf("client: unexpected Stats response %v", resp.MsgType())
+	}
+	return so.Snapshot, so.ProperMisses, nil
+}

@@ -1,0 +1,189 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+func TestAbortErrorTypes(t *testing.T) {
+	ae := &AbortError{Reason: metrics.AbortLateRead, Message: "too old"}
+	if !strings.Contains(ae.Error(), "late-read") || !strings.Contains(ae.Error(), "too old") {
+		t.Errorf("Error() = %q", ae.Error())
+	}
+	if got, ok := IsAbort(ae); !ok || got != ae {
+		t.Error("IsAbort failed on direct AbortError")
+	}
+	wrapped := fmt.Errorf("op failed: %w", ae)
+	if _, ok := IsAbort(wrapped); !ok {
+		t.Error("IsAbort failed on wrapped AbortError")
+	}
+	if _, ok := IsAbort(errors.New("plain")); ok {
+		t.Error("IsAbort matched a plain error")
+	}
+}
+
+// fakeServer answers the sync handshake then dispatches with fn.
+func fakeServer(t *testing.T, fn func(wire.Message) wire.Message) *Client {
+	t.Helper()
+	a, b := net.Pipe()
+	serverConn := wire.NewConn(b)
+	go func() {
+		defer serverConn.Close()
+		for {
+			req, err := serverConn.ReadMessage()
+			if err != nil {
+				return
+			}
+			var resp wire.Message
+			if s, ok := req.(*wire.Sync); ok {
+				resp = &wire.SyncOK{ServerTicks: s.ClientTicks + 500}
+			} else {
+				resp = fn(req)
+			}
+			if err := serverConn.WriteMessage(resp); err != nil {
+				return
+			}
+		}
+	}()
+	c, err := NewPipe(wire.NewConn(a), Options{Site: 3, Clock: &tsgen.LogicalClock{}, SyncSamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestSyncHandshakeInstallsCorrection(t *testing.T) {
+	c := fakeServer(t, func(wire.Message) wire.Message {
+		return &wire.Error{Code: wire.CodeGeneric, Message: "unused"}
+	})
+	// The fake server reports local+500; correction must be ≈500 (the
+	// logical clock consumes a tick per probe, so allow slack).
+	if corr := c.Correction(); corr < 490 || corr > 510 {
+		t.Errorf("Correction = %d, want ≈500", corr)
+	}
+	if c.Site() != 3 {
+		t.Errorf("Site = %d", c.Site())
+	}
+}
+
+func TestServerAbortBecomesAbortError(t *testing.T) {
+	c := fakeServer(t, func(req wire.Message) wire.Message {
+		if _, ok := req.(*wire.Begin); ok {
+			return &wire.BeginOK{Txn: 1}
+		}
+		return &wire.Error{Code: wire.CodeAbort, Reason: metrics.AbortExportLimit, Message: "tel"}
+	})
+	txn, err := c.Begin(core.Update, core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = txn.Write(1, 5)
+	ae, ok := IsAbort(err)
+	if !ok || ae.Reason != metrics.AbortExportLimit {
+		t.Errorf("err = %v", err)
+	}
+	// The attempt is finished after a server abort; Abort is a no-op.
+	if err := txn.Abort(); err != nil {
+		t.Errorf("Abort after server abort: %v", err)
+	}
+}
+
+func TestGenericErrorIsNotAbort(t *testing.T) {
+	c := fakeServer(t, func(wire.Message) wire.Message {
+		return &wire.Error{Code: wire.CodeGeneric, Message: "nope"}
+	})
+	_, err := c.Begin(core.Query, core.SRSpec())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if _, ok := IsAbort(err); ok {
+		t.Error("generic error classified as abort")
+	}
+}
+
+func TestUnexpectedResponseTypesRejected(t *testing.T) {
+	c := fakeServer(t, func(req wire.Message) wire.Message {
+		switch req.(type) {
+		case *wire.Begin:
+			return &wire.OK{} // wrong: should be BeginOK
+		default:
+			return &wire.OK{}
+		}
+	})
+	_, err := c.Begin(core.Query, core.SRSpec())
+	if err == nil || !strings.Contains(err.Error(), "unexpected Begin response") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRetryStopsOnNonAbortError(t *testing.T) {
+	calls := 0
+	c := fakeServer(t, func(req wire.Message) wire.Message {
+		calls++
+		return &wire.Error{Code: wire.CodeGeneric, Message: "broken"}
+	})
+	_, attempts, err := c.RunRetry(core.NewQuery(0, 1), 0)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on generic errors)", attempts)
+	}
+}
+
+func TestRunRetryRetriesAborts(t *testing.T) {
+	begins := 0
+	c := fakeServer(t, func(req wire.Message) wire.Message {
+		switch req.(type) {
+		case *wire.Begin:
+			begins++
+			return &wire.BeginOK{Txn: core.TxnID(begins)}
+		case *wire.Read:
+			if begins < 3 {
+				return &wire.Error{Code: wire.CodeAbort, Reason: metrics.AbortLateRead, Message: "late"}
+			}
+			return &wire.Value{Value: 42}
+		case *wire.Commit:
+			return &wire.OK{}
+		}
+		return &wire.Error{Code: wire.CodeGeneric, Message: "?"}
+	})
+	res, attempts, err := c.RunRetry(core.NewQuery(0, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 || res.Sum != 42 {
+		t.Errorf("attempts=%d sum=%d, want 3, 42", attempts, res.Sum)
+	}
+}
+
+func TestRunRetryHonoursMaxAttempts(t *testing.T) {
+	c := fakeServer(t, func(req wire.Message) wire.Message {
+		if _, ok := req.(*wire.Begin); ok {
+			return &wire.BeginOK{Txn: 1}
+		}
+		return &wire.Error{Code: wire.CodeAbort, Reason: metrics.AbortLateRead, Message: "late"}
+	})
+	_, attempts, err := c.RunRetry(core.NewQuery(0, 1), 2)
+	if err == nil {
+		t.Fatal("expected error after max attempts")
+	}
+	if attempts != 2 {
+		t.Errorf("attempts = %d, want 2", attempts)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", Options{}); err == nil {
+		t.Error("Dial to closed port succeeded")
+	}
+}

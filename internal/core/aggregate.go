@@ -1,0 +1,135 @@
+package core
+
+import "fmt"
+
+// AggKind selects the aggregate a query computes over the values it read.
+type AggKind uint8
+
+const (
+	// AggSum is the paper's primary query shape: the sum of the values.
+	AggSum AggKind = iota
+	// AggAvg is the §5.3.2 extension: the average of the values.
+	AggAvg
+)
+
+// String implements fmt.Stringer.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(k))
+	}
+}
+
+// AggregateTracker implements the inconsistency control for queries that
+// compute aggregates other than sum, and for transactions that read the
+// same object more than once (§3.2.1 and §5.3.2).
+//
+// For every object the tracker records the minimum and maximum values the
+// transaction's reads observed. When the aggregate is requested, the
+// result inconsistency is derived from those extremes — for avg(o1..on)
+// the min_result sums the minimums and divides by n, the max_result does
+// the same with the maximums, and the result inconsistency is half their
+// difference. The decision to admit or reject the query is then made once
+// at aggregate time against the transaction import limit, instead of
+// incrementally at each read (predeclaring the read set is impractical,
+// as the paper notes).
+type AggregateTracker struct {
+	minmax map[ObjectID][2]Value
+	order  []ObjectID
+}
+
+// NewAggregateTracker returns an empty tracker.
+func NewAggregateTracker() *AggregateTracker {
+	return &AggregateTracker{minmax: make(map[ObjectID][2]Value)}
+}
+
+// Observe records one read of an object. Multiple observations of the
+// same object tighten nothing — they widen the [min, max] envelope, which
+// captures the worst case where two reads see the opposite extremes of
+// the bound.
+func (t *AggregateTracker) Observe(obj ObjectID, v Value) {
+	mm, ok := t.minmax[obj]
+	if !ok {
+		t.minmax[obj] = [2]Value{v, v}
+		t.order = append(t.order, obj)
+		return
+	}
+	if v < mm[0] {
+		mm[0] = v
+	}
+	if v > mm[1] {
+		mm[1] = v
+	}
+	t.minmax[obj] = mm
+}
+
+// NumObjects returns how many distinct objects have been observed.
+func (t *AggregateTracker) NumObjects() int { return len(t.order) }
+
+// Envelope returns the [min, max] observed for an object and whether the
+// object was observed at all.
+func (t *AggregateTracker) Envelope(obj ObjectID) (min, max Value, ok bool) {
+	mm, ok := t.minmax[obj]
+	return mm[0], mm[1], ok
+}
+
+// Result computes the aggregate over the midpoint of each object's
+// envelope together with the result inconsistency — half the spread
+// between the aggregate of the minimums and the aggregate of the
+// maximums. The caller compares the inconsistency against the TIL and
+// aborts the query if it does not fit.
+func (t *AggregateTracker) Result(kind AggKind) (value Value, inconsistency Distance, err error) {
+	n := int64(len(t.order))
+	if n == 0 {
+		return 0, 0, fmt.Errorf("esr: aggregate over zero observations")
+	}
+	var minSum, maxSum Value
+	for _, obj := range t.order {
+		mm := t.minmax[obj]
+		minSum += mm[0]
+		maxSum += mm[1]
+	}
+	// The half-width rounds up so that integer truncation never
+	// under-reports the inconsistency of an odd spread.
+	switch kind {
+	case AggSum:
+		return (minSum + maxSum) / 2, (maxSum - minSum + 1) / 2, nil
+	case AggAvg:
+		minResult := minSum / n
+		maxResult := maxSum / n
+		return (minResult + maxResult) / 2, (maxResult - minResult + 1) / 2, nil
+	default:
+		return 0, 0, fmt.Errorf("esr: unknown aggregate kind %d", kind)
+	}
+}
+
+// Admit runs Result and checks the inconsistency against the transaction
+// import limit, returning the aggregate value on success and a
+// *LimitError (transaction level) if the bound is violated.
+func (t *AggregateTracker) Admit(kind AggKind, til Distance) (Value, error) {
+	value, inc, err := t.Result(kind)
+	if err != nil {
+		return 0, err
+	}
+	if inc > til {
+		return 0, &LimitError{
+			Level:    LevelTransaction,
+			Distance: inc,
+			Limit:    til,
+			Import:   true,
+		}
+	}
+	return value, nil
+}
+
+// Reset clears all observations for transaction restart.
+func (t *AggregateTracker) Reset() {
+	t.order = t.order[:0]
+	for k := range t.minmax {
+		delete(t.minmax, k)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregateSumWithConsistentReads(t *testing.T) {
+	tr := NewAggregateTracker()
+	tr.Observe(1, 100)
+	tr.Observe(2, 250)
+	v, inc, err := tr.Result(AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 350 || inc != 0 {
+		t.Errorf("sum = %d±%d, want 350±0", v, inc)
+	}
+}
+
+func TestAggregateEnvelopeWidensOnRepeatedReads(t *testing.T) {
+	tr := NewAggregateTracker()
+	tr.Observe(1, 100)
+	tr.Observe(1, 140) // second read saw a concurrent update
+	tr.Observe(1, 90)
+	min, max, ok := tr.Envelope(1)
+	if !ok || min != 90 || max != 140 {
+		t.Errorf("Envelope = [%d,%d],%v; want [90,140]", min, max, ok)
+	}
+	if tr.NumObjects() != 1 {
+		t.Errorf("NumObjects = %d, want 1", tr.NumObjects())
+	}
+	v, inc, err := tr.Result(AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 115 || inc != 25 {
+		t.Errorf("sum = %d±%d, want 115±25", v, inc)
+	}
+}
+
+func TestAggregateAvgResultInconsistency(t *testing.T) {
+	// §5.3.2: min_result = Σmin/n, max_result = Σmax/n,
+	// result inconsistency = (max_result − min_result)/2.
+	tr := NewAggregateTracker()
+	tr.Observe(1, 100)
+	tr.Observe(1, 200)
+	tr.Observe(2, 300)
+	tr.Observe(2, 340)
+	v, inc, err := tr.Result(AggAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// minSum=400 maxSum=540, n=2 → min_result=200, max_result=270.
+	if v != 235 || inc != 35 {
+		t.Errorf("avg = %d±%d, want 235±35", v, inc)
+	}
+}
+
+func TestAggregateAdmitAgainstTIL(t *testing.T) {
+	tr := NewAggregateTracker()
+	tr.Observe(1, 100)
+	tr.Observe(1, 180)
+	if _, err := tr.Admit(AggSum, 40); err != nil {
+		t.Errorf("Admit within TIL failed: %v", err)
+	}
+	_, err := tr.Admit(AggSum, 39)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want LimitError, got %v", err)
+	}
+	if le.Level != LevelTransaction || !le.Import {
+		t.Errorf("violation = %+v", le)
+	}
+}
+
+func TestAggregateEmptyAndUnknownKind(t *testing.T) {
+	tr := NewAggregateTracker()
+	if _, _, err := tr.Result(AggSum); err == nil {
+		t.Error("empty aggregate succeeded")
+	}
+	tr.Observe(1, 5)
+	if _, _, err := tr.Result(AggKind(9)); err == nil {
+		t.Error("unknown aggregate kind succeeded")
+	}
+	if _, _, ok := tr.Envelope(99); ok {
+		t.Error("Envelope of unobserved object reported ok")
+	}
+}
+
+func TestAggregateReset(t *testing.T) {
+	tr := NewAggregateTracker()
+	tr.Observe(1, 5)
+	tr.Reset()
+	if tr.NumObjects() != 0 {
+		t.Errorf("NumObjects after Reset = %d", tr.NumObjects())
+	}
+	if _, _, err := tr.Result(AggSum); err == nil {
+		t.Error("Result after Reset should fail (no observations)")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	if AggSum.String() != "sum" || AggAvg.String() != "avg" || AggKind(5).String() != "agg(5)" {
+		t.Error("AggKind strings wrong")
+	}
+}
+
+// TestAggregateSoundnessProperty: the true sum over any single-version
+// choice of the observed values always lies within the reported
+// inconsistency of the reported result.
+func TestAggregateSoundnessProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewAggregateTracker()
+		numObj := 1 + rng.Intn(6)
+		observed := make(map[ObjectID][]Value)
+		for o := 0; o < numObj; o++ {
+			reads := 1 + rng.Intn(4)
+			for r := 0; r < reads; r++ {
+				v := Value(rng.Intn(10_000))
+				tr.Observe(ObjectID(o), v)
+				observed[ObjectID(o)] = append(observed[ObjectID(o)], v)
+			}
+		}
+		result, inc, err := tr.Result(AggSum)
+		if err != nil {
+			return false
+		}
+		// Pick each object's value arbitrarily among what was observed;
+		// every such sum must be within inc of result.
+		for trial := 0; trial < 10; trial++ {
+			var sum Value
+			for o := 0; o < numObj; o++ {
+				vals := observed[ObjectID(o)]
+				sum += vals[rng.Intn(len(vals))]
+			}
+			diff := sum - result
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > inc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import "fmt"
+
+// BoundSpec is the inconsistency-specification part of an epsilon
+// transaction — the block of limits the application states before the
+// first data operation (§3.1):
+//
+//	BEGIN Query TIL 10000
+//	LIMIT company 4000
+//	LIMIT com1 200
+//	...
+//
+// The transaction limit sits at the root of the hierarchy, group limits
+// in the middle, and per-object overrides at the leaves. Any node without
+// an explicit limit is unbounded at that node (the paper's two-level runs
+// specify only the transaction limit and rely on server-side OIL/OEL for
+// the leaves).
+type BoundSpec struct {
+	// Transaction is the root limit: TIL for queries, TEL for updates.
+	Transaction Distance
+	// Groups maps group names to their limits (the LIMIT statements).
+	Groups map[string]Distance
+	// Objects maps object ids to per-transaction leaf overrides. When an
+	// object has no override the engine falls back to the server-side
+	// object limit (OIL or OEL stored with the object).
+	Objects map[ObjectID]Distance
+}
+
+// SRSpec is the specification that reduces ESR to classic
+// serializability: a zero transaction limit admits no inconsistency.
+func SRSpec() BoundSpec { return BoundSpec{Transaction: 0} }
+
+// UnboundedSpec admits any inconsistency at the transaction level.
+func UnboundedSpec() BoundSpec { return BoundSpec{Transaction: NoLimit} }
+
+// WithGroup returns a copy of the spec with one more group limit set.
+func (b BoundSpec) WithGroup(name string, limit Distance) BoundSpec {
+	groups := make(map[string]Distance, len(b.Groups)+1)
+	for k, v := range b.Groups {
+		groups[k] = v
+	}
+	groups[name] = limit
+	b.Groups = groups
+	return b
+}
+
+// WithObject returns a copy of the spec with one more object override.
+func (b BoundSpec) WithObject(obj ObjectID, limit Distance) BoundSpec {
+	objects := make(map[ObjectID]Distance, len(b.Objects)+1)
+	for k, v := range b.Objects {
+		objects[k] = v
+	}
+	objects[obj] = limit
+	b.Objects = objects
+	return b
+}
+
+// Accumulator enforces a BoundSpec over a Schema for one execution of one
+// transaction. It maintains the inconsistency accumulated at every node
+// of the hierarchy and implements the bottom-up control discipline of
+// §5.3.1: an operation contributing inconsistency d to object x is
+// admitted only if d fits at the leaf and at every ancestor group and at
+// the root; on admission every node on the path is charged d.
+//
+// Accumulators are per-transaction state and are not safe for concurrent
+// use; the transaction manager serializes a transaction's operations.
+type Accumulator struct {
+	schema *Schema
+	// limits[g] and used[g] are the bound and accumulated inconsistency
+	// of group g (index 0 is the root / transaction level).
+	limits []Distance
+	used   []Distance
+	// objects holds per-object overrides from the spec.
+	objects map[ObjectID]Distance
+	// imports is true for import accounting (query), false for export.
+	imports bool
+	// path is a reusable scratch buffer for PathToRoot.
+	path []GroupID
+}
+
+// NewAccumulator compiles a BoundSpec against a Schema. Group names in
+// the spec that do not exist in the schema are reported as an error —
+// a silently dropped limit would violate the application's intent.
+func NewAccumulator(schema *Schema, spec BoundSpec, imports bool) (*Accumulator, error) {
+	if schema == nil {
+		schema = FlatSchema()
+	}
+	a := &Accumulator{
+		schema:  schema,
+		limits:  make([]Distance, schema.NumGroups()),
+		used:    make([]Distance, schema.NumGroups()),
+		objects: spec.Objects,
+		imports: imports,
+	}
+	for i := range a.limits {
+		a.limits[i] = NoLimit
+	}
+	a.limits[RootGroup] = spec.Transaction
+	for name, limit := range spec.Groups {
+		g, ok := schema.Group(name)
+		if !ok {
+			return nil, fmt.Errorf("esr: LIMIT names unknown group %q", name)
+		}
+		a.limits[g] = limit
+	}
+	return a, nil
+}
+
+// Admit checks, bottom-up, whether inconsistency d from object obj fits
+// under every bound on the object's path to the root; if it does, every
+// node on the path is charged and Admit returns nil. Otherwise no state
+// changes and the returned *LimitError identifies the violated node.
+//
+// objectLimit is the leaf-level bound supplied by the caller — the
+// server-side OIL or OEL of the object — which a per-transaction object
+// override in the BoundSpec replaces.
+func (a *Accumulator) Admit(obj ObjectID, d Distance, objectLimit Distance) error {
+	if d < 0 {
+		return fmt.Errorf("esr: negative inconsistency %d for object %d", d, obj)
+	}
+	// Leaf level first (§5: "the system checks for possible violation of
+	// inconsistency bounds bottom up, starting with the object level").
+	leaf := objectLimit
+	if override, ok := a.objects[obj]; ok {
+		leaf = override
+	}
+	if d > leaf {
+		return &LimitError{
+			Level: LevelObject, Object: obj,
+			Distance: d, Accumulated: 0, Limit: leaf, Import: a.imports,
+		}
+	}
+	// Then every group on the path, ending at the root.
+	a.path = a.schema.PathToRoot(obj, a.path[:0])
+	for _, g := range a.path {
+		if addSat(a.used[g], d) > a.limits[g] {
+			level := LevelGroup
+			if g == RootGroup {
+				level = LevelTransaction
+			}
+			return &LimitError{
+				Level: level, Node: a.schema.GroupName(g), Object: obj,
+				Distance: d, Accumulated: a.used[g], Limit: a.limits[g], Import: a.imports,
+			}
+		}
+	}
+	// All checks passed: charge the whole path.
+	for _, g := range a.path {
+		a.used[g] = addSat(a.used[g], d)
+	}
+	return nil
+}
+
+// Total returns the inconsistency accumulated at the transaction level —
+// the I (import) or E (export) counter of §5.
+func (a *Accumulator) Total() Distance { return a.used[RootGroup] }
+
+// Used returns the inconsistency accumulated at a group.
+func (a *Accumulator) Used(g GroupID) Distance {
+	if g < 0 || int(g) >= len(a.used) {
+		return 0
+	}
+	return a.used[g]
+}
+
+// Limit returns the bound installed at a group.
+func (a *Accumulator) Limit(g GroupID) Distance {
+	if g < 0 || int(g) >= len(a.limits) {
+		return NoLimit
+	}
+	return a.limits[g]
+}
+
+// Remaining returns how much inconsistency the transaction level can
+// still absorb.
+func (a *Accumulator) Remaining() Distance {
+	if a.limits[RootGroup] == NoLimit {
+		return NoLimit
+	}
+	return a.limits[RootGroup] - a.used[RootGroup]
+}
+
+// Reset clears the accumulated inconsistency at every node, for reuse
+// when a transaction restarts with a fresh timestamp.
+func (a *Accumulator) Reset() {
+	for i := range a.used {
+		a.used[i] = 0
+	}
+}

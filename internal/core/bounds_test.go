@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorFlatSchemaTransactionLimit(t *testing.T) {
+	a, err := NewAccumulator(nil, BoundSpec{Transaction: 100}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(1, 60, NoLimit); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := a.Admit(2, 40, NoLimit); err != nil {
+		t.Fatalf("second admit: %v", err)
+	}
+	if a.Total() != 100 {
+		t.Errorf("Total = %d, want 100", a.Total())
+	}
+	err = a.Admit(3, 1, NoLimit)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("expected LimitError, got %v", err)
+	}
+	if le.Level != LevelTransaction || !le.Import {
+		t.Errorf("violation = %+v, want transaction-level import", le)
+	}
+	// A rejected admit must not change any accumulated state.
+	if a.Total() != 100 {
+		t.Errorf("rejected admit charged the accumulator: %d", a.Total())
+	}
+}
+
+func TestAccumulatorObjectLevelCheckedFirst(t *testing.T) {
+	a, err := NewAccumulator(nil, BoundSpec{Transaction: 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=10 violates both the object limit (8) and the TIL (5); the
+	// bottom-up discipline must report the object level.
+	err = a.Admit(7, 10, 8)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("expected LimitError, got %v", err)
+	}
+	if le.Level != LevelObject {
+		t.Errorf("Level = %v, want object (bottom-up order)", le.Level)
+	}
+	if le.Limit != 8 || le.Distance != 10 {
+		t.Errorf("violation = %+v", le)
+	}
+}
+
+func TestAccumulatorPerObjectOverride(t *testing.T) {
+	spec := BoundSpec{Transaction: NoLimit}.WithObject(7, 3)
+	a, err := NewAccumulator(nil, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server-side OIL would admit d=5, but the per-transaction override
+	// of 3 must win.
+	if err := a.Admit(7, 5, 100); err == nil {
+		t.Error("override limit not applied")
+	}
+	if err := a.Admit(7, 3, 100); err != nil {
+		t.Errorf("admit at override limit: %v", err)
+	}
+}
+
+func TestAccumulatorHierarchicalCharges(t *testing.T) {
+	s := NewSchema()
+	company := s.MustAddGroup("company", RootGroup)
+	com1 := s.MustAddGroup("com1", company)
+	com2 := s.MustAddGroup("com2", company)
+	if err := s.Assign(1, com1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(2, com2); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := BoundSpec{Transaction: 100}.
+		WithGroup("company", 50).
+		WithGroup("com1", 20).
+		WithGroup("com2", 40)
+	a, err := NewAccumulator(s, spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.Admit(1, 15, NoLimit); err != nil {
+		t.Fatalf("admit obj1: %v", err)
+	}
+	if got := a.Used(com1); got != 15 {
+		t.Errorf("Used(com1) = %d, want 15", got)
+	}
+	if got := a.Used(company); got != 15 {
+		t.Errorf("Used(company) = %d, want 15", got)
+	}
+	if got := a.Total(); got != 15 {
+		t.Errorf("Total = %d, want 15", got)
+	}
+
+	// com1 has only 5 left: d=10 must be rejected at group com1.
+	err = a.Admit(1, 10, NoLimit)
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want LimitError, got %v", err)
+	}
+	if le.Level != LevelGroup || le.Node != "com1" {
+		t.Errorf("violation at %v %q, want group com1", le.Level, le.Node)
+	}
+
+	// Sibling com2 is unaffected and has its own budget.
+	if err := a.Admit(2, 35, NoLimit); err != nil {
+		t.Fatalf("admit obj2: %v", err)
+	}
+	if got := a.Used(company); got != 50 {
+		t.Errorf("Used(company) = %d, want 50", got)
+	}
+	// company is now exhausted: any further d>0 in the subtree fails at
+	// the company node even though com2 has room.
+	err = a.Admit(2, 5, NoLimit)
+	if !errors.As(err, &le) || le.Node != "company" {
+		t.Errorf("want company-level violation, got %v", err)
+	}
+}
+
+func TestAccumulatorUnknownGroupInSpec(t *testing.T) {
+	if _, err := NewAccumulator(NewSchema(), BoundSpec{Transaction: 1}.WithGroup("ghost", 5), true); err == nil {
+		t.Error("unknown group in spec accepted")
+	}
+}
+
+func TestAccumulatorNegativeDistanceRejected(t *testing.T) {
+	a, _ := NewAccumulator(nil, UnboundedSpec(), true)
+	if err := a.Admit(1, -1, NoLimit); err == nil {
+		t.Error("negative inconsistency accepted")
+	}
+}
+
+func TestAccumulatorZeroLimitIsSR(t *testing.T) {
+	a, _ := NewAccumulator(nil, SRSpec(), true)
+	if err := a.Admit(1, 1, NoLimit); err == nil {
+		t.Error("SR spec admitted nonzero inconsistency")
+	}
+	// d=0 is always admissible: a consistent read adds nothing.
+	if err := a.Admit(1, 0, 0); err != nil {
+		t.Errorf("SR spec rejected zero inconsistency: %v", err)
+	}
+}
+
+func TestAccumulatorResetAndRemaining(t *testing.T) {
+	a, _ := NewAccumulator(nil, BoundSpec{Transaction: 10}, false)
+	if a.Remaining() != 10 {
+		t.Errorf("Remaining = %d, want 10", a.Remaining())
+	}
+	if err := a.Admit(1, 4, NoLimit); err != nil {
+		t.Fatal(err)
+	}
+	if a.Remaining() != 6 {
+		t.Errorf("Remaining = %d, want 6", a.Remaining())
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Remaining() != 10 {
+		t.Errorf("after Reset: Total=%d Remaining=%d", a.Total(), a.Remaining())
+	}
+}
+
+func TestAccumulatorUnboundedRemaining(t *testing.T) {
+	a, _ := NewAccumulator(nil, UnboundedSpec(), true)
+	if a.Remaining() != NoLimit {
+		t.Errorf("Remaining = %d, want NoLimit", a.Remaining())
+	}
+	if err := a.Admit(1, NoLimit/2, NoLimit); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit(2, NoLimit/2, NoLimit); err != nil {
+		t.Fatalf("saturating accumulation must not overflow: %v", err)
+	}
+}
+
+func TestAccumulatorOutOfRangeAccessors(t *testing.T) {
+	a, _ := NewAccumulator(nil, SRSpec(), true)
+	if a.Used(GroupID(42)) != 0 {
+		t.Error("Used out of range != 0")
+	}
+	if a.Limit(GroupID(-1)) != NoLimit {
+		t.Error("Limit out of range != NoLimit")
+	}
+}
+
+func TestLimitErrorMessages(t *testing.T) {
+	e := &LimitError{Level: LevelGroup, Node: "company", Object: 7, Distance: 5, Accumulated: 48, Limit: 50, Import: true}
+	want := `esr: import limit exceeded at group "company": object 7 contributes 5, accumulated 48, limit 50`
+	if e.Error() != want {
+		t.Errorf("Error() = %q\nwant      %q", e.Error(), want)
+	}
+	e2 := &LimitError{Level: LevelTransaction, Object: 1, Distance: 2, Limit: 1}
+	if e2.Error() == "" {
+		t.Error("empty export message")
+	}
+}
+
+// TestAccumulatorInvariantProperty drives a random sequence of admits
+// through a random three-level hierarchy and checks the structural
+// invariant of §3.1 after every step: the inconsistency accumulated at a
+// node never exceeds its limit, and a parent's accumulation always equals
+// the sum of its children's contributions that flow through it.
+func TestAccumulatorInvariantProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSchema()
+		var groups []GroupID
+		numTop := 1 + rng.Intn(3)
+		for i := 0; i < numTop; i++ {
+			g := s.MustAddGroup(groupName("top", i), RootGroup)
+			groups = append(groups, g)
+			for j := 0; j < rng.Intn(3); j++ {
+				groups = append(groups, s.MustAddGroup(groupName("sub", i*10+j), g))
+			}
+		}
+		numObj := 1 + rng.Intn(8)
+		for o := 0; o < numObj; o++ {
+			if len(groups) > 0 && rng.Intn(4) > 0 {
+				if err := s.Assign(ObjectID(o), groups[rng.Intn(len(groups))]); err != nil {
+					return false
+				}
+			}
+		}
+		spec := BoundSpec{Transaction: Distance(rng.Intn(500))}
+		for _, g := range groups {
+			if rng.Intn(2) == 0 {
+				spec = spec.WithGroup(s.GroupName(g), Distance(rng.Intn(200)))
+			}
+		}
+		a, err := NewAccumulator(s, spec, rng.Intn(2) == 0)
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 50; step++ {
+			obj := ObjectID(rng.Intn(numObj))
+			d := Distance(rng.Intn(60))
+			oil := Distance(rng.Intn(80))
+			before := a.Total()
+			err := a.Admit(obj, d, oil)
+			// Invariant: every node's usage within its limit.
+			for g := 0; g < s.NumGroups(); g++ {
+				if a.Used(GroupID(g)) > a.Limit(GroupID(g)) {
+					return false
+				}
+			}
+			if err != nil {
+				// Rejected: nothing charged anywhere.
+				if a.Total() != before {
+					return false
+				}
+			} else if a.Total() != before+d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func groupName(prefix string, n int) string {
+	return prefix + string(rune('a'+n%26)) + string(rune('0'+(n/26)%10))
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupID indexes a node of a Schema. The root group is always RootGroup.
+type GroupID int
+
+// RootGroup is the id of the schema's root node. The root carries the
+// transaction-level limit (TIL or TEL); objects assigned directly to it
+// are the "independent objects" of the paper's Figure 2.
+const RootGroup GroupID = 0
+
+// Schema is the hierarchical organization of the database: a tree of
+// named groups with objects at the leaves (§3.1). The banking example
+// groups accounts as overall → {company, preferred, personal} →
+// {com1, com2, …} → divisions; an airline schema might group seats by
+// route and flight.
+//
+// A Schema is built once (AddGroup/Assign) and then shared read-only by
+// every transaction, so the building methods are not safe for concurrent
+// use but every lookup method is.
+type Schema struct {
+	names   []string             // names[g] is the name of group g
+	parents []GroupID            // parents[g] is g's parent; root's parent is itself
+	depths  []int                // depths[g] is the distance from the root
+	byName  map[string]GroupID   // group name → id
+	objects map[ObjectID]GroupID // object → the group it belongs to
+}
+
+// NewSchema returns a schema containing only the root group. The root's
+// name is the empty string.
+func NewSchema() *Schema {
+	return &Schema{
+		names:   []string{""},
+		parents: []GroupID{RootGroup},
+		depths:  []int{0},
+		byName:  map[string]GroupID{},
+		objects: map[ObjectID]GroupID{},
+	}
+}
+
+// AddGroup creates a named group under the given parent and returns its
+// id. Group names must be unique across the whole schema because the
+// transaction language's LIMIT statement refers to groups by bare name.
+func (s *Schema) AddGroup(name string, parent GroupID) (GroupID, error) {
+	if name == "" {
+		return 0, fmt.Errorf("schema: group name must be non-empty")
+	}
+	if _, dup := s.byName[name]; dup {
+		return 0, fmt.Errorf("schema: duplicate group name %q", name)
+	}
+	if parent < 0 || int(parent) >= len(s.names) {
+		return 0, fmt.Errorf("schema: parent group %d does not exist", parent)
+	}
+	id := GroupID(len(s.names))
+	s.names = append(s.names, name)
+	s.parents = append(s.parents, parent)
+	s.depths = append(s.depths, s.depths[parent]+1)
+	s.byName[name] = id
+	return id, nil
+}
+
+// MustAddGroup is AddGroup for statically known schemas; it panics on
+// error and is intended for tests and examples.
+func (s *Schema) MustAddGroup(name string, parent GroupID) GroupID {
+	id, err := s.AddGroup(name, parent)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Assign places an object in a group. Objects never assigned belong to
+// the root (they are independent objects). Re-assigning moves the object.
+func (s *Schema) Assign(obj ObjectID, group GroupID) error {
+	if group < 0 || int(group) >= len(s.names) {
+		return fmt.Errorf("schema: group %d does not exist", group)
+	}
+	s.objects[obj] = group
+	return nil
+}
+
+// Group returns the id of the named group.
+func (s *Schema) Group(name string) (GroupID, bool) {
+	id, ok := s.byName[name]
+	return id, ok
+}
+
+// GroupName returns the name of a group; the root's name is "".
+func (s *Schema) GroupName(g GroupID) string {
+	if g < 0 || int(g) >= len(s.names) {
+		return fmt.Sprintf("group(%d)", g)
+	}
+	return s.names[g]
+}
+
+// GroupOf returns the group an object is assigned to (RootGroup if it was
+// never assigned).
+func (s *Schema) GroupOf(obj ObjectID) GroupID {
+	if g, ok := s.objects[obj]; ok {
+		return g
+	}
+	return RootGroup
+}
+
+// Parent returns a group's parent; the root is its own parent.
+func (s *Schema) Parent(g GroupID) GroupID {
+	if g <= 0 || int(g) >= len(s.parents) {
+		return RootGroup
+	}
+	return s.parents[g]
+}
+
+// Depth returns the number of edges between a group and the root.
+func (s *Schema) Depth(g GroupID) int {
+	if g < 0 || int(g) >= len(s.depths) {
+		return 0
+	}
+	return s.depths[g]
+}
+
+// NumGroups returns the number of groups including the root.
+func (s *Schema) NumGroups() int { return len(s.names) }
+
+// PathToRoot appends to dst the chain of groups from the object's group
+// up to and including the root, in bottom-up order. This is the path the
+// control stage walks when an operation's inconsistency percolates from
+// the leaf to the root (§5.3.1).
+func (s *Schema) PathToRoot(obj ObjectID, dst []GroupID) []GroupID {
+	g := s.GroupOf(obj)
+	for {
+		dst = append(dst, g)
+		if g == RootGroup {
+			return dst
+		}
+		g = s.parents[g]
+	}
+}
+
+// GroupNames returns all group names in sorted order (excluding the
+// root), for diagnostics and deterministic output.
+func (s *Schema) GroupNames() []string {
+	names := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FlatSchema returns the trivial two-level schema used by the prototype's
+// performance tests: every object is independent, so the only levels are
+// the transaction (root) and the objects (leaves).
+func FlatSchema() *Schema { return NewSchema() }

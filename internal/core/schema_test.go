@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// bankSchema builds the paper's Figure 1 hierarchy:
+// overall → {company, preferred, personal}, company → {com1, com2},
+// com1 → {div1, div2}.
+func bankSchema(t *testing.T) (*Schema, map[string]GroupID) {
+	t.Helper()
+	s := NewSchema()
+	ids := map[string]GroupID{"": RootGroup}
+	for _, g := range []struct{ name, parent string }{
+		{"company", ""}, {"preferred", ""}, {"personal", ""},
+		{"com1", "company"}, {"com2", "company"},
+		{"div1", "com1"}, {"div2", "com1"},
+	} {
+		id, err := s.AddGroup(g.name, ids[g.parent])
+		if err != nil {
+			t.Fatalf("AddGroup(%s): %v", g.name, err)
+		}
+		ids[g.name] = id
+	}
+	return s, ids
+}
+
+func TestSchemaBasicLookups(t *testing.T) {
+	s, ids := bankSchema(t)
+	if s.NumGroups() != 8 {
+		t.Errorf("NumGroups = %d, want 8", s.NumGroups())
+	}
+	if g, ok := s.Group("com1"); !ok || g != ids["com1"] {
+		t.Errorf("Group(com1) = %d,%v", g, ok)
+	}
+	if _, ok := s.Group("nonexistent"); ok {
+		t.Error("Group(nonexistent) should not resolve")
+	}
+	if s.GroupName(ids["div2"]) != "div2" {
+		t.Errorf("GroupName = %q", s.GroupName(ids["div2"]))
+	}
+	if s.Parent(ids["div1"]) != ids["com1"] {
+		t.Error("Parent(div1) != com1")
+	}
+	if s.Parent(RootGroup) != RootGroup {
+		t.Error("root must be its own parent")
+	}
+	if s.Depth(ids["div1"]) != 3 {
+		t.Errorf("Depth(div1) = %d, want 3", s.Depth(ids["div1"]))
+	}
+}
+
+func TestSchemaDuplicateGroupName(t *testing.T) {
+	s := NewSchema()
+	s.MustAddGroup("a", RootGroup)
+	if _, err := s.AddGroup("a", RootGroup); err == nil {
+		t.Error("duplicate group name accepted")
+	}
+}
+
+func TestSchemaEmptyGroupName(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddGroup("", RootGroup); err == nil {
+		t.Error("empty group name accepted")
+	}
+}
+
+func TestSchemaBadParent(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddGroup("x", GroupID(99)); err == nil {
+		t.Error("nonexistent parent accepted")
+	}
+	if err := s.Assign(1, GroupID(99)); err == nil {
+		t.Error("Assign to nonexistent group accepted")
+	}
+}
+
+func TestSchemaMustAddGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAddGroup did not panic on error")
+		}
+	}()
+	s := NewSchema()
+	s.MustAddGroup("", RootGroup)
+}
+
+func TestSchemaObjectAssignment(t *testing.T) {
+	s, ids := bankSchema(t)
+	if err := s.Assign(100, ids["div1"]); err != nil {
+		t.Fatal(err)
+	}
+	if g := s.GroupOf(100); g != ids["div1"] {
+		t.Errorf("GroupOf(100) = %d, want div1", g)
+	}
+	if g := s.GroupOf(999); g != RootGroup {
+		t.Errorf("unassigned object GroupOf = %d, want root", g)
+	}
+}
+
+func TestSchemaPathToRoot(t *testing.T) {
+	s, ids := bankSchema(t)
+	if err := s.Assign(100, ids["div1"]); err != nil {
+		t.Fatal(err)
+	}
+	got := s.PathToRoot(100, nil)
+	want := []GroupID{ids["div1"], ids["com1"], ids["company"], RootGroup}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PathToRoot = %v, want %v", got, want)
+	}
+	// Independent object: path is just the root.
+	got = s.PathToRoot(999, got[:0])
+	if !reflect.DeepEqual(got, []GroupID{RootGroup}) {
+		t.Errorf("independent PathToRoot = %v, want [root]", got)
+	}
+}
+
+func TestSchemaGroupNamesSorted(t *testing.T) {
+	s, _ := bankSchema(t)
+	names := s.GroupNames()
+	want := []string{"com1", "com2", "company", "div1", "div2", "personal", "preferred"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("GroupNames = %v, want %v", names, want)
+	}
+}
+
+func TestSchemaOutOfRangeAccessors(t *testing.T) {
+	s := NewSchema()
+	if s.GroupName(GroupID(5)) != "group(5)" {
+		t.Errorf("GroupName(5) = %q", s.GroupName(GroupID(5)))
+	}
+	if s.Depth(GroupID(-1)) != 0 {
+		t.Error("Depth(-1) != 0")
+	}
+	if s.Parent(GroupID(42)) != RootGroup {
+		t.Error("Parent(42) != root")
+	}
+}

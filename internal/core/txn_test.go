@@ -1,0 +1,132 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNewQueryBuildsReads(t *testing.T) {
+	p := NewQuery(100_000, 1863, 1427, 1912)
+	if p.Kind != Query {
+		t.Errorf("Kind = %v", p.Kind)
+	}
+	if p.Bounds.Transaction != 100_000 {
+		t.Errorf("TIL = %d", p.Bounds.Transaction)
+	}
+	if p.NumReads() != 3 || p.NumWrites() != 0 {
+		t.Errorf("reads=%d writes=%d", p.NumReads(), p.NumWrites())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestUpdateProgramBuilder(t *testing.T) {
+	p := NewUpdate(10_000).
+		Read(1923).Read(1644).
+		WriteValue(1078, 5000).
+		WriteDelta(1727, -230)
+	if p.Kind != Update {
+		t.Errorf("Kind = %v", p.Kind)
+	}
+	if p.NumReads() != 2 || p.NumWrites() != 2 {
+		t.Errorf("reads=%d writes=%d", p.NumReads(), p.NumWrites())
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	w := p.Ops[3]
+	if !w.UseDelta || w.Delta != -230 {
+		t.Errorf("delta write = %+v", w)
+	}
+}
+
+func TestValidateRejectsWriteInQuery(t *testing.T) {
+	p := NewQuery(10, 1)
+	p.Ops = append(p.Ops, Op{Kind: OpWrite, Object: 2, Value: 5})
+	if err := p.Validate(); err == nil {
+		t.Error("query with a write validated")
+	}
+}
+
+func TestValidateRejectsDoubleRead(t *testing.T) {
+	p := NewQuery(10, 1, 1)
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("double read validated")
+	}
+	if !strings.Contains(err.Error(), "reads object 1 twice") {
+		t.Errorf("unexpected message: %v", err)
+	}
+}
+
+func TestValidateRejectsDoubleWrite(t *testing.T) {
+	p := NewUpdate(10).WriteValue(3, 1).WriteValue(3, 2)
+	if err := p.Validate(); err == nil {
+		t.Error("double write validated")
+	}
+}
+
+func TestValidateAllowsReadThenWrite(t *testing.T) {
+	p := NewUpdate(10).Read(5).WriteValue(5, 9)
+	if err := p.Validate(); err != nil {
+		t.Errorf("read-then-write of same object rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadKinds(t *testing.T) {
+	p := &Program{Kind: Kind(9)}
+	if err := p.Validate(); err == nil {
+		t.Error("invalid txn kind validated")
+	}
+	p2 := NewQuery(1, 1)
+	p2.Ops[0].Kind = OpKind(7)
+	if err := p2.Validate(); err == nil {
+		t.Error("invalid op kind validated")
+	}
+}
+
+func TestObjectsFirstUseOrder(t *testing.T) {
+	p := NewUpdate(1).Read(5).Read(2).WriteValue(5, 0).WriteValue(9, 0)
+	got := p.Objects()
+	want := []ObjectID{5, 2, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Objects = %v, want %v", got, want)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := NewQuery(42, 1, 2)
+	p.Label = "audit"
+	s := p.String()
+	for _, frag := range []string{"audit", "query", "2 reads", "limit 42"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	if !strings.Contains(NewUpdate(1).String(), "txn(") {
+		t.Error("unlabelled program should use default label")
+	}
+}
+
+func TestKindAndOpKindStrings(t *testing.T) {
+	if Query.String() != "query" || Update.String() != "update" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "kind(9)" {
+		t.Error("unknown Kind string wrong")
+	}
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Error("OpKind strings wrong")
+	}
+	if OpKind(7).String() != "opkind(7)" {
+		t.Error("unknown OpKind string wrong")
+	}
+	if LevelObject.String() != "object" || LevelGroup.String() != "group" || LevelTransaction.String() != "transaction" {
+		t.Error("Level strings wrong")
+	}
+	if Level(9).String() != "level(9)" {
+		t.Error("unknown Level string wrong")
+	}
+}

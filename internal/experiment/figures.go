@@ -1,0 +1,252 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/workload"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproduced figure: labelled series over a shared x axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// MPLSweep holds the results of the first test set (§7): every epsilon
+// level crossed with every multiprogramming level, with OIL/OEL held
+// high. One sweep yields Figures 7–10.
+type MPLSweep struct {
+	Levels []workload.Level
+	MPLs   []int
+	// Cells[levelIdx][mplIdx] is the cell result.
+	Cells [][]Result
+}
+
+// RunMPLSweep executes the sweep. base supplies everything except MPL
+// and the transaction bounds.
+func RunMPLSweep(base Config, mpls []int, levels []workload.Level, progress func(string)) (*MPLSweep, error) {
+	s := &MPLSweep{Levels: levels, MPLs: mpls}
+	var cells []cell
+	for _, level := range levels {
+		for _, mpl := range mpls {
+			cfg := base
+			cfg.MPL = mpl
+			cfg.Workload.TIL = level.TIL
+			cfg.Workload.TEL = level.TEL
+			cells = append(cells, cell{label: fmt.Sprintf("%-14s mpl=%d", level.Name, mpl), cfg: cfg})
+		}
+	}
+	results, err := runCellsInterleaved(cells, progress)
+	if err != nil {
+		return nil, fmt.Errorf("mpl sweep: %w", err)
+	}
+	for i := range levels {
+		s.Cells = append(s.Cells, results[i*len(mpls):(i+1)*len(mpls)])
+	}
+	return s, nil
+}
+
+// figure extracts one metric across the sweep.
+func (s *MPLSweep) figure(id, title, ylabel string, skipZero bool, metric func(Result) float64) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "Multiprogramming Level", YLabel: ylabel}
+	for i, level := range s.Levels {
+		if skipZero && level.TIL == 0 && level.TEL == 0 {
+			continue
+		}
+		se := Series{Name: level.Name}
+		for j, mpl := range s.MPLs {
+			se.X = append(se.X, float64(mpl))
+			se.Y = append(se.Y, metric(s.Cells[i][j]))
+		}
+		f.Series = append(f.Series, se)
+	}
+	return f
+}
+
+// Figure7 is throughput vs multiprogramming level.
+func (s *MPLSweep) Figure7() Figure {
+	return s.figure("fig7", "Throughput vs Multiprogramming Level", "Throughput (txn/s)", false,
+		func(r Result) float64 { return r.Throughput })
+}
+
+// Figure8 is successful inconsistent operations vs MPL. The zero-epsilon
+// series is omitted, as in the paper ("we do not have the case of zero
+// epsilon here as this corresponds to the SR case").
+func (s *MPLSweep) Figure8() Figure {
+	return s.figure("fig8", "Successful Inconsistent Operations vs Multiprogramming Level", "Inconsistent operations", true,
+		func(r Result) float64 { return float64(r.InconsistentOps) })
+}
+
+// Figure9 is the number of aborts (retries) vs MPL.
+func (s *MPLSweep) Figure9() Figure {
+	return s.figure("fig9", "Number of Aborts vs Multiprogramming Level", "Aborts", false,
+		func(r Result) float64 { return float64(r.Aborts) })
+}
+
+// Figure10 is the total number of operations executed (R+W) vs MPL.
+func (s *MPLSweep) Figure10() Figure {
+	return s.figure("fig10", "Number of Operations (R+W) vs Multiprogramming Level", "Operations executed", false,
+		func(r Result) float64 { return float64(r.TotalOps) })
+}
+
+// ThrashingPoint returns, for a level index, the paper's thrashing point:
+// the MPL where throughput begins to drop. Because measured curves hold
+// near-peak plateaus before declining, the point is defined as the last
+// MPL whose throughput is within 5% of the peak — argmax alone would
+// call a flat plateau "thrashed" at its first spike.
+func (s *MPLSweep) ThrashingPoint(levelIdx int) int {
+	peak := -1.0
+	for j := range s.MPLs {
+		if t := s.Cells[levelIdx][j].Throughput; t > peak {
+			peak = t
+		}
+	}
+	// Extend the plateau contiguously to the right of the peak; a later
+	// noisy recovery above the threshold does not un-thrash the curve.
+	peakIdx := 0
+	for j := range s.MPLs {
+		if s.Cells[levelIdx][j].Throughput == peak {
+			peakIdx = j
+			break
+		}
+	}
+	last := peakIdx
+	for j := peakIdx + 1; j < len(s.MPLs); j++ {
+		if s.Cells[levelIdx][j].Throughput < 0.95*peak {
+			break
+		}
+		last = j
+	}
+	return s.MPLs[last]
+}
+
+// RunTILSweep reproduces Figure 11: at a fixed MPL, throughput as TIL
+// grows, with TEL held at each of the given levels. OIL/OEL stay high so
+// only the transaction bounds act.
+func RunTILSweep(base Config, mpl int, tils []core.Distance, tels []core.Distance, progress func(string)) (Figure, error) {
+	f := Figure{ID: "fig11", Title: fmt.Sprintf("Throughput vs Transaction Import Limit (MPL %d)", mpl),
+		XLabel: "TIL", YLabel: "Throughput (txn/s)"}
+	var cells []cell
+	for _, tel := range tels {
+		for _, til := range tils {
+			cfg := base
+			cfg.MPL = mpl
+			cfg.Workload.TIL = til
+			cfg.Workload.TEL = tel
+			cells = append(cells, cell{label: fmt.Sprintf("tel=%-6d til=%d", tel, til), cfg: cfg})
+		}
+	}
+	results, err := runCellsInterleaved(cells, progress)
+	if err != nil {
+		return Figure{}, fmt.Errorf("til sweep: %w", err)
+	}
+	for i, tel := range tels {
+		se := Series{Name: fmt.Sprintf("TEL=%d", tel)}
+		for j, til := range tils {
+			se.X = append(se.X, float64(til))
+			se.Y = append(se.Y, results[i*len(tils)+j].Throughput)
+		}
+		f.Series = append(f.Series, se)
+	}
+	return f, nil
+}
+
+// OILSweep holds the results behind Figures 12 and 13: at a fixed MPL,
+// OIL swept in units of w (the mean write delta) with TIL held at each
+// of the given levels. OEL and TEL stay high so only the import bounds
+// act.
+type OILSweep struct {
+	MPL     int
+	TILs    []core.Distance
+	OILsInW []float64
+	W       core.Value
+	// Cells[tilIdx][oilIdx].
+	Cells [][]Result
+}
+
+// RunOILSweep executes the sweep.
+func RunOILSweep(base Config, mpl int, oilsInW []float64, tils []core.Distance, progress func(string)) (*OILSweep, error) {
+	s := &OILSweep{MPL: mpl, TILs: tils, OILsInW: oilsInW, W: base.Workload.MeanWriteDelta}
+	var cells []cell
+	for _, til := range tils {
+		for _, k := range oilsInW {
+			cfg := base
+			cfg.MPL = mpl
+			cfg.Workload.TIL = til
+			oil := core.Distance(k * float64(s.W))
+			cfg.OILMin, cfg.OILMax = oil, oil
+			cells = append(cells, cell{label: fmt.Sprintf("til=%-7d oil=%.1fw", til, k), cfg: cfg})
+		}
+	}
+	results, err := runCellsInterleaved(cells, progress)
+	if err != nil {
+		return nil, fmt.Errorf("oil sweep: %w", err)
+	}
+	for i := range tils {
+		s.Cells = append(s.Cells, results[i*len(oilsInW):(i+1)*len(oilsInW)])
+	}
+	return s, nil
+}
+
+// figure extracts one metric across the OIL sweep.
+func (s *OILSweep) figure(id, title, ylabel string, metric func(Result) float64) Figure {
+	f := Figure{ID: id, Title: title, XLabel: "OIL (in units of w)", YLabel: ylabel}
+	for i, til := range s.TILs {
+		se := Series{Name: fmt.Sprintf("TIL=%d", til)}
+		for j, k := range s.OILsInW {
+			se.X = append(se.X, k)
+			se.Y = append(se.Y, metric(s.Cells[i][j]))
+		}
+		f.Series = append(f.Series, se)
+	}
+	return f
+}
+
+// Figure12 is throughput vs OIL.
+func (s *OILSweep) Figure12() Figure {
+	return s.figure("fig12", fmt.Sprintf("Throughput vs Object Import Limit (MPL %d)", s.MPL),
+		"Throughput (txn/s)", func(r Result) float64 { return r.Throughput })
+}
+
+// Figure13 is the average number of operations executed per completed
+// transaction vs OIL (including operations of aborted attempts).
+func (s *OILSweep) Figure13() Figure {
+	return s.figure("fig13", fmt.Sprintf("Average Operations per Transaction vs Object Import Limit (MPL %d)", s.MPL),
+		"Operations per committed txn", func(r Result) float64 { return r.OpsPerCommit })
+}
+
+// BoundLevelsTable reproduces the §7 table of bound magnitudes.
+func BoundLevelsTable() Figure {
+	f := Figure{ID: "table1", Title: "Approximate magnitude of inconsistency bounds (§7)",
+		XLabel: "level", YLabel: "limit"}
+	til := Series{Name: "TIL"}
+	tel := Series{Name: "TEL"}
+	for i, l := range []workload.Level{workload.LevelHigh, workload.LevelMedium, workload.LevelLow} {
+		til.X = append(til.X, float64(i))
+		til.Y = append(til.Y, float64(l.TIL))
+		tel.X = append(tel.X, float64(i))
+		tel.Y = append(tel.Y, float64(l.TEL))
+	}
+	f.Series = []Series{til, tel}
+	return f
+}
+
+// ScaleForQuickRun shrinks a config's timing for tests and benchmarks.
+func ScaleForQuickRun(cfg Config, duration, warmup time.Duration, opLatency time.Duration) Config {
+	cfg.Duration = duration
+	cfg.Warmup = warmup
+	cfg.OpLatency = opLatency
+	return cfg
+}

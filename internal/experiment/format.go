@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable renders a figure as an aligned text table: one row per x
+// value, one column per series — the same rows/series the paper plots.
+func WriteTable(w io.Writer, f Figure) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(&sb, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, " %16s", s.Name)
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < rows(f); i++ {
+		fmt.Fprintf(&sb, "%-14s", trimFloat(xAt(f, i)))
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&sb, " %16s", trimFloat(s.Y[i]))
+			} else {
+				fmt.Fprintf(&sb, " %16s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders a figure as CSV with an x column and one column per
+// series.
+func WriteCSV(w io.Writer, f Figure) error {
+	var sb strings.Builder
+	sb.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		sb.WriteByte(',')
+		sb.WriteString(csvEscape(s.Name))
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < rows(f); i++ {
+		sb.WriteString(trimFloat(xAt(f, i)))
+		for _, s := range f.Series {
+			sb.WriteByte(',')
+			if i < len(s.Y) {
+				sb.WriteString(trimFloat(s.Y[i]))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// rows returns the longest series length.
+func rows(f Figure) int {
+	n := 0
+	for _, s := range f.Series {
+		if len(s.X) > n {
+			n = len(s.X)
+		}
+	}
+	return n
+}
+
+// xAt returns the x value of row i from the first series long enough.
+func xAt(f Figure, i int) float64 {
+	for _, s := range f.Series {
+		if i < len(s.X) {
+			return s.X[i]
+		}
+	}
+	return 0
+}
+
+// trimFloat renders integers without a decimal point and other values
+// with one digit.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// csvEscape quotes fields containing commas or quotes.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/mvto"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/twopl"
+	"github.com/epsilondb/epsilondb/internal/vclock"
+	"github.com/epsilondb/epsilondb/internal/workload"
+)
+
+// Engine is the concurrency-control surface the harness drives. The
+// epsilon-TO engine implements it; the 2PL and MVTO baselines implement
+// the same surface for the ablation experiments.
+type Engine interface {
+	Begin(kind core.Kind, ts tsgen.Timestamp, spec core.BoundSpec) (core.TxnID, error)
+	Read(txn core.TxnID, obj core.ObjectID) (core.Value, error)
+	WriteDelta(txn core.TxnID, obj core.ObjectID, delta core.Value) (core.Value, error)
+	Commit(txn core.TxnID) error
+	Abort(txn core.TxnID) error
+}
+
+// engineBuilder constructs an Engine over a populated store. The parker
+// integrates the engine's internal waits with the harness timeline. The
+// registry is extended by the baseline packages via RegisterProtocol.
+type engineBuilder func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine
+
+var protocolRegistry = map[Protocol]engineBuilder{
+	ProtocolTO: func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine {
+		return tso.NewEngine(store, tso.Options{Collector: col, Parker: parker})
+	},
+	ProtocolTwoPL: func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine {
+		return twopl.NewEngine(store, col, parker)
+	},
+	ProtocolMVTO: func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine {
+		return mvto.NewEngine(store, col, parker)
+	},
+}
+
+// RegisterProtocol installs a baseline engine builder (used by the
+// ablation packages at init time through the harness's setup code).
+func RegisterProtocol(p Protocol, build func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine) {
+	protocolRegistry[p] = build
+}
+
+// Run executes one experiment cell: populate a database, start MPL
+// closed-loop clients, measure the counters over the configured window.
+// With Reps > 1 the cell runs repeatedly and the median-throughput run
+// is reported. Sweeps should prefer runCellsInterleaved, which
+// decorrelates periodic machine noise from cell identity.
+func Run(cfg Config) (Result, error) {
+	reps := cfg.Reps
+	if reps <= 1 {
+		return runOnce(cfg)
+	}
+	results := make([]Result, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*1_000_003
+		r, err := runOnce(c)
+		if err != nil {
+			return Result{}, err
+		}
+		results = append(results, r)
+	}
+	return medianResult(results), nil
+}
+
+// medianResult picks the run with the median throughput.
+func medianResult(results []Result) Result {
+	sort.Slice(results, func(i, j int) bool { return results[i].Throughput < results[j].Throughput })
+	return results[len(results)/2]
+}
+
+// cell is one labelled sweep configuration.
+type cell struct {
+	label string
+	cfg   Config
+}
+
+// runCellsInterleaved executes every cell once per repetition pass —
+// visiting all cells before repeating any — and reports the per-cell
+// median-throughput result. Interleaving matters on shared machines:
+// periodic background load would otherwise always hit the same cells,
+// biasing whole regions of a figure. The repetition count is taken from
+// the first cell's Reps (minimum 1).
+func runCellsInterleaved(cells []cell, progress func(string)) ([]Result, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	reps := cells[0].cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	all := make([][]Result, len(cells))
+	for rep := 0; rep < reps; rep++ {
+		for i := range cells {
+			cfg := cells[i].cfg
+			cfg.Reps = 1
+			cfg.Seed += int64(rep) * 1_000_003
+			r, err := runOnce(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", cells[i].label, err)
+			}
+			all[i] = append(all[i], r)
+			if progress != nil {
+				progress(fmt.Sprintf("[rep %d/%d] %s %s", rep+1, reps, cells[i].label, r))
+			}
+		}
+	}
+	out := make([]Result, len(cells))
+	for i := range cells {
+		out[i] = medianResult(all[i])
+	}
+	return out, nil
+}
+
+// runOnce executes a single repetition of a cell.
+func runOnce(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtocolTO
+	}
+	build, ok := protocolRegistry[cfg.Protocol]
+	if !ok {
+		return Result{}, fmt.Errorf("experiment: protocol %q not registered", cfg.Protocol)
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 10_000
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	store := storage.NewStore(storage.Config{HistoryDepth: cfg.HistoryDepth})
+	if err := store.Populate(cfg.Workload.NumObjects, 1000, 9999,
+		cfg.OILMin, cfg.OILMax, cfg.OELMin, cfg.OELMax, rng); err != nil {
+		return Result{}, err
+	}
+	// The timeline: virtual by default (noise-free, runs in milliseconds
+	// of CPU regardless of the configured Duration), wall clock when
+	// RealTime is set.
+	var timeline vclock.Timeline
+	if cfg.RealTime {
+		timeline = vclock.NewReal()
+	} else {
+		timeline = vclock.NewVirtual()
+	}
+
+	col := &metrics.Collector{}
+	engine := build(store, col, timeline)
+
+	// One logical clock shared by all sites: timestamp order equals
+	// Begin order, the deterministic stand-in for the prototype's
+	// virtually synchronized workstation clocks.
+	clock := &tsgen.LogicalClock{}
+
+	// The server's shared capacity: every operation occupies one slot
+	// for OpLatency. Wasted operations from aborted attempts consume
+	// the same slots as useful ones, coupling the clients the way the
+	// prototype's single server did.
+	threads := cfg.ServerThreads
+	if threads <= 0 {
+		threads = 3
+	}
+	slots := vclock.NewSemaphore(threads)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Register the coordinator and every client before any goroutine
+	// starts, so the virtual clock cannot advance prematurely.
+	timeline.Enter()
+	clients := make([]func(), 0, cfg.MPL)
+	for site := 0; site < cfg.MPL; site++ {
+		gen := tsgen.NewGenerator(site, clock)
+		wl, err := workload.NewGenerator(cfg.Workload, cfg.Seed+int64(site)*9973+7)
+		if err != nil {
+			timeline.Exit()
+			close(stop)
+			return Result{}, err
+		}
+		timeline.Enter()
+		jitter := rand.New(rand.NewSource(cfg.Seed ^ int64(site)*7919 ^ 0x5eed))
+		clients = append(clients, func() {
+			defer timeline.Exit()
+			runClient(engine, timeline, gen, wl, cfg.OpLatency, cfg.NetLatency, jitter, slots, maxAttempts, stop)
+		})
+	}
+	for _, c := range clients {
+		wg.Add(1)
+		go func(run func()) {
+			defer wg.Done()
+			run()
+		}(c)
+	}
+
+	timeline.Sleep(cfg.Warmup)
+	before := col.Snapshot()
+	start := timeline.Now()
+	timeline.Sleep(cfg.Duration)
+	after := col.Snapshot()
+	elapsed := timeline.Now() - start
+	close(stop)
+	timeline.Exit()
+	wg.Wait()
+
+	delta := after.Sub(before)
+	res := Result{
+		MPL:             cfg.MPL,
+		Elapsed:         elapsed,
+		Commits:         delta.Commits,
+		Aborts:          delta.Aborts(),
+		TotalOps:        delta.TotalOps(),
+		InconsistentOps: delta.InconsistentOps(),
+		WastedOps:       delta.WastedOps,
+		Waits:           delta.Waits,
+		OpsPerCommit:    delta.OpsPerCommit(),
+		Throughput:      float64(delta.Commits) / elapsed.Seconds(),
+		ProperMisses:    store.ProperMisses(),
+	}
+	return res, nil
+}
+
+// runClient is one closed-loop client: generate a transaction, submit it
+// operation by operation with the simulated per-operation latency, and
+// on abort resubmit with a fresh timestamp until it commits (§6).
+func runClient(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, wl *workload.Generator, opLatency, netLatency time.Duration, jitter *rand.Rand, slots *vclock.Semaphore, maxAttempts int, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		p := wl.Next()
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			ok, fatal := runAttempt(e, timeline, gen, p, opLatency, netLatency, jitter, slots, stop)
+			if ok || fatal {
+				break
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// runAttempt executes one attempt; ok reports commit, fatal reports a
+// non-retryable condition (engine rejected Begin, or shutdown).
+func runAttempt(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, p *core.Program, opLatency, netLatency time.Duration, jitter *rand.Rand, slots *vclock.Semaphore, stop <-chan struct{}) (ok, fatal bool) {
+	txn, err := e.Begin(p.Kind, gen.Next(), p.Bounds)
+	if err != nil {
+		return false, true
+	}
+	for _, op := range p.Ops {
+		select {
+		case <-stop:
+			_ = e.Abort(txn)
+			return false, true
+		default:
+		}
+		// The network/client component of the RPC elapses outside the
+		// server, then the service component occupies one server slot —
+		// queueing there is the saturation behaviour of the shared
+		// server. Both components carry ±50% uniform jitter: constant
+		// times phase-lock the closed-loop clients into convoys that no
+		// real system exhibits.
+		if netLatency > 0 {
+			timeline.Sleep(netLatency/2 + time.Duration(jitter.Int63n(int64(netLatency))))
+		}
+		if opLatency > 0 {
+			d := opLatency/2 + time.Duration(jitter.Int63n(int64(opLatency)))
+			slots.Acquire(timeline)
+			timeline.Sleep(d)
+			slots.Release(timeline)
+		}
+		switch op.Kind {
+		case core.OpRead:
+			if _, err := e.Read(txn, op.Object); err != nil {
+				return false, false
+			}
+		case core.OpWrite:
+			if _, err := e.WriteDelta(txn, op.Object, op.Delta); err != nil {
+				return false, false
+			}
+		}
+	}
+	if err := e.Commit(txn); err != nil {
+		return false, false
+	}
+	return true, false
+}

@@ -1,0 +1,147 @@
+// Package metricspace defines the database state spaces over which epsilon
+// serializability (ESR) is applicable.
+//
+// ESR measures the inconsistency a transaction imports or exports as a
+// distance between database states. For the accounting to be sound the
+// state space must be a metric space (Kamath & Ramamritham 1993, §2):
+//
+//   - a distance function is defined over every pair of states,
+//   - the distance is symmetric: distance(u, v) == distance(v, u),
+//   - the triangle inequality holds:
+//     distance(u, v) + distance(v, w) >= distance(u, w).
+//
+// Without the triangle inequality the system would have to recompute the
+// distance over the entire history whenever a state changes; with it the
+// inconsistency accumulated by a transaction can be maintained
+// incrementally, one operation at a time.
+//
+// The values stored by the prototype are integer amounts (dollar balances,
+// seat counts), so the canonical space is Absolute — the one-dimensional
+// metric |u−v|. Additional spaces are provided for applications whose
+// notion of divergence differs (e.g. Discrete for categorical data where
+// any change is equally bad, or Scaled for per-object weighting).
+package metricspace
+
+import "fmt"
+
+// Value is a database state of a single object. The prototype stores
+// integer amounts; using a 64-bit integer keeps distance arithmetic exact.
+type Value = int64
+
+// Distance is the magnitude of inconsistency between two states. It is
+// always non-negative.
+type Distance = int64
+
+// Space is a metric over single-object states. Implementations must
+// satisfy the metric-space laws; see Verify for a property check.
+type Space interface {
+	// Distance returns the distance between two states. It must be
+	// non-negative, symmetric, zero iff the arguments would be considered
+	// identical by the space, and must satisfy the triangle inequality.
+	Distance(u, v Value) Distance
+	// Name identifies the space in configuration and diagnostics.
+	Name() string
+}
+
+// Absolute is the canonical one-dimensional metric used throughout the
+// paper: distance(u, v) = |u − v|. Bank balances and seat counts live in
+// this space.
+type Absolute struct{}
+
+// Distance returns |u − v| computed without intermediate overflow.
+func (Absolute) Distance(u, v Value) Distance {
+	if u >= v {
+		return u - v
+	}
+	return v - u
+}
+
+// Name implements Space.
+func (Absolute) Name() string { return "absolute" }
+
+// Discrete is the 0/1 metric: any two distinct states are at distance 1.
+// It models categorical data where the application only cares whether a
+// value changed at all, turning an epsilon bound into a bound on the
+// number of concurrent updates observed.
+type Discrete struct{}
+
+// Distance returns 0 if the states are equal and 1 otherwise.
+func (Discrete) Distance(u, v Value) Distance {
+	if u == v {
+		return 0
+	}
+	return 1
+}
+
+// Name implements Space.
+func (Discrete) Name() string { return "discrete" }
+
+// Scaled wraps another space and multiplies its distances by a positive
+// integer weight. It supports the weighted-sum formulation of hierarchical
+// bounds (§3.1): "inconsistency bounds could also be specified using
+// relative weights for the nodes in the tree".
+type Scaled struct {
+	// Base is the underlying metric. A nil Base means Absolute.
+	Base Space
+	// Weight multiplies every distance. It must be positive; a zero
+	// weight would collapse the space and break the metric laws.
+	Weight int64
+}
+
+// Distance returns Weight × Base.Distance(u, v), saturating at the maximum
+// Distance instead of overflowing.
+func (s Scaled) Distance(u, v Value) Distance {
+	base := s.base().Distance(u, v)
+	if base == 0 || s.Weight <= 0 {
+		return 0
+	}
+	const maxDistance = int64(^uint64(0) >> 1)
+	if base > maxDistance/s.Weight {
+		return maxDistance
+	}
+	return base * s.Weight
+}
+
+// Name implements Space.
+func (s Scaled) Name() string {
+	return fmt.Sprintf("scaled(%s,%d)", s.base().Name(), s.Weight)
+}
+
+func (s Scaled) base() Space {
+	if s.Base == nil {
+		return Absolute{}
+	}
+	return s.Base
+}
+
+// Verify checks the metric-space laws on a concrete triple of states and
+// returns a descriptive error on the first violation. It is used by the
+// property-based tests and is exported so applications can sanity-check
+// custom spaces against their own data.
+func Verify(s Space, u, v, w Value) error {
+	duv := s.Distance(u, v)
+	dvu := s.Distance(v, u)
+	dvw := s.Distance(v, w)
+	duw := s.Distance(u, w)
+	switch {
+	case duv < 0 || dvw < 0 || duw < 0:
+		return fmt.Errorf("metricspace: %s: negative distance for states (%d,%d,%d)", s.Name(), u, v, w)
+	case duv != dvu:
+		return fmt.Errorf("metricspace: %s: asymmetric: d(%d,%d)=%d but d(%d,%d)=%d", s.Name(), u, v, duv, v, u, dvu)
+	case s.Distance(u, u) != 0:
+		return fmt.Errorf("metricspace: %s: d(%d,%d) != 0", s.Name(), u, u)
+	case addSat(duv, dvw) < duw:
+		return fmt.Errorf("metricspace: %s: triangle inequality violated: d(%d,%d)+d(%d,%d)=%d < d(%d,%d)=%d",
+			s.Name(), u, v, v, w, addSat(duv, dvw), u, w, duw)
+	}
+	return nil
+}
+
+// addSat adds two non-negative distances, saturating at the maximum value.
+func addSat(a, b Distance) Distance {
+	const maxDistance = int64(^uint64(0) >> 1)
+	if a > maxDistance-b {
+		return maxDistance
+	}
+	return a + b
+}

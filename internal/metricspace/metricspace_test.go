@@ -1,0 +1,167 @@
+package metricspace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsoluteDistance(t *testing.T) {
+	cases := []struct {
+		u, v Value
+		want Distance
+	}{
+		{0, 0, 0},
+		{5, 3, 2},
+		{3, 5, 2},
+		{-4, 4, 8},
+		{1000, 9999, 8999},
+		{math.MinInt64 + 1, 0, math.MaxInt64},
+	}
+	var s Absolute
+	for _, c := range cases {
+		if got := s.Distance(c.u, c.v); got != c.want {
+			t.Errorf("Absolute.Distance(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestDiscreteDistance(t *testing.T) {
+	var s Discrete
+	if got := s.Distance(7, 7); got != 0 {
+		t.Errorf("Discrete.Distance(7,7) = %d, want 0", got)
+	}
+	if got := s.Distance(7, 8); got != 1 {
+		t.Errorf("Discrete.Distance(7,8) = %d, want 1", got)
+	}
+}
+
+func TestScaledDistance(t *testing.T) {
+	s := Scaled{Weight: 3}
+	if got := s.Distance(10, 4); got != 18 {
+		t.Errorf("Scaled{3}.Distance(10,4) = %d, want 18", got)
+	}
+	if got := s.Distance(4, 4); got != 0 {
+		t.Errorf("Scaled{3}.Distance(4,4) = %d, want 0", got)
+	}
+}
+
+func TestScaledDefaultsToAbsolute(t *testing.T) {
+	s := Scaled{Weight: 1}
+	if got := s.Distance(2, 9); got != 7 {
+		t.Errorf("Scaled{nil base}.Distance(2,9) = %d, want 7", got)
+	}
+	if s.Name() != "scaled(absolute,1)" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+}
+
+func TestScaledSaturatesInsteadOfOverflowing(t *testing.T) {
+	s := Scaled{Weight: math.MaxInt64}
+	got := s.Distance(0, 1000)
+	if got != math.MaxInt64 {
+		t.Errorf("saturating multiply = %d, want MaxInt64", got)
+	}
+	if got < 0 {
+		t.Fatalf("overflowed to negative: %d", got)
+	}
+}
+
+func TestScaledZeroWeightIsZero(t *testing.T) {
+	s := Scaled{Weight: 0}
+	if got := s.Distance(1, 100); got != 0 {
+		t.Errorf("Scaled{0}.Distance = %d, want 0", got)
+	}
+}
+
+func TestVerifyReportsAsymmetry(t *testing.T) {
+	bad := asymmetricSpace{}
+	if err := Verify(bad, 1, 2, 3); err == nil {
+		t.Error("Verify accepted an asymmetric space")
+	}
+}
+
+func TestVerifyReportsTriangleViolation(t *testing.T) {
+	bad := squaredSpace{}
+	// d(0,2) = 4 but d(0,1)+d(1,2) = 2: squared distance is not a metric.
+	if err := Verify(bad, 0, 1, 2); err == nil {
+		t.Error("Verify accepted a space violating the triangle inequality")
+	}
+}
+
+func TestVerifyAcceptsMetricSpaces(t *testing.T) {
+	for _, s := range []Space{Absolute{}, Discrete{}, Scaled{Weight: 7}} {
+		if err := Verify(s, -5, 11, 42); err != nil {
+			t.Errorf("Verify(%s) = %v", s.Name(), err)
+		}
+	}
+}
+
+// clamp keeps quick-generated values inside a range where distance sums
+// cannot overflow, so the property tests exercise the metric laws rather
+// than saturation behaviour.
+func clamp(v Value) Value {
+	const bound = int64(1) << 40
+	if v > bound {
+		return bound
+	}
+	if v < -bound {
+		return -bound
+	}
+	return v
+}
+
+func TestAbsoluteMetricLawsProperty(t *testing.T) {
+	prop := func(u, v, w Value) bool {
+		return Verify(Absolute{}, clamp(u), clamp(v), clamp(w)) == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscreteMetricLawsProperty(t *testing.T) {
+	prop := func(u, v, w Value) bool {
+		return Verify(Discrete{}, u, v, w) == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledMetricLawsProperty(t *testing.T) {
+	prop := func(u, v, w Value, weight int64) bool {
+		wt := weight % 1000
+		if wt <= 0 {
+			wt = 1
+		}
+		s := Scaled{Weight: wt}
+		return Verify(s, clamp(u), clamp(v), clamp(w)) == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// asymmetricSpace deliberately breaks symmetry for Verify tests.
+type asymmetricSpace struct{}
+
+func (asymmetricSpace) Distance(u, v Value) Distance {
+	if u < v {
+		return v - u + 1
+	}
+	return u - v
+}
+func (asymmetricSpace) Name() string { return "asymmetric" }
+
+// squaredSpace deliberately breaks the triangle inequality.
+type squaredSpace struct{}
+
+func (squaredSpace) Distance(u, v Value) Distance {
+	d := u - v
+	if d < 0 {
+		d = -d
+	}
+	return d * d
+}
+func (squaredSpace) Name() string { return "squared" }

@@ -1,0 +1,311 @@
+package mvto
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+)
+
+func newTestEngine(t *testing.T, n int) (*Engine, *metrics.Collector) {
+	t.Helper()
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for i := 1; i <= n; i++ {
+		if _, err := st.Create(core.ObjectID(i), core.Value(100*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col := &metrics.Collector{}
+	return NewEngine(st, col, nil), col
+}
+
+func begin(t *testing.T, e *Engine, kind core.Kind, ts int64) core.TxnID {
+	t.Helper()
+	txn, err := e.Begin(kind, tsgen.Make(ts, 0), core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	e, col := newTestEngine(t, 2)
+	u := begin(t, e, core.Update, 10)
+	if v, err := e.Read(u, 1); err != nil || v != 100 {
+		t.Fatalf("read = %d,%v", v, err)
+	}
+	if v, err := e.WriteDelta(u, 2, 25); err != nil || v != 225 {
+		t.Fatalf("write = %d,%v", v, err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	q := begin(t, e, core.Query, 20)
+	if v, err := e.Read(q, 2); err != nil || v != 225 {
+		t.Fatalf("read after commit = %d,%v", v, err)
+	}
+	if err := e.Commit(q); err != nil {
+		t.Fatal(err)
+	}
+	if s := col.Snapshot(); s.Commits != 2 {
+		t.Errorf("commits = %d", s.Commits)
+	}
+}
+
+func TestLateReadServedFromOldVersion(t *testing.T) {
+	// The defining MVTO behaviour (§5.1): a read older than the newest
+	// committed write does NOT abort — it reads the old version.
+	e, _ := newTestEngine(t, 1)
+	q := begin(t, e, core.Query, 10) // older query
+	u := begin(t, e, core.Update, 20)
+	if err := e.Write(u, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Read(q, 1)
+	if err != nil {
+		t.Fatalf("late read aborted under MVTO: %v", err)
+	}
+	if v != 100 {
+		t.Errorf("late read = %d, want old version 100", v)
+	}
+	if err := e.Commit(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLateWriteInvalidatingReadAborts(t *testing.T) {
+	e, _ := newTestEngine(t, 1)
+	q := begin(t, e, core.Query, 20)
+	if _, err := e.Read(q, 1); err != nil { // reads version none at ts 20
+		t.Fatal(err)
+	}
+	u := begin(t, e, core.Update, 10) // older writer
+	err := e.Write(u, 1, 150)
+	ae, ok := tso.IsAbort(err)
+	if !ok || ae.Reason != metrics.AbortLateWrite {
+		t.Fatalf("want late-write abort, got %v", err)
+	}
+	if err := e.Commit(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBetweenVersionsAllowed(t *testing.T) {
+	// A write whose predecessor version was never read by a younger
+	// transaction succeeds even if newer versions exist.
+	e, _ := newTestEngine(t, 1)
+	u2 := begin(t, e, core.Update, 30)
+	if err := e.Write(u2, 1, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u2); err != nil {
+		t.Fatal(err)
+	}
+	u1 := begin(t, e, core.Update, 20) // writes between none and 30
+	if err := e.Write(u1, 1, 200); err != nil {
+		t.Fatalf("in-between write rejected: %v", err)
+	}
+	if err := e.Commit(u1); err != nil {
+		t.Fatal(err)
+	}
+	// Readers see timestamp-consistent versions.
+	q1 := begin(t, e, core.Query, 25)
+	if v, _ := e.Read(q1, 1); v != 200 {
+		t.Errorf("read@25 = %d, want 200", v)
+	}
+	q2 := begin(t, e, core.Query, 35)
+	if v, _ := e.Read(q2, 1); v != 300 {
+		t.Errorf("read@35 = %d, want 300", v)
+	}
+}
+
+func TestReaderWaitsForUncommittedVisibleVersion(t *testing.T) {
+	e, _ := newTestEngine(t, 1)
+	u := begin(t, e, core.Update, 10)
+	if err := e.Write(u, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	q := begin(t, e, core.Query, 20)
+	got := make(chan core.Value, 1)
+	go func() {
+		v, err := e.Read(q, 1)
+		if err != nil {
+			got <- -1
+			return
+		}
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("read returned %d before writer resolved", v)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 150 {
+			t.Errorf("read = %d, want 150", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader never woke")
+	}
+}
+
+func TestReaderWaitsThroughWriterAbort(t *testing.T) {
+	e, _ := newTestEngine(t, 1)
+	u := begin(t, e, core.Update, 10)
+	if err := e.Write(u, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	q := begin(t, e, core.Query, 20)
+	got := make(chan core.Value, 1)
+	go func() {
+		v, _ := e.Read(q, 1)
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := e.Abort(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 100 {
+			t.Errorf("read after writer abort = %d, want 100", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader never woke after abort")
+	}
+}
+
+func TestDoubleWriteSameTxn(t *testing.T) {
+	e, _ := newTestEngine(t, 1)
+	u := begin(t, e, core.Update, 10)
+	if err := e.Write(u, 1, 200); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := e.WriteDelta(u, 1, 5); err != nil || v != 205 {
+		t.Fatalf("second write = %d,%v", v, err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	q := begin(t, e, core.Query, 20)
+	if v, _ := e.Read(q, 1); v != 205 {
+		t.Errorf("value = %d, want 205", v)
+	}
+}
+
+func TestVersionPruning(t *testing.T) {
+	e, _ := newTestEngine(t, 1)
+	for i := int64(1); i <= int64(DefaultMaxVersions+10); i++ {
+		u := begin(t, e, core.Update, 10*i)
+		if err := e.Write(u, 1, core.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := e.objects[1]
+	o.mu.Lock()
+	n := len(o.versions)
+	o.mu.Unlock()
+	if n > DefaultMaxVersions {
+		t.Errorf("retained %d versions, bound %d", n, DefaultMaxVersions)
+	}
+	// A reader older than every retained version aborts (pruned).
+	q := begin(t, e, core.Query, 1)
+	_, err := e.Read(q, 1)
+	ae, ok := tso.IsAbort(err)
+	if !ok || ae.Reason != metrics.AbortLateRead {
+		t.Errorf("pruned read: %v", err)
+	}
+}
+
+func TestQueryCannotWrite(t *testing.T) {
+	e, _ := newTestEngine(t, 1)
+	q := begin(t, e, core.Query, 10)
+	if err := e.Write(q, 1, 5); err == nil {
+		t.Error("query write accepted")
+	}
+}
+
+func TestUnknownTxnAndObject(t *testing.T) {
+	e, _ := newTestEngine(t, 1)
+	if _, err := e.Read(core.TxnID(99), 1); !errors.Is(err, tso.ErrUnknownTxn) {
+		t.Errorf("unknown txn: %v", err)
+	}
+	u := begin(t, e, core.Update, 10)
+	if _, err := e.Read(u, 42); err == nil {
+		t.Error("missing object read succeeded")
+	}
+	u2 := begin(t, e, core.Update, 20)
+	if err := e.Write(u2, 42, 1); err == nil {
+		t.Error("missing object write succeeded")
+	}
+	if _, err := e.Begin(core.Kind(9), tsgen.Make(1, 0), core.SRSpec()); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestConcurrentTransfersConserve(t *testing.T) {
+	e, _ := newTestEngine(t, 5)
+	initial := core.Value(100 + 200 + 300 + 400 + 500)
+	clock := &tsgen.LogicalClock{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			gen := tsgen.NewGenerator(w, clock)
+			for i := 0; i < 40; i++ {
+				for attempt := 0; attempt < 200; attempt++ {
+					txn, err := e.Begin(core.Update, gen.Next(), core.SRSpec())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					a := core.ObjectID(1 + rng.Intn(5))
+					b := core.ObjectID(1 + (int(a)+rng.Intn(4))%5)
+					amt := core.Value(1 + rng.Intn(20))
+					if _, err := e.WriteDelta(txn, a, amt); err != nil {
+						continue
+					}
+					if _, err := e.WriteDelta(txn, b, -amt); err != nil {
+						continue
+					}
+					if err := e.Commit(txn); err == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	q := begin(t, e, core.Query, 1<<40)
+	var total core.Value
+	for i := 1; i <= 5; i++ {
+		v, err := e.Read(q, core.ObjectID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += v
+	}
+	if total != initial {
+		t.Errorf("total = %d, want %d", total, initial)
+	}
+}

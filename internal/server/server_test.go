@@ -1,0 +1,365 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/client"
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/txnlang"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// startServer builds a server over n objects (ids 1..n, value 100*id,
+// unbounded object limits) and returns its address plus a cleanup.
+func startServer(t *testing.T, n int, engineOpts tso.Options, opts Options) (string, *Server) {
+	t.Helper()
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for i := 1; i <= n; i++ {
+		if _, err := st.Create(core.ObjectID(i), core.Value(100*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	srv := New(tso.NewEngine(st, engineOpts), opts)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String(), srv
+}
+
+// sharedClock gives every client and the server one logical time source
+// so timestamps are comparable across sites.
+func dialLogical(t *testing.T, addr string, site int, clock tsgen.Clock) *client.Client {
+	t.Helper()
+	c, err := client.Dial(addr, client.Options{Site: site, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestEndToEndUpdateThenQuery(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	addr, _ := startServer(t, 3, tso.Options{}, Options{Clock: clock})
+	c := dialLogical(t, addr, 1, clock)
+
+	up := core.NewUpdate(0).Read(1).WriteDelta(2, 50)
+	if _, _, err := c.RunRetry(up, 10); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := c.RunRetry(core.NewQuery(0, 1, 2, 3), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 100+250+300 {
+		t.Errorf("Sum = %d, want 650", res.Sum)
+	}
+}
+
+func TestEndToEndAbortAndRetryAcrossClients(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, _ := startServer(t, 1, tso.Options{Collector: col}, Options{Clock: clock})
+	c1 := dialLogical(t, addr, 1, clock)
+	c2 := dialLogical(t, addr, 2, clock)
+
+	// c1 begins an SR query with an older timestamp, c2 commits a write,
+	// then c1's read must abort and the retry succeed.
+	q, err := c1.Begin(core.Query, core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c2.RunRetry(core.NewUpdate(0).WriteDelta(1, 7), 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err = q.Read(1)
+	ae, ok := client.IsAbort(err)
+	if !ok {
+		t.Fatalf("want abort, got %v", err)
+	}
+	if ae.Reason != metrics.AbortLateRead {
+		t.Errorf("reason = %v, want late-read", ae.Reason)
+	}
+	res, attempts, err := c1.RunRetry(core.NewQuery(0, 1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 || res.Sum != 107 {
+		t.Errorf("attempts=%d sum=%d", attempts, res.Sum)
+	}
+	if col.Snapshot().Aborts() != 1 {
+		t.Errorf("server aborts = %d, want 1", col.Snapshot().Aborts())
+	}
+}
+
+func TestClockSkewCorrectedBySyncHandshake(t *testing.T) {
+	// The server runs on a reference clock; the client's local clock lags
+	// by "two minutes" of ticks. Without correction every client
+	// timestamp would be hopelessly old and every read late; the sync
+	// handshake must fix it.
+	ref := &tsgen.LogicalClock{}
+	ref.Set(1_000_000)
+	addr, _ := startServer(t, 1, tso.Options{}, Options{Clock: ref})
+
+	skewed := tsgen.SkewedClock{Base: ref, Skew: -120_000}
+	c, err := client.Dial(addr, client.Options{Site: 1, Clock: skewed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if corr := c.Correction(); corr < 119_000 || corr > 121_000 {
+		t.Errorf("correction = %d, want ≈120000", corr)
+	}
+
+	// A fast client on the reference clock commits writes; the skewed
+	// client must still make progress thanks to the correction.
+	fast := dialLogical(t, addr, 2, ref)
+	for i := 0; i < 5; i++ {
+		if _, _, err := fast.RunRetry(core.NewUpdate(0).WriteDelta(1, 1), 10); err != nil {
+			t.Fatal(err)
+		}
+		if _, attempts, err := c.RunRetry(core.NewQuery(0, 1), 10); err != nil {
+			t.Fatal(err)
+		} else if attempts > 3 {
+			t.Errorf("skewed client needed %d attempts", attempts)
+		}
+	}
+}
+
+func TestStatsProbe(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, _ := startServer(t, 2, tso.Options{Collector: col}, Options{Clock: clock})
+	c := dialLogical(t, addr, 1, clock)
+	if _, _, err := c.RunRetry(core.NewQuery(0, 1, 2), 10); err != nil {
+		t.Fatal(err)
+	}
+	snap, misses, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Commits != 1 || snap.ReadsExecuted != 2 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if misses != 0 {
+		t.Errorf("misses = %d", misses)
+	}
+}
+
+func TestCommitUnknownTxnIsGenericError(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	addr, _ := startServer(t, 1, tso.Options{}, Options{Clock: clock})
+	c := dialLogical(t, addr, 1, clock)
+	txn, err := c.Begin(core.Query, core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err = txn.Commit()
+	if err == nil || !strings.Contains(err.Error(), "already finished") {
+		t.Errorf("double commit error = %v", err)
+	}
+}
+
+func TestSimulatedLatencySlowsOperations(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	addr, _ := startServer(t, 1, tso.Options{}, Options{Clock: clock, SimulatedLatency: 20 * time.Millisecond})
+	c := dialLogical(t, addr, 1, clock)
+	start := time.Now()
+	if _, _, err := c.RunRetry(core.NewQuery(0, 1), 10); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("one read took %v, want ≥ simulated 20ms", elapsed)
+	}
+}
+
+func TestConcurrentClientsConservation(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	addr, srv := startServer(t, 5, tso.Options{}, Options{Clock: clock})
+	const clients = 4
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		site := i + 1
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := client.Dial(addr, client.Options{Site: site, Clock: clock})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 25; j++ {
+				a := core.ObjectID(1 + (site+j)%5)
+				b := core.ObjectID(1 + (site+j+2)%5)
+				p := core.NewUpdate(core.NoLimit).WriteDelta(a, 5).WriteDelta(b, -5)
+				if _, _, err := c.RunRetry(p, 0); err != nil {
+					t.Errorf("site %d: %v", site, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if total := srv.Engine().Store().TotalValue(); total != 100+200+300+400+500 {
+		t.Errorf("total = %d, conservation violated", total)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	addr, srv := startServer(t, 1, tso.Options{}, Options{Clock: clock})
+	c := dialLogical(t, addr, 1, clock)
+	if _, _, err := c.RunRetry(core.NewQuery(0, 1), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.RunRetry(core.NewQuery(0, 1), 1); err == nil {
+		t.Error("request after Close succeeded")
+	}
+}
+
+func TestESRQueryAgainstConcurrentUpdatesEndToEnd(t *testing.T) {
+	// The paper's §3.2.1 promise, end to end over TCP: a query with TIL
+	// T returns a sum within T of a consistent value, even while updates
+	// run. One updater repeatedly moves ±delta; the query's result must
+	// stay within TIL of the (conserved) true total.
+	clock := &tsgen.LogicalClock{}
+	addr, srv := startServer(t, 4, tso.Options{}, Options{Clock: clock})
+	trueTotal := srv.Engine().Store().TotalValue()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := client.Dial(addr, client.Options{Site: 9, Clock: clock})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := core.NewUpdate(core.NoLimit).WriteDelta(1, 3).WriteDelta(2, -3)
+			if _, _, err := c.RunRetry(p, 0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const til = 500
+	qc := dialLogical(t, addr, 1, clock)
+	for i := 0; i < 20; i++ {
+		res, _, err := qc.RunRetry(core.NewQuery(til, 1, 2, 3, 4), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := res.Sum - trueTotal
+		if diff < 0 {
+			diff = -diff
+		}
+		// Imports are bounded by TIL; concurrent unbounded-TEL exports
+		// can add at most the updater's per-txn delta (3) per concurrent
+		// update. Use a generous but finite envelope.
+		if diff > til+100 {
+			t.Errorf("query sum %d deviates by %d from %d", res.Sum, diff, trueTotal)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTransactionLanguageOverTCP(t *testing.T) {
+	// The paper's end-to-end shape: a txnlang script submitted by a
+	// client, executed by the server, retried on aborts.
+	clock := &tsgen.LogicalClock{}
+	addr, _ := startServer(t, 3, tso.Options{}, Options{Clock: clock})
+	c := dialLogical(t, addr, 1, clock)
+
+	update, err := txnlang.Parse("BEGIN Update TEL 0\nt = Read 1\nWrite 2 , t+50\nCOMMIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := txnlang.ClientRunner{Client: c}
+	if _, _, err := txnlang.RunRetry(update, runner, nil, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	query, err := txnlang.Parse("BEGIN Query TIL 100\nt1 = Read 2\nt2 = Read 3\noutput(\"sum: \", t1+t2)\nCOMMIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := txnlang.RunRetry(query, runner, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0].Text != "sum: 450" {
+		t.Errorf("outputs = %v, want sum: 450", res.Outputs)
+	}
+}
+
+func TestServerRejectsResponseTypedRequests(t *testing.T) {
+	// A peer sending a response-typed message must get a generic error,
+	// not a crash or a hang.
+	clock := &tsgen.LogicalClock{}
+	addr, _ := startServer(t, 1, tso.Options{}, Options{Clock: clock})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	conn := wire.NewConn(nc)
+	if err := conn.WriteMessage(&wire.BeginOK{Txn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, ok := resp.(*wire.Error)
+	if !ok || we.Code != wire.CodeGeneric {
+		t.Errorf("resp = %#v", resp)
+	}
+}
+
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	addr, _ := startServer(t, 1, tso.Options{}, Options{Clock: clock, Logf: func(string, ...any) {}})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nc.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+	// The server must still serve a proper client afterwards.
+	c := dialLogical(t, addr, 3, clock)
+	if _, _, err := c.RunRetry(core.NewQuery(0, 1), 10); err != nil {
+		t.Fatal(err)
+	}
+}

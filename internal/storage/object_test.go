@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+func ts(n int64) tsgen.Timestamp { return tsgen.Make(n, 0) }
+
+func TestNewObjectSeedsHistoryWithInitialValue(t *testing.T) {
+	o := NewObject(1, 5000, 10, 20, 0)
+	if o.ID() != 1 || o.Value() != 5000 {
+		t.Errorf("id=%d value=%d", o.ID(), o.Value())
+	}
+	if o.OIL() != 10 || o.OEL() != 20 {
+		t.Errorf("oil=%d oel=%d", o.OIL(), o.OEL())
+	}
+	// A query older than every write must find the initial value.
+	v, exact := o.FindProper(ts(1))
+	if !exact || v != 5000 {
+		t.Errorf("FindProper = %d,%v, want 5000,true", v, exact)
+	}
+}
+
+func TestWriteCommitPublishesHistory(t *testing.T) {
+	o := NewObject(1, 100, 0, 0, 0)
+	if err := o.BeginWrite(7, ts(10), 150); err != nil {
+		t.Fatal(err)
+	}
+	if o.Value() != 150 {
+		t.Errorf("present value = %d, want 150 (dirty writes are visible)", o.Value())
+	}
+	if owner, dirty := o.Dirty(); !dirty || owner != 7 {
+		t.Errorf("Dirty = %d,%v", owner, dirty)
+	}
+	// Before commit, the write is not part of the committed history.
+	if v, _ := o.FindProper(ts(20)); v != 100 {
+		t.Errorf("proper before commit = %d, want 100", v)
+	}
+	o.CommitWrite(7)
+	if _, dirty := o.Dirty(); dirty {
+		t.Error("still dirty after commit")
+	}
+	if v, exact := o.FindProper(ts(20)); !exact || v != 150 {
+		t.Errorf("proper after commit = %d,%v, want 150,true", v, exact)
+	}
+	// A query that began before the write still finds the old value.
+	if v, exact := o.FindProper(ts(5)); !exact || v != 100 {
+		t.Errorf("older query proper = %d,%v, want 100,true", v, exact)
+	}
+}
+
+func TestAbortRestoresShadow(t *testing.T) {
+	o := NewObject(1, 100, 0, 0, 0)
+	if err := o.BeginWrite(7, ts(10), 999); err != nil {
+		t.Fatal(err)
+	}
+	o.AbortWrite(7)
+	if o.Value() != 100 {
+		t.Errorf("value after abort = %d, want 100", o.Value())
+	}
+	if o.WriteTS() != tsgen.None {
+		t.Errorf("writeTS after abort = %v, want none", o.WriteTS())
+	}
+	if o.HistoryLen() != 1 {
+		t.Errorf("aborted write entered history: len=%d", o.HistoryLen())
+	}
+}
+
+func TestCommitAbortWrongOwnerIsNoop(t *testing.T) {
+	o := NewObject(1, 100, 0, 0, 0)
+	if err := o.BeginWrite(7, ts(10), 200); err != nil {
+		t.Fatal(err)
+	}
+	o.CommitWrite(8) // different txn
+	if _, dirty := o.Dirty(); !dirty {
+		t.Error("commit by non-owner cleared dirty state")
+	}
+	o.AbortWrite(8)
+	if o.Value() != 200 {
+		t.Error("abort by non-owner restored shadow")
+	}
+	o.CommitWrite(7)
+	o.CommitWrite(7) // double commit must be a no-op
+	if o.HistoryLen() != 2 {
+		t.Errorf("history len = %d, want 2", o.HistoryLen())
+	}
+}
+
+func TestDoubleBeginWriteFails(t *testing.T) {
+	o := NewObject(1, 100, 0, 0, 0)
+	if err := o.BeginWrite(7, ts(10), 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.BeginWrite(8, ts(11), 300); err == nil {
+		t.Error("second uncommitted write accepted")
+	}
+}
+
+func TestHistoryRingEviction(t *testing.T) {
+	o := NewObject(1, 0, 0, 0, 3)
+	for i := int64(1); i <= 5; i++ {
+		if err := o.BeginWrite(core.TxnID(i), ts(i*10), core.Value(i*100)); err != nil {
+			t.Fatal(err)
+		}
+		o.CommitWrite(core.TxnID(i))
+	}
+	if o.HistoryLen() != 3 {
+		t.Fatalf("history len = %d, want 3", o.HistoryLen())
+	}
+	// Writes at ts 30,40,50 are retained; a query at ts 45 finds 400.
+	if v, exact := o.FindProper(ts(45)); !exact || v != 400 {
+		t.Errorf("FindProper(45) = %d,%v, want 400,true", v, exact)
+	}
+	// A query at ts 15 needs the evicted write at ts 10: inexact, oldest
+	// retained value returned.
+	v, exact := o.FindProper(ts(15))
+	if exact {
+		t.Error("lookup past evicted history reported exact")
+	}
+	if v != 300 {
+		t.Errorf("fallback proper = %d, want oldest retained 300", v)
+	}
+}
+
+func TestRecordReadSplitsQueryAndUpdateTimestamps(t *testing.T) {
+	o := NewObject(1, 0, 0, 0, 0)
+	o.RecordRead(ts(10), true)
+	o.RecordRead(ts(20), false)
+	o.RecordRead(ts(15), true) // must not regress the query max
+	if o.MaxQueryReadTS() != ts(15) {
+		t.Errorf("MaxQueryReadTS = %v, want ts(15)", o.MaxQueryReadTS())
+	}
+	o.RecordRead(ts(30), true)
+	if o.MaxQueryReadTS() != ts(30) || o.MaxUpdateReadTS() != ts(20) {
+		t.Errorf("query=%v update=%v", o.MaxQueryReadTS(), o.MaxUpdateReadTS())
+	}
+}
+
+func TestExportDistanceMaxOverReaders(t *testing.T) {
+	o := NewObject(1, 0, 0, 0, 0)
+	if _, any := o.ExportDistance(500); any {
+		t.Error("ExportDistance with no readers reported readers")
+	}
+	o.AddReader(1, 100) // proper value 100
+	o.AddReader(2, 130)
+	o.AddReader(3, 90)
+	if o.NumReaders() != 3 {
+		t.Errorf("NumReaders = %d", o.NumReaders())
+	}
+	d, any := o.ExportDistance(120)
+	if !any || d != 30 {
+		t.Errorf("ExportDistance = %d,%v, want 30 (|120-90|)", d, any)
+	}
+	o.RemoveReader(3)
+	d, _ = o.ExportDistance(120)
+	if d != 20 {
+		t.Errorf("ExportDistance after removal = %d, want 20", d)
+	}
+}
+
+func TestChangedChannelBroadcastsOnResolve(t *testing.T) {
+	o := NewObject(1, 0, 0, 0, 0)
+	o.Lock()
+	if err := o.BeginWrite(7, ts(10), 1); err != nil {
+		t.Fatal(err)
+	}
+	ch := o.Changed()
+	o.Unlock()
+
+	select {
+	case <-ch:
+		t.Fatal("channel closed before resolve")
+	default:
+	}
+
+	o.Lock()
+	o.CommitWrite(7)
+	o.Unlock()
+
+	select {
+	case <-ch:
+	default:
+		t.Fatal("channel not closed after commit")
+	}
+
+	// The replacement channel is fresh.
+	o.Lock()
+	ch2 := o.Changed()
+	o.Unlock()
+	select {
+	case <-ch2:
+		t.Fatal("replacement channel already closed")
+	default:
+	}
+}
+
+func TestSetLimits(t *testing.T) {
+	o := NewObject(1, 0, 1, 2, 0)
+	o.SetLimits(100, 200)
+	if o.OIL() != 100 || o.OEL() != 200 {
+		t.Errorf("limits = %d,%d", o.OIL(), o.OEL())
+	}
+}

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+// Config controls how a Store creates objects.
+type Config struct {
+	// HistoryDepth is the number of committed writes retained per object;
+	// zero means DefaultHistoryDepth (20, per the paper).
+	HistoryDepth int
+	// DefaultOIL and DefaultOEL are the object limits applied when
+	// Create is called without explicit limits. Zero values mean the
+	// limits are zero (SR at the object level), so configurations that
+	// want unbounded objects must say core.NoLimit explicitly.
+	DefaultOIL core.Distance
+	DefaultOEL core.Distance
+}
+
+// Store is the object table of the data manager: all objects of the
+// in-memory database, keyed by id. Object creation is serialized by an
+// internal mutex; object access goes through each object's own lock.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[core.ObjectID]*Object
+	cfg     Config
+
+	// properMisses counts FindProper lookups that ran off the end of the
+	// bounded history — the situation the paper sized K=20 to avoid.
+	properMisses atomic.Int64
+}
+
+// NewStore returns an empty store.
+func NewStore(cfg Config) *Store {
+	return &Store{objects: make(map[core.ObjectID]*Object), cfg: cfg}
+}
+
+// Create adds an object with the store's default limits. It fails if the
+// id already exists.
+func (s *Store) Create(id core.ObjectID, initial core.Value) (*Object, error) {
+	return s.CreateWithLimits(id, initial, s.cfg.DefaultOIL, s.cfg.DefaultOEL)
+}
+
+// CreateWithLimits adds an object with explicit object limits.
+func (s *Store) CreateWithLimits(id core.ObjectID, initial core.Value, oil, oel core.Distance) (*Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.objects[id]; dup {
+		return nil, fmt.Errorf("storage: object %d already exists", id)
+	}
+	o := NewObject(id, initial, oil, oel, s.cfg.HistoryDepth)
+	s.objects[id] = o
+	return o, nil
+}
+
+// Get returns the object with the given id, or an error naming the
+// missing id — the server surfaces it to the client as an abort.
+func (s *Store) Get(id core.ObjectID) (*Object, error) {
+	s.mu.RLock()
+	o := s.objects[id]
+	s.mu.RUnlock()
+	if o == nil {
+		return nil, fmt.Errorf("storage: object %d does not exist", id)
+	}
+	return o, nil
+}
+
+// Len returns the number of objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// IDs returns all object ids in ascending order, for deterministic
+// iteration in tests and snapshots.
+func (s *Store) IDs() []core.ObjectID {
+	s.mu.RLock()
+	ids := make([]core.ObjectID, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// NotedProperMiss bumps the counter of inexact proper-value lookups.
+func (s *Store) NotedProperMiss() { s.properMisses.Add(1) }
+
+// ProperMisses returns how many proper-value lookups were inexact.
+func (s *Store) ProperMisses() int64 { return s.properMisses.Load() }
+
+// SetAllLimits rewrites OIL/OEL on every object. The experiment harness
+// uses it to sweep object-limit ranges between runs without rebuilding
+// the database.
+func (s *Store) SetAllLimits(oil, oel core.Distance) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, o := range s.objects {
+		o.Lock()
+		o.SetLimits(oil, oel)
+		o.Unlock()
+	}
+}
+
+// Populate creates n objects with ids [0, n) whose initial values are
+// drawn uniformly from [valueMin, valueMax] and whose OIL/OEL are drawn
+// uniformly from the configured ranges, reproducing the start-up data
+// file of the prototype ("the values of OIL and OEL are randomly
+// generated within a specified range", §6; object values range from 1000
+// to 9999, §7).
+func (s *Store) Populate(n int, valueMin, valueMax core.Value, oilMin, oilMax, oelMin, oelMax core.Distance, rng *rand.Rand) error {
+	if n <= 0 {
+		return fmt.Errorf("storage: Populate needs a positive object count, got %d", n)
+	}
+	if valueMax < valueMin {
+		return fmt.Errorf("storage: value range [%d,%d] is inverted", valueMin, valueMax)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	span := valueMax - valueMin + 1
+	for i := 0; i < n; i++ {
+		v := valueMin + core.Value(rng.Int63n(span))
+		oil := drawRange(oilMin, oilMax, rng)
+		oel := drawRange(oelMin, oelMax, rng)
+		if _, err := s.CreateWithLimits(core.ObjectID(i), v, oil, oel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drawRange draws uniformly from [lo, hi]; a degenerate or inverted range
+// collapses to lo, and NoLimit endpoints stay NoLimit.
+func drawRange(lo, hi core.Distance, rng *rand.Rand) core.Distance {
+	if lo >= hi || lo == core.NoLimit {
+		return lo
+	}
+	if hi == core.NoLimit {
+		return core.NoLimit
+	}
+	return lo + core.Distance(rng.Int63n(hi-lo+1))
+}
+
+// TotalValue sums the committed values of all objects. Because writes may
+// be dirty, the sum uses the shadow value for dirty objects; it is used
+// by tests and examples to compute the consistent ground truth.
+func (s *Store) TotalValue() core.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total core.Value
+	for _, o := range s.objects {
+		o.Lock()
+		if _, dirty := o.Dirty(); dirty {
+			total += o.shadow
+		} else {
+			total += o.Value()
+		}
+		o.Unlock()
+	}
+	return total
+}

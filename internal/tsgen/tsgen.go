@@ -1,0 +1,205 @@
+// Package tsgen generates the transaction timestamps that drive the
+// timestamp-ordering concurrency control.
+//
+// The paper's prototype ran clients on separate workstations whose local
+// clocks disagreed by up to two minutes; a correction factor was applied
+// to each site's local time to achieve virtual clock synchronization, and
+// the site id was appended to the timestamp to guarantee uniqueness
+// (Kamath & Ramamritham 1993, §6). This package reproduces that design:
+//
+//   - Timestamp packs a tick count and a site id into one comparable value.
+//   - Clock abstracts the time source; SkewedClock simulates a drifting
+//     workstation clock and LogicalClock gives deterministic tests.
+//   - Synchronizer estimates a per-site correction factor against a
+//     reference clock, exactly the virtual-sync technique of the paper.
+//   - Generator issues strictly increasing timestamps for one site.
+package tsgen
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// siteBits is the number of low-order bits reserved for the site id.
+// 16 bits allow 65,536 client sites; the paper used 10.
+const siteBits = 16
+
+// MaxSite is the largest site id a Timestamp can carry.
+const MaxSite = 1<<siteBits - 1
+
+// Timestamp orders every operation in the system. The high 48 bits hold a
+// (corrected) tick count and the low 16 bits the originating site id, so
+// timestamps from different sites are unique and totally ordered, with
+// ties on the tick broken deterministically by site.
+//
+// The zero Timestamp is reserved to mean "no timestamp" (for example, an
+// object that has never been written).
+type Timestamp uint64
+
+// None is the zero timestamp, older than every real timestamp.
+const None Timestamp = 0
+
+// Make builds a timestamp from a tick count and site id.
+func Make(ticks int64, site int) Timestamp {
+	if ticks < 0 {
+		ticks = 0
+	}
+	return Timestamp(uint64(ticks)<<siteBits | uint64(site&MaxSite))
+}
+
+// Ticks returns the tick component of the timestamp.
+func (t Timestamp) Ticks() int64 { return int64(t >> siteBits) }
+
+// Site returns the id of the site that issued the timestamp.
+func (t Timestamp) Site() int { return int(t & MaxSite) }
+
+// Before reports whether t is strictly older than u.
+func (t Timestamp) Before(u Timestamp) bool { return t < u }
+
+// After reports whether t is strictly younger than u.
+func (t Timestamp) After(u Timestamp) bool { return t > u }
+
+// IsNone reports whether t is the reserved "no timestamp" value.
+func (t Timestamp) IsNone() bool { return t == None }
+
+// String renders the timestamp as ticks.site for logs and test failures.
+func (t Timestamp) String() string {
+	if t.IsNone() {
+		return "ts(none)"
+	}
+	return fmt.Sprintf("ts(%d.%d)", t.Ticks(), t.Site())
+}
+
+// Clock is a source of tick counts. Ticks are microseconds for wall
+// clocks, but any strictly meaningful monotone unit works: the engine
+// only compares timestamps.
+type Clock interface {
+	// Now returns the current tick count.
+	Now() int64
+}
+
+// WallClock reads the operating-system clock in microseconds.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() int64 { return time.Now().UnixMicro() }
+
+// SkewedClock offsets another clock by a fixed skew, simulating the
+// unsynchronized workstation clocks of the paper's LAN (the observed
+// spread there was about two minutes).
+type SkewedClock struct {
+	// Base is the underlying clock; nil means WallClock.
+	Base Clock
+	// Skew is added to every reading; it may be negative.
+	Skew int64
+}
+
+// Now implements Clock.
+func (c SkewedClock) Now() int64 {
+	base := c.Base
+	if base == nil {
+		base = WallClock{}
+	}
+	return base.Now() + c.Skew
+}
+
+// LogicalClock is a deterministic clock that advances by one tick per
+// reading. It makes concurrency-control tests and experiments
+// reproducible: the order of Now calls fully determines the timestamps.
+type LogicalClock struct {
+	ticks atomic.Int64
+}
+
+// Now implements Clock, returning a strictly increasing tick count.
+func (c *LogicalClock) Now() int64 { return c.ticks.Add(1) }
+
+// Set advances the clock to at least the given tick count.
+func (c *LogicalClock) Set(ticks int64) {
+	for {
+		cur := c.ticks.Load()
+		if cur >= ticks || c.ticks.CompareAndSwap(cur, ticks) {
+			return
+		}
+	}
+}
+
+// Synchronizer computes the correction factor that maps a site's local
+// clock onto a reference clock — the virtual clock synchronization of §6.
+// Sampling several round trips and averaging mirrors what the prototype's
+// startup handshake did.
+type Synchronizer struct {
+	// Samples is the number of offset measurements to average.
+	// Zero means a single sample.
+	Samples int
+}
+
+// Correction estimates reference − local. Adding the result to local
+// readings yields virtually synchronized time.
+func (s Synchronizer) Correction(local, reference Clock) int64 {
+	n := s.Samples
+	if n <= 0 {
+		n = 1
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += reference.Now() - local.Now()
+	}
+	return total / int64(n)
+}
+
+// Generator issues strictly increasing timestamps for one site. It is
+// safe for concurrent use: the paper's clients were single-threaded, but
+// our experiment harness shares a generator between goroutines.
+type Generator struct {
+	mu         sync.Mutex
+	clock      Clock
+	site       int
+	correction int64
+	lastTicks  int64
+}
+
+// NewGenerator returns a Generator for the given site. A nil clock means
+// WallClock. Site ids outside [0, MaxSite] are truncated to the low 16
+// bits, matching the packing used by Make.
+func NewGenerator(site int, clock Clock) *Generator {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Generator{clock: clock, site: site & MaxSite}
+}
+
+// SetCorrection installs the virtual-sync correction factor, normally
+// obtained from Synchronizer.Correction.
+func (g *Generator) SetCorrection(c int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.correction = c
+}
+
+// Correction returns the currently installed correction factor.
+func (g *Generator) Correction() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.correction
+}
+
+// Site returns the site id embedded in every timestamp this generator
+// issues.
+func (g *Generator) Site() int { return g.site }
+
+// Next returns a timestamp strictly greater than any previous timestamp
+// from this generator. If the corrected clock stalls or runs backwards the
+// tick component is bumped past the last issued value, preserving
+// monotonicity per site (uniqueness across sites comes from the site id).
+func (g *Generator) Next() Timestamp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ticks := g.clock.Now() + g.correction
+	if ticks <= g.lastTicks {
+		ticks = g.lastTicks + 1
+	}
+	g.lastTicks = ticks
+	return Make(ticks, g.site)
+}

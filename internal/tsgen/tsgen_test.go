@@ -1,0 +1,254 @@
+package tsgen
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeRoundTrip(t *testing.T) {
+	ts := Make(12345, 7)
+	if ts.Ticks() != 12345 {
+		t.Errorf("Ticks() = %d, want 12345", ts.Ticks())
+	}
+	if ts.Site() != 7 {
+		t.Errorf("Site() = %d, want 7", ts.Site())
+	}
+}
+
+func TestMakeNegativeTicksClampToZero(t *testing.T) {
+	ts := Make(-5, 3)
+	if ts.Ticks() != 0 {
+		t.Errorf("Ticks() = %d, want 0", ts.Ticks())
+	}
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	a := Make(10, 1)
+	b := Make(10, 2)
+	c := Make(11, 0)
+	if !a.Before(b) {
+		t.Error("same tick: lower site must order first")
+	}
+	if !b.Before(c) {
+		t.Error("higher tick must dominate site id")
+	}
+	if !c.After(a) {
+		t.Error("After is inverted")
+	}
+}
+
+func TestNoneIsOlderThanEverything(t *testing.T) {
+	if !None.IsNone() {
+		t.Error("None.IsNone() = false")
+	}
+	if !None.Before(Make(0, 1)) {
+		t.Error("None must be older than every real timestamp")
+	}
+	if None.String() != "ts(none)" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if got := Make(42, 3).String(); got != "ts(42.3)" {
+		t.Errorf("String() = %q, want ts(42.3)", got)
+	}
+}
+
+func TestMakeRoundTripProperty(t *testing.T) {
+	prop := func(ticks int64, site uint16) bool {
+		if ticks < 0 {
+			ticks = -ticks
+		}
+		ticks &= (1 << 47) - 1 // keep within the 48-bit tick field
+		ts := Make(ticks, int(site))
+		return ts.Ticks() == ticks && ts.Site() == int(site)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderingMatchesTickSitePairProperty(t *testing.T) {
+	prop := func(t1, t2 int64, s1, s2 uint16) bool {
+		t1 &= (1 << 40) - 1
+		t2 &= (1 << 40) - 1
+		if t1 < 0 {
+			t1 = -t1
+		}
+		if t2 < 0 {
+			t2 = -t2
+		}
+		a, b := Make(t1, int(s1)), Make(t2, int(s2))
+		wantBefore := t1 < t2 || (t1 == t2 && s1 < s2)
+		return a.Before(b) == wantBefore
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogicalClockIsStrictlyIncreasing(t *testing.T) {
+	var c LogicalClock
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		cur := c.Now()
+		if cur <= prev {
+			t.Fatalf("LogicalClock went backwards: %d after %d", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLogicalClockSet(t *testing.T) {
+	var c LogicalClock
+	c.Set(500)
+	if got := c.Now(); got != 501 {
+		t.Errorf("Now() after Set(500) = %d, want 501", got)
+	}
+	c.Set(100) // must not rewind
+	if got := c.Now(); got != 502 {
+		t.Errorf("Now() after backwards Set = %d, want 502", got)
+	}
+}
+
+func TestSkewedClock(t *testing.T) {
+	var base LogicalClock
+	skewed := SkewedClock{Base: &base, Skew: 120_000_000} // two minutes in µs
+	if got := skewed.Now(); got != 120_000_001 {
+		t.Errorf("skewed Now() = %d, want 120000001", got)
+	}
+}
+
+func TestSkewedClockDefaultsToWallClock(t *testing.T) {
+	c := SkewedClock{Skew: 0}
+	if c.Now() <= 0 {
+		t.Error("SkewedClock with nil base should read the wall clock")
+	}
+}
+
+func TestSynchronizerRecoversSkew(t *testing.T) {
+	var ref LogicalClock
+	ref.Set(1_000_000)
+	local := SkewedClock{Base: &ref, Skew: -120_000_000}
+	corr := Synchronizer{Samples: 4}.Correction(local, &ref)
+	// The local clock lags the reference by two minutes; the correction
+	// must recover roughly that offset (sampling consumes a few ticks).
+	if corr < 119_999_990 || corr > 120_000_010 {
+		t.Errorf("Correction = %d, want ~120000000", corr)
+	}
+}
+
+func TestSynchronizerZeroSamplesMeansOne(t *testing.T) {
+	var ref LogicalClock
+	ref.Set(1000)
+	local := SkewedClock{Base: &ref, Skew: -100}
+	corr := Synchronizer{}.Correction(local, &ref)
+	if corr < 99 || corr > 101 {
+		t.Errorf("Correction = %d, want ~100", corr)
+	}
+}
+
+func TestGeneratorMonotonic(t *testing.T) {
+	g := NewGenerator(3, &LogicalClock{})
+	prev := g.Next()
+	for i := 0; i < 1000; i++ {
+		cur := g.Next()
+		if !prev.Before(cur) {
+			t.Fatalf("generator not monotonic: %v then %v", prev, cur)
+		}
+		if cur.Site() != 3 {
+			t.Fatalf("wrong site id: %v", cur)
+		}
+		prev = cur
+	}
+}
+
+func TestGeneratorMonotonicWithStalledClock(t *testing.T) {
+	g := NewGenerator(1, stalledClock{})
+	prev := g.Next()
+	for i := 0; i < 100; i++ {
+		cur := g.Next()
+		if !prev.Before(cur) {
+			t.Fatalf("stalled clock broke monotonicity: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestGeneratorCorrectionShiftsTicks(t *testing.T) {
+	var c LogicalClock
+	g := NewGenerator(0, &c)
+	g.SetCorrection(1000)
+	if got := g.Correction(); got != 1000 {
+		t.Fatalf("Correction() = %d, want 1000", got)
+	}
+	ts := g.Next()
+	if ts.Ticks() <= 1000 {
+		t.Errorf("corrected ticks = %d, want > 1000", ts.Ticks())
+	}
+}
+
+func TestGeneratorConcurrentUniqueness(t *testing.T) {
+	g := NewGenerator(2, &LogicalClock{})
+	const workers, perWorker = 8, 200
+	out := make(chan Timestamp, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				out <- g.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[Timestamp]bool, workers*perWorker)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %v", ts)
+		}
+		seen[ts] = true
+	}
+	if len(seen) != workers*perWorker {
+		t.Errorf("got %d unique timestamps, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestGeneratorsOnDifferentSitesNeverCollide(t *testing.T) {
+	var c LogicalClock
+	g1 := NewGenerator(1, &c)
+	g2 := NewGenerator(2, &c)
+	seen := make(map[Timestamp]bool)
+	for i := 0; i < 500; i++ {
+		for _, ts := range []Timestamp{g1.Next(), g2.Next()} {
+			if seen[ts] {
+				t.Fatalf("cross-site duplicate %v", ts)
+			}
+			seen[ts] = true
+		}
+	}
+}
+
+func TestNewGeneratorNilClockUsesWallClock(t *testing.T) {
+	g := NewGenerator(0, nil)
+	if ts := g.Next(); ts.Ticks() <= 0 {
+		t.Error("nil clock should fall back to the wall clock")
+	}
+}
+
+func TestGeneratorSiteTruncation(t *testing.T) {
+	g := NewGenerator(MaxSite+5, &LogicalClock{})
+	if g.Site() != 4 {
+		t.Errorf("Site() = %d, want 4 (truncated)", g.Site())
+	}
+}
+
+// stalledClock always returns the same tick, forcing the generator's
+// monotonicity bump to engage.
+type stalledClock struct{}
+
+func (stalledClock) Now() int64 { return 42 }

@@ -1,0 +1,119 @@
+package tso
+
+import (
+	"fmt"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// AggregateQuery implements the §5.3.2 extension the paper describes but
+// did not build: queries computing aggregates other than sum, with
+// objects readable any number of times. Instead of charging the
+// transaction import limit incrementally at each read — impossible when
+// the result's sensitivity to each read is unknown until the aggregate
+// is computed — every read is admitted under the object-level bound
+// only, the [min, max] envelope of the values seen per object is
+// tracked, and the decision to accept or reject is made once at
+// aggregate time: the result inconsistency derived from the envelopes
+// must fit the TIL.
+//
+// This is "a viable solution... as predeclaration of objects to be
+// accessed or number of operations in a query is not practicable" (§5.3.2).
+type AggregateQuery struct {
+	e       *Engine
+	txn     core.TxnID
+	til     core.Distance
+	tracker *core.AggregateTracker
+	done    bool
+}
+
+// BeginAggregate starts an aggregate query ET. Reads are checked against
+// the object import limits (the object criterion "is going to remain
+// unchanged", §5.3.2); the transaction import limit til is enforced by
+// Result.
+func (e *Engine) BeginAggregate(ts tsgen.Timestamp, til core.Distance) (*AggregateQuery, error) {
+	if til < 0 {
+		return nil, fmt.Errorf("tso: negative aggregate import limit %d", til)
+	}
+	// The transaction level of the incremental accumulator is unbounded;
+	// the object level still applies per read. A zero TIL must still
+	// disable the ESR relaxations (SR semantics), which Begin infers
+	// from the spec's transaction limit.
+	spec := core.UnboundedSpec()
+	if til == 0 {
+		spec = core.SRSpec()
+	}
+	txn, err := e.Begin(core.Query, ts, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &AggregateQuery{
+		e:       e,
+		txn:     txn,
+		til:     til,
+		tracker: core.NewAggregateTracker(),
+	}, nil
+}
+
+// Read reads an object — possibly repeatedly; each observation widens
+// the object's [min, max] envelope, capturing the worst case where two
+// reads see opposite extremes (§3.2.1).
+func (q *AggregateQuery) Read(obj core.ObjectID) (core.Value, error) {
+	if q.done {
+		return 0, ErrUnknownTxn
+	}
+	v, err := q.e.Read(q.txn, obj)
+	if err != nil {
+		q.done = true
+		return 0, err
+	}
+	q.tracker.Observe(obj, v)
+	return v, nil
+}
+
+// Result computes the aggregate and makes the §5.3.2 admission decision:
+// if the result inconsistency — half the spread between the aggregate of
+// the per-object minima and maxima — exceeds the TIL, the query is
+// aborted and an *AbortError returned; otherwise the query commits and
+// the aggregate value is returned along with its inconsistency.
+func (q *AggregateQuery) Result(kind core.AggKind) (core.Value, core.Distance, error) {
+	if q.done {
+		return 0, 0, ErrUnknownTxn
+	}
+	q.done = true
+	value, inc, err := q.tracker.Result(kind)
+	if err != nil {
+		_ = q.e.Abort(q.txn)
+		return 0, 0, err
+	}
+	if inc > q.til {
+		cause := &core.LimitError{
+			Level:    core.LevelTransaction,
+			Distance: inc,
+			Limit:    q.til,
+			Import:   true,
+		}
+		// The engine-side state still exists; route through the normal
+		// internal-abort path so metrics and cleanup match other aborts.
+		st, lookupErr := q.e.lookup(q.txn)
+		if lookupErr != nil {
+			return 0, 0, lookupErr
+		}
+		return 0, 0, q.e.abortNow(st, metrics.AbortImportLimit, cause)
+	}
+	if err := q.e.Commit(q.txn); err != nil {
+		return 0, 0, err
+	}
+	return value, inc, nil
+}
+
+// Abort abandons the aggregate query.
+func (q *AggregateQuery) Abort() error {
+	if q.done {
+		return nil
+	}
+	q.done = true
+	return q.e.Abort(q.txn)
+}

@@ -1,0 +1,175 @@
+package tso
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+func TestAggregateSumConsistent(t *testing.T) {
+	e := newTestEngine(t, 3, Options{})
+	q, err := e.BeginAggregate(tsgen.Make(10, 0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := q.Read(core.ObjectID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, inc, err := q.Result(core.AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 600 || inc != 0 {
+		t.Errorf("sum = %d±%d, want 600±0", v, inc)
+	}
+}
+
+func TestAggregateAvgWithRepeatedReadsAcrossUpdates(t *testing.T) {
+	// The §5.3.2 scenario: the same object is read twice, with a
+	// concurrent update committing in between; the envelope widens and
+	// the result inconsistency reflects it.
+	e := newTestEngine(t, 2, Options{})
+	q, err := e.BeginAggregate(tsgen.Make(10, 0), 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Read(1); err != nil { // sees 100
+		t.Fatal(err)
+	}
+	u := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u, 1, 180); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Read(1); err != nil { // case 1: sees 180
+		t.Fatal(err)
+	}
+	if _, err := q.Read(2); err != nil { // sees 200
+		t.Fatal(err)
+	}
+	v, inc, err := q.Result(core.AggAvg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object 1 envelope [100,180], object 2 [200,200]:
+	// min_result = 150, max_result = 190 → value 170, inconsistency 20.
+	if v != 170 || inc != 20 {
+		t.Errorf("avg = %d±%d, want 170±20", v, inc)
+	}
+}
+
+func TestAggregateRejectedAtAggregateTime(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	col := &metrics.Collector{}
+	e.opts.Collector = col
+	q, err := e.BeginAggregate(tsgen.Make(10, 0), 39) // spread will be 80 → inc 40
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	u := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u, 1, 180); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = q.Result(core.AggSum)
+	ae := wantAbort(t, err, metrics.AbortImportLimit)
+	var le *core.LimitError
+	if !asLimitError(ae, &le) || le.Level != core.LevelTransaction || le.Distance != 40 {
+		t.Errorf("cause = %v", ae.Err)
+	}
+	// The attempt is gone; further use fails cleanly.
+	if _, err := q.Read(1); err != ErrUnknownTxn {
+		t.Errorf("read after result: %v", err)
+	}
+}
+
+func TestAggregateObjectLimitStillCheckedPerRead(t *testing.T) {
+	// §5.3.2: "the criterion for object inconsistency is going to remain
+	// unchanged" — a read violating the OIL aborts immediately.
+	e := newTestEngine(t, 1, Options{})
+	o, err := e.Store().Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Lock()
+	o.SetLimits(10, core.NoLimit)
+	o.Unlock()
+
+	q, err := e.BeginAggregate(tsgen.Make(10, 0), core.NoLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u, 1, 180); err != nil { // d will be 80 > OIL 10
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	_, err = q.Read(1)
+	wantAbort(t, err, metrics.AbortImportLimit)
+}
+
+func TestAggregateZeroTILIsSerializable(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	q, err := e.BeginAggregate(tsgen.Make(10, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u, 1, 100); err != nil { // value-identical write
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	// SR semantics: the late read aborts even though d would be zero.
+	_, err = q.Read(1)
+	wantAbort(t, err, metrics.AbortLateRead)
+}
+
+func TestAggregateValidationAndAbort(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	if _, err := e.BeginAggregate(tsgen.Make(10, 0), -1); err == nil {
+		t.Error("negative TIL accepted")
+	}
+	q, err := e.BeginAggregate(tsgen.Make(10, 0), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Result(core.AggSum); err == nil {
+		t.Error("empty aggregate succeeded")
+	}
+	// After the failed Result the query is finished.
+	if err := q.Abort(); err != nil {
+		t.Errorf("Abort after finish: %v", err)
+	}
+
+	q2, err := e.BeginAggregate(tsgen.Make(20, 0), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q2.Result(core.AggSum); err != ErrUnknownTxn {
+		t.Errorf("Result after Abort: %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package tso
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// newTestEngine builds an engine over a store with objects 1..n at value
+// 100*(id), unbounded object limits, and the given options.
+func newTestEngine(t *testing.T, n int, opts Options) *Engine {
+	t.Helper()
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for i := 1; i <= n; i++ {
+		if _, err := st.Create(core.ObjectID(i), core.Value(100*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewEngine(st, opts)
+}
+
+func mustBegin(t *testing.T, e *Engine, kind core.Kind, ts int64, limit core.Distance) core.TxnID {
+	t.Helper()
+	txn, err := e.Begin(kind, tsgen.Make(ts, 0), core.BoundSpec{Transaction: limit})
+	if err != nil {
+		t.Fatalf("Begin: %v", err)
+	}
+	return txn
+}
+
+func wantAbort(t *testing.T, err error, reason metrics.AbortReason) *AbortError {
+	t.Helper()
+	ae, ok := IsAbort(err)
+	if !ok {
+		t.Fatalf("want AbortError(%v), got %v", reason, err)
+	}
+	if ae.Reason != reason {
+		t.Fatalf("abort reason = %v, want %v (err: %v)", ae.Reason, reason, ae)
+	}
+	return ae
+}
+
+func TestBeginValidation(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	if _, err := e.Begin(core.Kind(9), tsgen.Make(1, 0), core.SRSpec()); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := e.Begin(core.Query, tsgen.None, core.SRSpec()); err == nil {
+		t.Error("zero timestamp accepted")
+	}
+	if _, err := e.Begin(core.Query, tsgen.Make(1, 0), core.BoundSpec{Transaction: 1}.WithGroup("ghost", 1)); err == nil {
+		t.Error("unknown group accepted")
+	}
+}
+
+func TestSimpleUpdateThenQuery(t *testing.T) {
+	e := newTestEngine(t, 2, Options{})
+	u := mustBegin(t, e, core.Update, 10, 0)
+	v, err := e.Read(u, 1)
+	if err != nil || v != 100 {
+		t.Fatalf("update read = %d,%v", v, err)
+	}
+	if err := e.Write(u, 2, v+50); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	q := mustBegin(t, e, core.Query, 20, 0)
+	v, err = e.Read(q, 2)
+	if err != nil || v != 150 {
+		t.Fatalf("query read = %d,%v, want 150", v, err)
+	}
+	if err := e.Commit(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOwnPendingWrite(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(u, 1, 777); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Read(u, 1)
+	if err != nil || v != 777 {
+		t.Fatalf("read own write = %d,%v", v, err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownAndFinishedTxn(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	if _, err := e.Read(core.TxnID(99), 1); !errors.Is(err, ErrUnknownTxn) {
+		t.Errorf("Read unknown txn: %v", err)
+	}
+	u := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); !errors.Is(err, ErrUnknownTxn) {
+		t.Errorf("double Commit: %v", err)
+	}
+	if err := e.Abort(u); !errors.Is(err, ErrUnknownTxn) {
+		t.Errorf("Abort after Commit: %v", err)
+	}
+}
+
+func TestMissingObjectAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	q := mustBegin(t, e, core.Query, 10, 0)
+	_, err := e.Read(q, 42)
+	wantAbort(t, err, metrics.AbortMissingObject)
+	// The attempt is gone after the internal abort.
+	if _, err := e.Read(q, 1); !errors.Is(err, ErrUnknownTxn) {
+		t.Errorf("op after abort: %v", err)
+	}
+}
+
+func TestWriteFromQueryAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	q := mustBegin(t, e, core.Query, 10, 100)
+	err := e.Write(q, 1, 5)
+	wantAbort(t, err, metrics.AbortOther)
+}
+
+func TestExplicitAbortRestoresWrites(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(u, 1, 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Abort(u); err != nil {
+		t.Fatal(err)
+	}
+	q := mustBegin(t, e, core.Query, 20, 0)
+	v, err := e.Read(q, 1)
+	if err != nil || v != 100 {
+		t.Fatalf("value after abort = %d,%v, want 100", v, err)
+	}
+}
+
+// --- SR baseline (zero epsilon): textbook strict timestamp ordering ---
+
+func TestSRLateQueryReadAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	q := mustBegin(t, e, core.Query, 10, 0) // TIL = 0: SR
+	u := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Read(q, 1)
+	wantAbort(t, err, metrics.AbortLateRead)
+}
+
+func TestSRLateReadAbortsEvenIfValueUnchanged(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	q := mustBegin(t, e, core.Query, 10, 0)
+	u := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u, 1, 100); err != nil { // same value as before
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Read(q, 1)
+	// d would be 0, but zero-epsilon attempts must follow textbook TO.
+	wantAbort(t, err, metrics.AbortLateRead)
+}
+
+func TestSRLateUpdateReadAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u1 := mustBegin(t, e, core.Update, 10, 0)
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u2, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Read(u1, 1)
+	wantAbort(t, err, metrics.AbortLateRead)
+}
+
+func TestSRLateWriteVsUpdateReadAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	if _, err := e.Read(u2, 1); err != nil {
+		t.Fatal(err)
+	}
+	u1 := mustBegin(t, e, core.Update, 10, core.NoLimit) // even with TEL: update reads are consistent
+	err := e.Write(u1, 1, 5)
+	wantAbort(t, err, metrics.AbortLateWrite)
+}
+
+func TestSRLateWriteVsCommittedWriteAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u2, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u2); err != nil {
+		t.Fatal(err)
+	}
+	u1 := mustBegin(t, e, core.Update, 10, core.NoLimit)
+	err := e.Write(u1, 1, 5)
+	wantAbort(t, err, metrics.AbortLateWrite)
+}
+
+func TestSRLateWriteVsQueryReadAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	q := mustBegin(t, e, core.Query, 20, 0)
+	if _, err := e.Read(q, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(q); err != nil {
+		t.Fatal(err)
+	}
+	u := mustBegin(t, e, core.Update, 10, 0) // TEL = 0: SR
+	err := e.Write(u, 1, 100)                // value-identical, still late
+	wantAbort(t, err, metrics.AbortLateWrite)
+}
+
+func TestSRWriteOlderThanPendingWriteAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u2, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	u1 := mustBegin(t, e, core.Update, 10, 0)
+	err := e.Write(u1, 1, 5)
+	wantAbort(t, err, metrics.AbortLateWrite)
+	if err := e.Commit(u2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRUpdateReadOlderThanPendingWriteReadsCommitted(t *testing.T) {
+	// A reader older than a pending write must not block on the younger
+	// writer: it reads the committed version (its serial position is
+	// before the pending write).
+	e := newTestEngine(t, 1, Options{})
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(u2, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	u1 := mustBegin(t, e, core.Update, 10, 0)
+	v, err := e.Read(u1, 1)
+	if err != nil || v != 100 {
+		t.Fatalf("read = %d,%v, want committed 100", v, err)
+	}
+	if err := e.Commit(u1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRYoungerReadWaitsForPendingWrite(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u1 := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(u1, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	done := make(chan core.Value, 1)
+	errs := make(chan error, 1)
+	go func() {
+		v, err := e.Read(u2, 1)
+		if err != nil {
+			errs <- err
+			return
+		}
+		done <- v
+	}()
+	// The read must block while u1's write is pending.
+	select {
+	case v := <-done:
+		t.Fatalf("read returned %d while write pending", v)
+	case err := <-errs:
+		t.Fatalf("read errored while write pending: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := e.Commit(u1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != 150 {
+			t.Fatalf("read after commit = %d, want 150", v)
+		}
+	case err := <-errs:
+		t.Fatalf("read after commit errored: %v", err)
+	case <-time.After(time.Second):
+		t.Fatal("read did not wake after commit")
+	}
+	if err := e.Commit(u2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSRYoungerReadWaitsThroughAbort(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u1 := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(u1, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	done := make(chan core.Value, 1)
+	go func() {
+		v, err := e.Read(u2, 1)
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := e.Abort(u1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != 100 {
+			t.Fatalf("read after abort = %d, want restored 100", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("read did not wake after abort")
+	}
+}
+
+func TestWaitTimeoutAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{WaitTimeout: 20 * time.Millisecond})
+	u1 := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(u1, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	_, err := e.Read(u2, 1)
+	wantAbort(t, err, metrics.AbortWaitTimeout)
+	if err := e.Commit(u1); err != nil {
+		t.Fatal(err)
+	}
+}

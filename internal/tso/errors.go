@@ -1,0 +1,50 @@
+package tso
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+)
+
+// AbortError reports that the engine aborted a transaction attempt. The
+// attempt is fully cleaned up (pending writes restored, reader entries
+// removed) by the time the error is returned; the client's retry loop
+// resubmits the transaction with a fresh timestamp (§6).
+type AbortError struct {
+	// Txn is the aborted attempt.
+	Txn core.TxnID
+	// Reason classifies the abort for the retry metrics.
+	Reason metrics.AbortReason
+	// Err is the underlying cause, e.g. a *core.LimitError.
+	Err error
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("tso: txn %d aborted (%s): %v", e.Txn, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("tso: txn %d aborted (%s)", e.Txn, e.Reason)
+}
+
+// Unwrap exposes the underlying cause to errors.As / errors.Is.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// IsAbort reports whether err is an engine abort and returns it.
+func IsAbort(err error) (*AbortError, bool) {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}
+
+// ErrUnknownTxn is returned for operations on transactions the engine
+// does not know (never begun, or already committed/aborted).
+var ErrUnknownTxn = errors.New("tso: unknown or finished transaction")
+
+// errWaitTimeout marks a strict-ordering wait that exceeded the engine's
+// safety-valve timeout; it is converted into an AbortWaitTimeout abort.
+var errWaitTimeout = errors.New("tso: strict-ordering wait timed out")

@@ -1,0 +1,126 @@
+package tso
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// TestImportBoundGuaranteeProperty checks the paper's §3.2.1 guarantee
+// end to end under randomized concurrency: when updates are zero-sum
+// (every consistent snapshot has the same total) and export no
+// inconsistency (TEL = 0), a sum query with import limit TIL always
+// returns within TIL of the consistent total, for random TILs, object
+// counts, update intensities, and interleavings.
+func TestImportBoundGuaranteeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numObjects := 3 + rng.Intn(6)
+		til := core.Distance(rng.Intn(500))
+		updaters := 1 + rng.Intn(3)
+
+		st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+		var trueTotal core.Value
+		for i := 0; i < numObjects; i++ {
+			v := core.Value(1000 + rng.Intn(9000))
+			if _, err := st.Create(core.ObjectID(i), v); err != nil {
+				return false
+			}
+			trueTotal += v
+		}
+		e := NewEngine(st, Options{})
+		clock := &tsgen.LogicalClock{}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < updaters; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed ^ int64(w)*7919))
+				gen := tsgen.NewGenerator(w+1, clock)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					a := core.ObjectID(r.Intn(numObjects))
+					b := core.ObjectID((int(a) + 1 + r.Intn(numObjects-1)) % numObjects)
+					amt := core.Value(1 + r.Intn(200))
+					p := core.NewUpdate(0).WriteDelta(a, amt).WriteDelta(b, -amt)
+					_, _, _ = e.RunRetry(p, gen, 50)
+				}
+			}()
+		}
+
+		qgen := tsgen.NewGenerator(9, clock)
+		ok := true
+		for q := 0; q < 5 && ok; q++ {
+			p := core.NewQuery(til)
+			for i := 0; i < numObjects; i++ {
+				p.Read(core.ObjectID(i))
+			}
+			res, _, err := e.RunRetry(p, qgen, 0)
+			if err != nil {
+				ok = false
+				break
+			}
+			diff := res.Sum - trueTotal
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > til {
+				t.Logf("seed %d: query sum %d deviates by %d > TIL %d", seed, res.Sum, diff, til)
+				ok = false
+			}
+		}
+		close(stop)
+		wg.Wait()
+		return ok && st.TotalValue() == trueTotal
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExportBoundLimitsStaleness checks the export side in isolation:
+// with an uncommitted query holding a reader entry, updates of TEL = E
+// can move the object at most E away from the query's proper value via
+// case-3 writes.
+func TestExportBoundLimitsStaleness(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	q := mustBegin(t, e, core.Query, 1000, core.NoLimit)
+	if _, err := e.Read(q, 1); err != nil { // proper value 100 registered
+		t.Fatal(err)
+	}
+	const tel = 75
+	moved := core.Value(0)
+	for i := 0; i < 20; i++ {
+		u := mustBegin(t, e, core.Update, int64(10+i), tel) // older than q
+		_, err := e.WriteDelta(u, 1, 10)
+		if err != nil {
+			// The accumulated export would exceed the reader's envelope.
+			break
+		}
+		if err := e.Commit(u); err != nil {
+			t.Fatal(err)
+		}
+		moved += 10
+	}
+	if moved > tel {
+		t.Errorf("case-3 writes moved the object %d past the TEL %d while a reader was live", moved, tel)
+	}
+	if moved == 0 {
+		t.Error("no case-3 write was admitted at all")
+	}
+	if err := e.Commit(q); err != nil {
+		t.Fatal(err)
+	}
+}

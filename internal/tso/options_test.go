@@ -1,0 +1,126 @@
+package tso
+
+import (
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+)
+
+func TestAbortOnProperMissPolicy(t *testing.T) {
+	// A 2-deep history with 3 committed writes during the query's
+	// lifetime evicts the proper value; the strict policy aborts, the
+	// default uses the oldest retained value and counts the miss.
+	build := func(abortOnMiss bool) (*Engine, core.TxnID) {
+		st := storage.NewStore(storage.Config{
+			HistoryDepth: 2, DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit,
+		})
+		if _, err := st.Create(1, 100); err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(st, Options{AbortOnProperMiss: abortOnMiss})
+		q := mustBegin(t, e, core.Query, 10, core.NoLimit)
+		for i := 0; i < 3; i++ {
+			u := mustBegin(t, e, core.Update, int64(20+10*i), 0)
+			if err := e.Write(u, 1, core.Value(110+10*i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Commit(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e, q
+	}
+
+	e, q := build(false)
+	if _, err := e.Read(q, 1); err != nil {
+		t.Errorf("default policy aborted on proper miss: %v", err)
+	}
+	if got := e.Store().ProperMisses(); got != 1 {
+		t.Errorf("ProperMisses = %d, want 1", got)
+	}
+
+	e2, q2 := build(true)
+	_, err := e2.Read(q2, 1)
+	wantAbort(t, err, metrics.AbortImportLimit)
+}
+
+func TestWaitForeverOption(t *testing.T) {
+	e := newTestEngine(t, 1, Options{WaitTimeout: -1})
+	u := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(u, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	u2 := mustBegin(t, e, core.Update, 20, 0)
+	done := make(chan core.Value, 1)
+	go func() {
+		v, err := e.Read(u2, 1)
+		if err != nil {
+			done <- -1
+			return
+		}
+		done <- v
+	}()
+	// Well past the default timeout window at test scale.
+	select {
+	case v := <-done:
+		t.Fatalf("wait-forever read returned %d early", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v != 150 {
+			t.Errorf("read = %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader never woke")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	schema := core.NewSchema()
+	st := storage.NewStore(storage.Config{})
+	e := NewEngine(st, Options{Schema: schema})
+	if e.Store() != st {
+		t.Error("Store() mismatch")
+	}
+	if e.Schema() != schema {
+		t.Error("Schema() mismatch")
+	}
+	if s := e.MetricsSnapshot(); s != (metrics.Snapshot{}) {
+		t.Errorf("nil-collector snapshot = %+v", s)
+	}
+}
+
+func TestWriteDeltaOnMissingObjectAborts(t *testing.T) {
+	e := newTestEngine(t, 1, Options{})
+	u := mustBegin(t, e, core.Update, 10, 0)
+	_, err := e.WriteDelta(u, 42, 5)
+	wantAbort(t, err, metrics.AbortMissingObject)
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for kind, want := range map[EventKind]string{
+		EvBegin: "begin", EvRead: "read", EvWrite: "write",
+		EvCommit: "commit", EvAbort: "abort", EventKind(99): "event",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+func TestAbortErrorFormatting(t *testing.T) {
+	plain := &AbortError{Txn: 7, Reason: metrics.AbortLateRead}
+	if plain.Error() == "" || plain.Unwrap() != nil {
+		t.Errorf("plain abort error: %q", plain.Error())
+	}
+	if _, ok := IsAbort(ErrUnknownTxn); ok {
+		t.Error("IsAbort matched ErrUnknownTxn")
+	}
+}

@@ -1,0 +1,94 @@
+package tso
+
+import (
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// Result is the outcome of executing a whole transaction program.
+type Result struct {
+	// Txn is the attempt that committed.
+	Txn core.TxnID
+	// Values holds, per operation in program order, the value read (for
+	// reads) or written (for writes).
+	Values []core.Value
+	// Sum is the sum of the values read — the paper's canonical query
+	// result (§3.2.1).
+	Sum core.Value
+	// Imported and Exported are the total inconsistencies accumulated at
+	// the transaction level.
+	Imported core.Distance
+	Exported core.Distance
+}
+
+// RunProgram executes one attempt of a program under the given timestamp:
+// Begin, the operations in order, then Commit. On the first failed
+// operation the attempt is already aborted by the engine and the error
+// (usually an *AbortError) is returned; the caller retries with a fresh
+// timestamp. The program must be validated beforehand.
+func (e *Engine) RunProgram(p *core.Program, ts tsgen.Timestamp) (*Result, error) {
+	txn, err := e.Begin(p.Kind, ts, p.Bounds)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Txn: txn, Values: make([]core.Value, 0, len(p.Ops))}
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case core.OpRead:
+			v, err := e.Read(txn, op.Object)
+			if err != nil {
+				return nil, err
+			}
+			res.Values = append(res.Values, v)
+			res.Sum += v
+		case core.OpWrite:
+			var v core.Value
+			var err error
+			if op.UseDelta {
+				v, err = e.WriteDelta(txn, op.Object, op.Delta)
+			} else {
+				v, err = op.Value, e.Write(txn, op.Object, op.Value)
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.Values = append(res.Values, v)
+		}
+	}
+	st, err := e.lookup(txn)
+	if err != nil {
+		return nil, err
+	}
+	if p.Kind == core.Query {
+		res.Imported = st.acc.Total()
+	} else {
+		res.Exported = st.acc.Total()
+	}
+	if err := e.Commit(txn); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunRetry executes a program to completion, resubmitting with a fresh
+// timestamp from the generator after every abort — the client discipline
+// of §6 ("if a transaction is aborted the client resubmits it with a new
+// timestamp, and does so, until it is successfully completed"). The
+// number of attempts made is returned alongside the result. maxAttempts
+// caps runaway retries; zero means unlimited.
+func (e *Engine) RunRetry(p *core.Program, gen *tsgen.Generator, maxAttempts int) (*Result, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		res, err := e.RunProgram(p, gen.Next())
+		if err == nil {
+			return res, attempts, nil
+		}
+		if _, isAbort := IsAbort(err); !isAbort {
+			return nil, attempts, err
+		}
+		if maxAttempts > 0 && attempts >= maxAttempts {
+			return nil, attempts, err
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package tso
+
+import (
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+const (
+	// EvBegin is emitted when a transaction attempt starts.
+	EvBegin EventKind = iota
+	// EvRead is emitted after a successful read.
+	EvRead
+	// EvWrite is emitted after a successful (pending) write.
+	EvWrite
+	// EvCommit is emitted when an attempt commits.
+	EvCommit
+	// EvAbort is emitted when an attempt aborts.
+	EvAbort
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvCommit:
+		return "commit"
+	case EvAbort:
+		return "abort"
+	default:
+		return "event"
+	}
+}
+
+// Event is one step of an execution history, emitted by the engine when a
+// Tracer is installed. The recorder in internal/history turns event
+// streams into conflict graphs so tests can verify that zero-epsilon
+// executions are conflict serializable and that epsilon executions stay
+// within their bounds.
+type Event struct {
+	Kind    EventKind
+	Txn     core.TxnID
+	TxnKind core.Kind
+	// TS is the attempt's timestamp.
+	TS tsgen.Timestamp
+	// Object, for reads and writes.
+	Object core.ObjectID
+	// Value is the value read or written.
+	Value core.Value
+	// Version identifies the object version involved: for reads, the
+	// timestamp of the write that produced the value read; for writes,
+	// the attempt's own timestamp. Committed versions of one object have
+	// strictly increasing timestamps under timestamp ordering, so the
+	// version timestamp doubles as the version order.
+	Version tsgen.Timestamp
+	// Inconsistency is the distance charged for the operation (zero for
+	// consistent operations).
+	Inconsistency core.Distance
+	// DirtyRead marks a read of uncommitted data (ESR case 2).
+	DirtyRead bool
+}
+
+// Tracer observes engine events. Read/write events are emitted while the
+// object's lock is held, so per-object event order matches execution
+// order; implementations must therefore be fast and must not call back
+// into the engine.
+type Tracer interface {
+	Trace(Event)
+}

@@ -1,0 +1,251 @@
+package twopl
+
+import (
+	"fmt"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+)
+
+// acquire takes obj in the requested mode for st, blocking behind
+// incompatible holders. It detects deadlocks at block time by cycle
+// search over the waits-for graph derived from the lock table, aborting
+// the youngest transaction on the cycle.
+func (e *Engine) acquire(st *txnState, obj core.ObjectID, mode lockMode) error {
+	e.mu.Lock()
+	entry := e.locks[obj]
+	if entry == nil {
+		entry = &lockEntry{obj: obj, holders: make(map[core.TxnID]lockMode)}
+		e.locks[obj] = entry
+	}
+
+	if held, ok := st.locks[obj]; ok {
+		if held == lockExclusive || mode == lockShared {
+			// Already sufficient.
+			e.mu.Unlock()
+			return nil
+		}
+		// Upgrade S→X: immediate when we are the sole holder.
+		if len(entry.holders) == 1 {
+			entry.holders[st.id] = lockExclusive
+			st.locks[obj] = lockExclusive
+			e.mu.Unlock()
+			return nil
+		}
+	} else if e.grantableLocked(entry, st.id, mode) {
+		entry.holders[st.id] = mode
+		st.locks[obj] = mode
+		e.mu.Unlock()
+		return nil
+	}
+
+	// Block: enqueue and look for a deadlock.
+	req := &request{txn: st.id, mode: mode, granted: make(chan struct{})}
+	entry.queue = append(entry.queue, req)
+	if victim := e.findDeadlockVictimLocked(st.id); victim != 0 {
+		if victim == st.id {
+			e.removeRequestLocked(entry, req)
+			delete(e.txns, st.id)
+			e.mu.Unlock()
+			e.finishAbort(st, metrics.AbortDeadlock)
+			return &AbortError{Txn: st.id, Reason: metrics.AbortDeadlock,
+				Err: fmt.Errorf("twopl: deadlock victim waiting for object %d", obj)}
+		}
+		e.abortWaiterLocked(victim)
+	}
+	if e.parker != nil {
+		req.parked = true
+	}
+	e.mu.Unlock()
+
+	if req.parked {
+		e.parker.Suspend()
+	}
+	<-req.granted
+	if req.aborted {
+		e.mu.Lock()
+		delete(e.txns, st.id)
+		e.mu.Unlock()
+		e.finishAbort(st, metrics.AbortDeadlock)
+		return &AbortError{Txn: st.id, Reason: metrics.AbortDeadlock,
+			Err: fmt.Errorf("twopl: chosen as deadlock victim on object %d", obj)}
+	}
+	return nil
+}
+
+// grantableLocked reports whether txn may take the lock immediately:
+// the mode must be compatible with the holders and, for fairness, no
+// other request may be queued ahead.
+func (e *Engine) grantableLocked(entry *lockEntry, txn core.TxnID, mode lockMode) bool {
+	if len(entry.queue) > 0 {
+		return false
+	}
+	for holder, held := range entry.holders {
+		if holder == txn {
+			continue
+		}
+		if held == lockExclusive || mode == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseAll drops every lock st holds and grants what becomes
+// available, crediting parked waiters on the timeline before waking them.
+func (e *Engine) releaseAll(st *txnState) {
+	e.mu.Lock()
+	var wake []*request
+	for obj := range st.locks {
+		entry := e.locks[obj]
+		if entry == nil {
+			continue
+		}
+		delete(entry.holders, st.id)
+		wake = append(wake, e.grantQueueLocked(entry)...)
+		if len(entry.holders) == 0 && len(entry.queue) == 0 {
+			delete(e.locks, obj)
+		}
+	}
+	st.locks = make(map[core.ObjectID]lockMode)
+	e.mu.Unlock()
+	for _, req := range wake {
+		if req.parked && e.parker != nil {
+			e.parker.Resume()
+		}
+		close(req.granted)
+	}
+}
+
+// grantQueueLocked grants queued requests FIFO while compatible,
+// including S→X upgrades for sole holders. It returns the requests to
+// wake; the caller closes their channels after releasing the engine
+// lock.
+func (e *Engine) grantQueueLocked(entry *lockEntry) []*request {
+	var wake []*request
+	for len(entry.queue) > 0 {
+		head := entry.queue[0]
+		holder := e.txns[head.txn]
+		if holder == nil {
+			// The requester vanished (aborted elsewhere); drop it.
+			entry.queue = entry.queue[1:]
+			continue
+		}
+		compatible := true
+		for h, held := range entry.holders {
+			if h == head.txn {
+				continue
+			}
+			if held == lockExclusive || head.mode == lockExclusive {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			return wake
+		}
+		entry.holders[head.txn] = head.mode
+		holder.locks[entry.obj] = head.mode
+		entry.queue = entry.queue[1:]
+		wake = append(wake, head)
+	}
+	return wake
+}
+
+// removeRequestLocked deletes a pending request from an entry's queue.
+func (e *Engine) removeRequestLocked(entry *lockEntry, req *request) {
+	for i, r := range entry.queue {
+		if r == req {
+			entry.queue = append(entry.queue[:i], entry.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// abortWaiterLocked marks a waiting transaction as a deadlock victim,
+// removes its pending requests, and wakes it; the victim's goroutine
+// performs its own cleanup when it observes the flag.
+func (e *Engine) abortWaiterLocked(victim core.TxnID) {
+	for _, entry := range e.locks {
+		for i := 0; i < len(entry.queue); i++ {
+			req := entry.queue[i]
+			if req.txn != victim {
+				continue
+			}
+			entry.queue = append(entry.queue[:i], entry.queue[i+1:]...)
+			req.aborted = true
+			if req.parked && e.parker != nil {
+				e.parker.Resume()
+			}
+			close(req.granted)
+			return
+		}
+	}
+}
+
+// findDeadlockVictimLocked searches for a waits-for cycle reachable from
+// start and returns the youngest (largest-timestamp) transaction on it,
+// or 0 when there is no cycle. Edges run from each queued requester to
+// every current holder of the requested object.
+func (e *Engine) findDeadlockVictimLocked(start core.TxnID) core.TxnID {
+	// Build the waits-for adjacency from the lock table.
+	edges := make(map[core.TxnID][]core.TxnID)
+	for _, entry := range e.locks {
+		for _, req := range entry.queue {
+			for holder := range entry.holders {
+				if holder != req.txn {
+					edges[req.txn] = append(edges[req.txn], holder)
+				}
+			}
+		}
+	}
+	// DFS from start looking for a cycle through start's component.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[core.TxnID]int)
+	stack := []core.TxnID{}
+	var cycle []core.TxnID
+	var dfs func(u core.TxnID) bool
+	dfs = func(u core.TxnID) bool {
+		color[u] = grey
+		stack = append(stack, u)
+		for _, v := range edges[u] {
+			switch color[v] {
+			case white:
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == v {
+						break
+					}
+				}
+				return true
+			}
+		}
+		color[u] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	if !dfs(start) {
+		return 0
+	}
+	// Victim: youngest timestamp on the cycle.
+	var victim core.TxnID
+	for _, txn := range cycle {
+		st := e.txns[txn]
+		if st == nil {
+			continue
+		}
+		if victim == 0 || st.ts.After(e.txns[victim].ts) {
+			victim = txn
+		}
+	}
+	return victim
+}

@@ -1,0 +1,68 @@
+package txnlang
+
+import (
+	"github.com/epsilondb/epsilondb/internal/client"
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+)
+
+// EngineRunner adapts an embedded tso.Engine (plus a timestamp generator)
+// to the Beginner interface, so scripts can run in-process.
+type EngineRunner struct {
+	Engine *tso.Engine
+	Gen    *tsgen.Generator
+}
+
+// engineTxn is one engine attempt as an Executor.
+type engineTxn struct {
+	e  *tso.Engine
+	id core.TxnID
+}
+
+// BeginScript implements Beginner.
+func (r EngineRunner) BeginScript(kind core.Kind, spec core.BoundSpec) (Executor, error) {
+	id, err := r.Engine.Begin(kind, r.Gen.Next(), spec)
+	if err != nil {
+		return nil, err
+	}
+	return &engineTxn{e: r.Engine, id: id}, nil
+}
+
+// IsAbort implements Beginner.
+func (EngineRunner) IsAbort(err error) bool {
+	_, ok := tso.IsAbort(err)
+	return ok
+}
+
+func (t *engineTxn) Read(obj core.ObjectID) (core.Value, error) { return t.e.Read(t.id, obj) }
+func (t *engineTxn) Write(obj core.ObjectID, v core.Value) error {
+	return t.e.Write(t.id, obj, v)
+}
+func (t *engineTxn) Commit() error { return t.e.Commit(t.id) }
+func (t *engineTxn) Abort() error {
+	err := t.e.Abort(t.id)
+	if err == tso.ErrUnknownTxn {
+		// The engine already aborted the attempt internally.
+		return nil
+	}
+	return err
+}
+
+// ClientRunner adapts a network client to the Beginner interface, so
+// scripts drive a remote server the way the paper's clients replayed
+// their transaction load files (§6).
+type ClientRunner struct {
+	Client *client.Client
+}
+
+// BeginScript implements Beginner.
+func (r ClientRunner) BeginScript(kind core.Kind, spec core.BoundSpec) (Executor, error) {
+	return r.Client.Begin(kind, spec)
+}
+
+// IsAbort implements Beginner.
+func (ClientRunner) IsAbort(err error) bool {
+	_, ok := client.IsAbort(err)
+	return ok
+}

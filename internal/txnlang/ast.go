@@ -1,0 +1,150 @@
+package txnlang
+
+import (
+	"fmt"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+// Script is a parsed transaction program: the specification header
+// followed by the statements.
+type Script struct {
+	// Kind is Query or Update, from the BEGIN line.
+	Kind core.Kind
+	// Spec holds the TIL/TEL and the LIMIT statements (group limits, and
+	// per-object overrides when the LIMIT target is numeric).
+	Spec core.BoundSpec
+	// Stmts are the body statements in order. COMMIT/ABORT terminate the
+	// script and are represented by Terminator.
+	Stmts []Stmt
+	// Terminator is "commit" or "abort".
+	Terminator string
+}
+
+// Stmt is one statement of a script body.
+type Stmt interface {
+	stmt()
+	fmt.Stringer
+}
+
+// ReadStmt is `var = Read <object>`.
+type ReadStmt struct {
+	Var    string
+	Object core.ObjectID
+}
+
+func (*ReadStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *ReadStmt) String() string { return fmt.Sprintf("%s = Read %d", s.Var, s.Object) }
+
+// WriteStmt is `Write <object> , <expr>`.
+type WriteStmt struct {
+	Object core.ObjectID
+	Expr   Expr
+}
+
+func (*WriteStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *WriteStmt) String() string { return fmt.Sprintf("Write %d , %s", s.Object, s.Expr) }
+
+// OutputStmt is `output(<arg>, <arg>, ...)` where each argument is a
+// string literal or an expression.
+type OutputStmt struct {
+	Args []OutputArg
+}
+
+func (*OutputStmt) stmt() {}
+
+// String implements fmt.Stringer.
+func (s *OutputStmt) String() string {
+	out := "output("
+	for i, a := range s.Args {
+		if i > 0 {
+			out += ", "
+		}
+		if a.Literal != nil {
+			out += fmt.Sprintf("%q", *a.Literal)
+		} else {
+			out += a.Expr.String()
+		}
+	}
+	return out + ")"
+}
+
+// OutputArg is one argument of output: either a string literal or an
+// expression.
+type OutputArg struct {
+	Literal *string
+	Expr    Expr
+}
+
+// Expr is an integer expression over read variables.
+type Expr interface {
+	// Eval computes the expression over the variable bindings.
+	Eval(env map[string]core.Value) (core.Value, error)
+	fmt.Stringer
+}
+
+// NumLit is an integer literal.
+type NumLit struct{ Value core.Value }
+
+// Eval implements Expr.
+func (n *NumLit) Eval(map[string]core.Value) (core.Value, error) { return n.Value, nil }
+
+// String implements fmt.Stringer.
+func (n *NumLit) String() string { return fmt.Sprintf("%d", n.Value) }
+
+// VarRef references a variable bound by an earlier Read.
+type VarRef struct{ Name string }
+
+// Eval implements Expr.
+func (v *VarRef) Eval(env map[string]core.Value) (core.Value, error) {
+	val, ok := env[v.Name]
+	if !ok {
+		return 0, fmt.Errorf("txnlang: undefined variable %q", v.Name)
+	}
+	return val, nil
+}
+
+// String implements fmt.Stringer.
+func (v *VarRef) String() string { return v.Name }
+
+// BinOp is a binary arithmetic operation.
+type BinOp struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b *BinOp) Eval(env map[string]core.Value) (core.Value, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("txnlang: division by zero")
+		}
+		return l / r, nil
+	default:
+		return 0, fmt.Errorf("txnlang: unknown operator %q", b.Op)
+	}
+}
+
+// String implements fmt.Stringer.
+func (b *BinOp) String() string {
+	return fmt.Sprintf("(%s %c %s)", b.L, b.Op, b.R)
+}

@@ -1,0 +1,200 @@
+// Package txnlang implements the transaction script language used
+// throughout the paper's examples (§3):
+//
+//	BEGIN Query TIL 100000
+//	LIMIT company 4000
+//	LIMIT com1 200
+//	t1 = Read 1863
+//	t2 = Read 1427
+//	output("Sum is: ", t1+t2)
+//	COMMIT
+//
+//	BEGIN Update TEL = 10000
+//	t1 = Read 1923
+//	Write 1078 , t1+3000
+//	COMMIT
+//
+// Scripts are parsed into an AST and executed against any Executor (the
+// embedded engine, or a network client), with write expressions evaluated
+// over the values bound by earlier reads — exactly the dependence the
+// paper's update example exhibits.
+package txnlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent  // identifiers and keywords
+	tokNumber // integer literal
+	tokString // double-quoted string
+	tokAssign // =
+	tokComma  // ,
+	tokLParen // (
+	tokRParen // )
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokSlash  // /
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of script"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokAssign:
+		return "'='"
+	case tokComma:
+		return "','"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	default:
+		return fmt.Sprintf("token(%d)", k)
+	}
+}
+
+// token is one lexical token with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer scans a script into tokens. Comments run from '#' or "--" to end
+// of line. Newlines are significant: they terminate statements.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.pos++
+			t := token{kind: tokNewline, line: l.line}
+			l.line++
+			return t, nil
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLineComment()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			l.skipLineComment()
+		case c == '=':
+			l.pos++
+			return token{kind: tokAssign, text: "=", line: l.line}, nil
+		case c == ',':
+			l.pos++
+			return token{kind: tokComma, text: ",", line: l.line}, nil
+		case c == '(':
+			l.pos++
+			return token{kind: tokLParen, text: "(", line: l.line}, nil
+		case c == ')':
+			l.pos++
+			return token{kind: tokRParen, text: ")", line: l.line}, nil
+		case c == '+':
+			l.pos++
+			return token{kind: tokPlus, text: "+", line: l.line}, nil
+		case c == '-':
+			l.pos++
+			return token{kind: tokMinus, text: "-", line: l.line}, nil
+		case c == '*':
+			l.pos++
+			return token{kind: tokStar, text: "*", line: l.line}, nil
+		case c == '/':
+			l.pos++
+			return token{kind: tokSlash, text: "/", line: l.line}, nil
+		case c == '"':
+			return l.scanString()
+		case c >= '0' && c <= '9':
+			return l.scanNumber()
+		case isIdentStart(rune(c)):
+			return l.scanIdent()
+		default:
+			return token{}, fmt.Errorf("txnlang: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+// skipLineComment consumes everything up to (not including) the newline.
+func (l *lexer) skipLineComment() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) scanString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return token{kind: tokString, text: sb.String(), line: l.line}, nil
+		}
+		if c == '\n' {
+			break
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	l.pos = start
+	return token{}, fmt.Errorf("txnlang: line %d: unterminated string", l.line)
+}
+
+func (l *lexer) scanNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+}
+
+func (l *lexer) scanIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

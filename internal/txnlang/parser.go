@@ -1,0 +1,421 @@
+package txnlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+// Parse compiles a script source into its AST. The grammar, with newlines
+// terminating statements and keywords case-insensitive:
+//
+//	script    = begin { limit | newline } { stmt } terminator
+//	begin     = "BEGIN" ("Query" "TIL" | "Update" "TEL") ["="] number
+//	limit     = "LIMIT" (group | number) number
+//	stmt      = ident "=" "Read" number
+//	          | "Write" number "," expr
+//	          | "output" "(" arg { "," arg } ")"
+//	arg       = string | expr
+//	expr      = term { ("+"|"-") term }
+//	term      = factor { ("*"|"/") factor }
+//	factor    = number | ident | "(" expr ")" | "-" factor
+//	terminator= "COMMIT" | "ABORT" | "END"
+func Parse(src string) (*Script, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	s, err := p.parseOne()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.skipNewlines(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("txnlang: line %d: statements after %s", p.tok.line, strings.ToUpper(s.Terminator))
+	}
+	return s, nil
+}
+
+// ParseAll compiles a load file holding any number of scripts back to
+// back — the "data files consisting of a number of transactions" the
+// prototype's clients replayed (§6). Each script runs from its BEGIN to
+// its terminator.
+func ParseAll(src string) ([]*Script, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var scripts []*Script
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokEOF {
+			if len(scripts) == 0 {
+				return nil, fmt.Errorf("txnlang: empty load file")
+			}
+			return scripts, nil
+		}
+		s, err := p.parseOne()
+		if err != nil {
+			return nil, err
+		}
+		scripts = append(scripts, s)
+	}
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// skipNewlines consumes blank lines.
+func (p *parser) skipNewlines() error {
+	for p.tok.kind == tokNewline {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(k tokenKind, context string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("txnlang: line %d: expected %v in %s, got %v %q",
+			p.tok.line, k, context, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// keyword reports whether the current token is the given case-insensitive
+// keyword.
+func (p *parser) keyword(w string) bool {
+	return p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, w)
+}
+
+// parseOne parses a single script, leaving the cursor just after its
+// terminator.
+func (p *parser) parseOne() (*Script, error) {
+	if err := p.skipNewlines(); err != nil {
+		return nil, err
+	}
+	s := &Script{}
+	if err := p.parseBegin(s); err != nil {
+		return nil, err
+	}
+	// LIMIT statements directly after BEGIN (§3.1: "each transaction
+	// could have an inconsistency specification part at the beginning").
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		if !p.keyword("LIMIT") {
+			break
+		}
+		if err := p.parseLimit(s); err != nil {
+			return nil, err
+		}
+	}
+	// Body statements.
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		switch {
+		case p.tok.kind == tokEOF:
+			return nil, fmt.Errorf("txnlang: line %d: missing COMMIT, ABORT or END", p.tok.line)
+		case p.keyword("COMMIT"), p.keyword("ABORT"), p.keyword("END"):
+			s.Terminator = strings.ToLower(p.tok.text)
+			if s.Terminator == "end" {
+				s.Terminator = "commit"
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return s, nil
+		case p.keyword("Write"):
+			st, err := p.parseWrite()
+			if err != nil {
+				return nil, err
+			}
+			if s.Kind == core.Query {
+				return nil, fmt.Errorf("txnlang: Write inside a Query transaction")
+			}
+			s.Stmts = append(s.Stmts, st)
+		case p.keyword("output"):
+			st, err := p.parseOutput()
+			if err != nil {
+				return nil, err
+			}
+			s.Stmts = append(s.Stmts, st)
+		case p.tok.kind == tokIdent:
+			st, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			s.Stmts = append(s.Stmts, st)
+		default:
+			return nil, fmt.Errorf("txnlang: line %d: unexpected %v %q", p.tok.line, p.tok.kind, p.tok.text)
+		}
+	}
+}
+
+func (p *parser) parseBegin(s *Script) error {
+	if !p.keyword("BEGIN") {
+		return fmt.Errorf("txnlang: line %d: script must start with BEGIN", p.tok.line)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	var limitKeyword string
+	switch {
+	case p.keyword("Query"):
+		s.Kind = core.Query
+		limitKeyword = "TIL"
+	case p.keyword("Update"):
+		s.Kind = core.Update
+		limitKeyword = "TEL"
+	default:
+		return fmt.Errorf("txnlang: line %d: BEGIN must name Query or Update, got %q", p.tok.line, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if !p.keyword(limitKeyword) {
+		return fmt.Errorf("txnlang: line %d: expected %s after BEGIN %s", p.tok.line, limitKeyword, s.Kind)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind == tokAssign { // the optional '=' of "TEL = 10000"
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	n, err := p.parseNumber("transaction limit")
+	if err != nil {
+		return err
+	}
+	s.Spec.Transaction = n
+	return nil
+}
+
+func (p *parser) parseLimit(s *Script) error {
+	if err := p.advance(); err != nil { // consume LIMIT
+		return err
+	}
+	switch p.tok.kind {
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		n, err := p.parseNumber("group limit")
+		if err != nil {
+			return err
+		}
+		s.Spec = s.Spec.WithGroup(name, n)
+	case tokNumber:
+		obj, err := p.parseNumber("object id")
+		if err != nil {
+			return err
+		}
+		n, err := p.parseNumber("object limit")
+		if err != nil {
+			return err
+		}
+		s.Spec = s.Spec.WithObject(core.ObjectID(obj), n)
+	default:
+		return fmt.Errorf("txnlang: line %d: LIMIT needs a group name or object id", p.tok.line)
+	}
+	return nil
+}
+
+func (p *parser) parseAssign() (Stmt, error) {
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign, "assignment"); err != nil {
+		return nil, err
+	}
+	if !p.keyword("Read") {
+		return nil, fmt.Errorf("txnlang: line %d: only Read may be assigned, got %q", p.tok.line, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	obj, err := p.parseNumber("object id")
+	if err != nil {
+		return nil, err
+	}
+	return &ReadStmt{Var: name, Object: core.ObjectID(obj)}, nil
+}
+
+func (p *parser) parseWrite() (Stmt, error) {
+	if err := p.advance(); err != nil { // consume Write
+		return nil, err
+	}
+	obj, err := p.parseNumber("object id")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokComma, "Write"); err != nil {
+		return nil, err
+	}
+	expr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &WriteStmt{Object: core.ObjectID(obj), Expr: expr}, nil
+}
+
+func (p *parser) parseOutput() (Stmt, error) {
+	if err := p.advance(); err != nil { // consume output
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen, "output"); err != nil {
+		return nil, err
+	}
+	st := &OutputStmt{}
+	for {
+		if p.tok.kind == tokString {
+			lit := p.tok.text
+			st.Args = append(st.Args, OutputArg{Literal: &lit})
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			expr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Args = append(st.Args, OutputArg{Expr: expr})
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen, "output"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseNumber(context string) (int64, error) {
+	t, err := p.expect(tokNumber, context)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("txnlang: line %d: invalid %s %q", t.line, context, t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokPlus || p.tok.kind == tokMinus {
+		op := byte('+')
+		if p.tok.kind == tokMinus {
+			op = '-'
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokStar || p.tok.kind == tokSlash {
+		op := byte('*')
+		if p.tok.kind == tokSlash {
+			op = '/'
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinOp{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("txnlang: line %d: invalid number %q", p.tok.line, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumLit{Value: n}, nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &VarRef{Name: name}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "expression"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: '-', L: &NumLit{Value: 0}, R: f}, nil
+	default:
+		return nil, fmt.Errorf("txnlang: line %d: expected expression, got %v %q", p.tok.line, p.tok.kind, p.tok.text)
+	}
+}

@@ -1,0 +1,139 @@
+package txnlang
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+// Executor is one in-progress transaction attempt that a script can drive.
+// Both the embedded engine (tso.Engine via an adapter) and the network
+// client (client.Txn) satisfy it.
+type Executor interface {
+	// Read returns the value of an object.
+	Read(obj core.ObjectID) (core.Value, error)
+	// Write installs an absolute value.
+	Write(obj core.ObjectID, value core.Value) error
+	// Commit finishes the attempt successfully.
+	Commit() error
+	// Abort abandons the attempt.
+	Abort() error
+}
+
+// Beginner starts transaction attempts; it abstracts over the embedded
+// engine and the network client so RunRetry can resubmit aborted scripts.
+type Beginner interface {
+	// BeginScript starts an attempt for the script's kind and bounds.
+	BeginScript(kind core.Kind, spec core.BoundSpec) (Executor, error)
+	// IsAbort classifies an execution error: aborts are retried.
+	IsAbort(err error) bool
+}
+
+// Output is one value produced by an output(...) statement.
+type Output struct {
+	Text string
+}
+
+// RunResult is the outcome of one successful script execution.
+type RunResult struct {
+	// Env holds the final variable bindings.
+	Env map[string]core.Value
+	// Outputs are the rendered output(...) lines in order.
+	Outputs []Output
+}
+
+// Run executes a parsed script against one transaction attempt. On
+// error the attempt is aborted (if the executor still accepts it) and
+// the error returned. out may be nil; when set, output lines are also
+// written to it.
+func Run(s *Script, exec Executor, out io.Writer) (*RunResult, error) {
+	res := &RunResult{Env: make(map[string]core.Value)}
+	for _, st := range s.Stmts {
+		switch st := st.(type) {
+		case *ReadStmt:
+			v, err := exec.Read(st.Object)
+			if err != nil {
+				return nil, err
+			}
+			res.Env[st.Var] = v
+		case *WriteStmt:
+			v, err := st.Expr.Eval(res.Env)
+			if err != nil {
+				_ = exec.Abort()
+				return nil, err
+			}
+			if err := exec.Write(st.Object, v); err != nil {
+				return nil, err
+			}
+		case *OutputStmt:
+			line, err := renderOutput(st, res.Env)
+			if err != nil {
+				_ = exec.Abort()
+				return nil, err
+			}
+			res.Outputs = append(res.Outputs, Output{Text: line})
+			if out != nil {
+				fmt.Fprintln(out, line)
+			}
+		default:
+			_ = exec.Abort()
+			return nil, fmt.Errorf("txnlang: unknown statement %T", st)
+		}
+	}
+	if s.Terminator == "abort" {
+		if err := exec.Abort(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	if err := exec.Commit(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunRetry executes a script to completion against a Beginner,
+// resubmitting after engine aborts with fresh attempts, up to
+// maxAttempts (zero means unlimited). It returns the result and the
+// number of attempts.
+func RunRetry(s *Script, b Beginner, out io.Writer, maxAttempts int) (*RunResult, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		exec, err := b.BeginScript(s.Kind, s.Spec)
+		if err != nil {
+			return nil, attempts, err
+		}
+		res, err := Run(s, exec, out)
+		if err == nil {
+			return res, attempts, nil
+		}
+		if !b.IsAbort(err) {
+			return nil, attempts, err
+		}
+		if maxAttempts > 0 && attempts >= maxAttempts {
+			return nil, attempts, err
+		}
+	}
+}
+
+// renderOutput formats an output(...) line: string literals verbatim,
+// expressions as decimal integers, space-free concatenation matching the
+// paper's output("Sum is: ", t1+t2) style.
+func renderOutput(st *OutputStmt, env map[string]core.Value) (string, error) {
+	var sb strings.Builder
+	for _, a := range st.Args {
+		if a.Literal != nil {
+			sb.WriteString(*a.Literal)
+			continue
+		}
+		v, err := a.Expr.Eval(env)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,359 @@
+package txnlang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+)
+
+// paperQuery is (a shortened form of) the query ET from §3.2.1.
+const paperQuery = `
+BEGIN Query TIL = 100000
+t1 = Read 1863
+t2 = Read 1427
+t3 = Read 1912
+output("Sum is: ", t1+t2+t3)
+COMMIT
+`
+
+// paperUpdate is the update ET from §3.2.1.
+const paperUpdate = `
+BEGIN Update TEL = 10000
+t1 = Read 1923
+t2 = Read 1644
+Write 1078 , t2+3000
+t3 = Read 1066
+t4 = Read 1213
+Write 1727 , t3-t4+4230
+Write 1501 , t1+t4+7935
+COMMIT
+`
+
+// hierarchical mirrors the §3.1 example header.
+const hierarchical = `
+BEGIN Query TIL 10000
+LIMIT company 4000
+LIMIT preferred 3000
+LIMIT personal 3000
+LIMIT com1 200
+t1 = Read 2745
+END
+`
+
+func TestParsePaperQuery(t *testing.T) {
+	s, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != core.Query || s.Spec.Transaction != 100_000 {
+		t.Errorf("header = %v TIL %d", s.Kind, s.Spec.Transaction)
+	}
+	if len(s.Stmts) != 4 {
+		t.Fatalf("stmts = %d, want 4", len(s.Stmts))
+	}
+	r, ok := s.Stmts[0].(*ReadStmt)
+	if !ok || r.Var != "t1" || r.Object != 1863 {
+		t.Errorf("first stmt = %v", s.Stmts[0])
+	}
+	if _, ok := s.Stmts[3].(*OutputStmt); !ok {
+		t.Errorf("last stmt = %v", s.Stmts[3])
+	}
+	if s.Terminator != "commit" {
+		t.Errorf("terminator = %q", s.Terminator)
+	}
+}
+
+func TestParsePaperUpdate(t *testing.T) {
+	s, err := Parse(paperUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != core.Update || s.Spec.Transaction != 10_000 {
+		t.Errorf("header = %v TEL %d", s.Kind, s.Spec.Transaction)
+	}
+	w, ok := s.Stmts[2].(*WriteStmt)
+	if !ok || w.Object != 1078 {
+		t.Fatalf("third stmt = %v", s.Stmts[2])
+	}
+	if w.String() != "Write 1078 , (t2 + 3000)" {
+		t.Errorf("write = %q", w.String())
+	}
+	// Write 1727 , t3-t4+4230 parses left-associatively.
+	w2 := s.Stmts[5].(*WriteStmt)
+	if w2.String() != "Write 1727 , ((t3 - t4) + 4230)" {
+		t.Errorf("write = %q", w2.String())
+	}
+}
+
+func TestParseHierarchicalLimits(t *testing.T) {
+	s, err := Parse(hierarchical)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]core.Distance{"company": 4000, "preferred": 3000, "personal": 3000, "com1": 200}
+	for name, limit := range want {
+		if got := s.Spec.Groups[name]; got != limit {
+			t.Errorf("LIMIT %s = %d, want %d", name, got, limit)
+		}
+	}
+	if s.Terminator != "commit" { // END is an alias
+		t.Errorf("terminator = %q", s.Terminator)
+	}
+}
+
+func TestParseObjectLevelLimit(t *testing.T) {
+	s, err := Parse("BEGIN Query TIL 10\nLIMIT 42 7\nt = Read 42\nCOMMIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Spec.Objects[42]; got != 7 {
+		t.Errorf("object override = %d, want 7", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# leading comment
+BEGIN Query TIL 5 -- trailing comment
+t = Read 1   # another
+COMMIT
+`
+	if _, err := Parse(src); err != nil {
+		t.Errorf("comments broke parsing: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"empty", "", "must start with BEGIN"},
+		{"no kind", "BEGIN Foo TIL 1\nCOMMIT\n", "Query or Update"},
+		{"wrong limit keyword", "BEGIN Query TEL 1\nCOMMIT\n", "expected TIL"},
+		{"write in query", "BEGIN Query TIL 1\nWrite 1 , 2\nCOMMIT\n", "Write inside a Query"},
+		{"missing terminator", "BEGIN Query TIL 1\nt = Read 1\n", "missing COMMIT"},
+		{"junk after commit", "BEGIN Query TIL 1\nCOMMIT\nt = Read 1\n", "statements after COMMIT"},
+		{"bad assignment", "BEGIN Query TIL 1\nt = Write 1\nCOMMIT\n", "only Read"},
+		{"unterminated string", "BEGIN Query TIL 1\noutput(\"oops\nCOMMIT\n", "unterminated string"},
+		{"bad char", "BEGIN Query TIL 1\nt = Read 1 @\nCOMMIT\n", "unexpected character"},
+		{"limit needs target", "BEGIN Query TIL 1\nLIMIT = 4\nCOMMIT\n", "group name or object id"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parse succeeded", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestExprEvaluation(t *testing.T) {
+	s, err := Parse("BEGIN Update TEL 0\nWrite 1 , 2+3*4-10/2\nCOMMIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Stmts[0].(*WriteStmt).Expr.Eval(nil)
+	if err != nil || v != 9 {
+		t.Errorf("2+3*4-10/2 = %d,%v, want 9", v, err)
+	}
+}
+
+func TestExprUnaryMinusAndParens(t *testing.T) {
+	s, err := Parse("BEGIN Update TEL 0\nWrite 1 , -(2+3)*2\nCOMMIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Stmts[0].(*WriteStmt).Expr.Eval(nil)
+	if err != nil || v != -10 {
+		t.Errorf("-(2+3)*2 = %d,%v, want -10", v, err)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	if _, err := (&VarRef{Name: "ghost"}).Eval(map[string]core.Value{}); err == nil {
+		t.Error("undefined variable evaluated")
+	}
+	div := &BinOp{Op: '/', L: &NumLit{Value: 1}, R: &NumLit{Value: 0}}
+	if _, err := div.Eval(nil); err == nil {
+		t.Error("division by zero evaluated")
+	}
+}
+
+// newScriptEngine returns an engine whose objects carry the ids used in
+// the paper snippets.
+func newScriptEngine(t *testing.T) (*tso.Engine, EngineRunner) {
+	t.Helper()
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for _, id := range []core.ObjectID{1863, 1427, 1912, 1923, 1644, 1078, 1066, 1213, 1727, 1501, 2745, 1, 42} {
+		if _, err := st.Create(id, core.Value(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := tso.NewEngine(st, tso.Options{})
+	return e, EngineRunner{Engine: e, Gen: tsgen.NewGenerator(0, &tsgen.LogicalClock{})}
+}
+
+func TestRunPaperQueryAgainstEngine(t *testing.T) {
+	_, runner := newScriptEngine(t)
+	s, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	res, attempts, err := RunRetry(s, runner, &out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d", attempts)
+	}
+	wantSum := core.Value(1863 + 1427 + 1912)
+	if res.Env["t1"] != 1863 || res.Env["t3"] != 1912 {
+		t.Errorf("env = %v", res.Env)
+	}
+	if len(res.Outputs) != 1 || !strings.Contains(res.Outputs[0].Text, "Sum is: ") {
+		t.Errorf("outputs = %v", res.Outputs)
+	}
+	if !strings.Contains(out.String(), "Sum is: 5202") {
+		t.Errorf("out = %q, want sum %d", out.String(), wantSum)
+	}
+}
+
+func TestRunPaperUpdateAgainstEngine(t *testing.T) {
+	e, runner := newScriptEngine(t)
+	s, err := Parse(paperUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunRetry(s, runner, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Write 1078 , t2+3000 with t2 = 1644 → 4644.
+	q, err := e.RunProgram(core.NewQuery(0, 1078, 1727, 1501), tsgen.Make(1_000_000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Values[0] != 4644 {
+		t.Errorf("object 1078 = %d, want 4644", q.Values[0])
+	}
+	if q.Values[1] != 1066-1213+4230 {
+		t.Errorf("object 1727 = %d, want %d", q.Values[1], 1066-1213+4230)
+	}
+	if q.Values[2] != 1923+1213+7935 {
+		t.Errorf("object 1501 = %d, want %d", q.Values[2], 1923+1213+7935)
+	}
+}
+
+func TestRunAbortTerminatorLeavesNoTrace(t *testing.T) {
+	e, runner := newScriptEngine(t)
+	s, err := Parse("BEGIN Update TEL 0\nWrite 1 , 999\nABORT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunRetry(s, runner, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.RunProgram(core.NewQuery(0, 1), tsgen.Make(1_000_000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sum != 1 {
+		t.Errorf("object 1 = %d after ABORT, want 1", q.Sum)
+	}
+}
+
+func TestRunRetryResubmitsOnEngineAbort(t *testing.T) {
+	e, runner := newScriptEngine(t)
+	// Commit a younger write first so the script's first attempt (older
+	// logical timestamp would be fresh...) — instead use an explicit old
+	// generator: pre-advance the engine with a write at a huge timestamp.
+	u, err := e.Begin(core.Update, tsgen.Make(5, 9), core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(u, 42, 4242); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse("BEGIN Query TIL 0\nt = Read 42\noutput(t)\nCOMMIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, attempts, err := RunRetry(s, runner, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts < 2 {
+		t.Errorf("attempts = %d, want ≥ 2 (first is late)", attempts)
+	}
+	if res.Env["t"] != 4242 {
+		t.Errorf("t = %d", res.Env["t"])
+	}
+}
+
+func TestRunUndefinedVariableAbortsAttempt(t *testing.T) {
+	_, runner := newScriptEngine(t)
+	s, err := Parse("BEGIN Update TEL 0\nWrite 1 , ghost+1\nCOMMIT\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunRetry(s, runner, nil, 3); err == nil {
+		t.Error("undefined variable committed")
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	s, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stmts[0].String(); got != "t1 = Read 1863" {
+		t.Errorf("ReadStmt.String = %q", got)
+	}
+	if got := s.Stmts[3].String(); !strings.Contains(got, `output("Sum is: ", `) {
+		t.Errorf("OutputStmt.String = %q", got)
+	}
+}
+
+func TestParseAllMultipleScripts(t *testing.T) {
+	src := "BEGIN Query TIL 5\nt = Read 1\nCOMMIT\n\nBEGIN Update TEL 0\nWrite 2 , 7\nABORT\n"
+	scripts, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) != 2 {
+		t.Fatalf("parsed %d scripts, want 2", len(scripts))
+	}
+	if scripts[0].Kind != core.Query || scripts[0].Terminator != "commit" {
+		t.Errorf("first script: %v %q", scripts[0].Kind, scripts[0].Terminator)
+	}
+	if scripts[1].Kind != core.Update || scripts[1].Terminator != "abort" {
+		t.Errorf("second script: %v %q", scripts[1].Kind, scripts[1].Terminator)
+	}
+}
+
+func TestParseAllEmptyAndMalformed(t *testing.T) {
+	if _, err := ParseAll("\n\n"); err == nil {
+		t.Error("empty load file accepted")
+	}
+	if _, err := ParseAll("BEGIN Query TIL 5\nCOMMIT\nBEGIN Bogus\n"); err == nil {
+		t.Error("malformed second script accepted")
+	}
+}
+
+func TestParseStillRejectsTrailingScript(t *testing.T) {
+	src := "BEGIN Query TIL 5\nCOMMIT\nBEGIN Query TIL 5\nCOMMIT\n"
+	if _, err := Parse(src); err == nil {
+		t.Error("Parse accepted two scripts; ParseAll is for load files")
+	}
+	if scripts, err := ParseAll(src); err != nil || len(scripts) != 2 {
+		t.Errorf("ParseAll = %d scripts, %v", len(scripts), err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package vclock provides the virtual timeline the experiment harness
+// runs on: simulated service times advance a logical clock instead of
+// sleeping on the wall clock, so a multiprogramming experiment that
+// "lasts" one second completes in milliseconds of CPU and — more
+// importantly — is immune to scheduler and timer noise on shared
+// machines.
+//
+// The model is conservative discrete-event simulation over goroutines.
+// Every participating goroutine is registered with the timeline; virtual
+// time advances only when every registered goroutine is either asleep
+// (Sleep) or suspended on an external event (Suspend/Resume around a
+// channel wait). The last goroutine to deactivate performs the
+// advancement: it moves the clock to the earliest sleeper deadline and
+// wakes everything due.
+//
+// The paper's prototype measured wall-clock throughput on a quiet LAN;
+// our substitution keeps the identical closed-loop structure — clients
+// submitting operations that occupy server capacity for a service time —
+// while making the "time" axis exact. A Real timeline with the same
+// interface is provided for wall-clock runs (e.g. -paper-scale).
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Timeline abstracts virtual versus wall-clock time for the harness.
+type Timeline interface {
+	// Sleep blocks the calling (registered) goroutine for d.
+	Sleep(d time.Duration)
+	// Now returns the elapsed time since the timeline's origin.
+	Now() time.Duration
+	// Enter registers the calling goroutine as a participant. Every
+	// participant must be registered before it first sleeps or blocks.
+	Enter()
+	// Exit deregisters the calling goroutine; it must not use the
+	// timeline afterwards.
+	Exit()
+	// Suspend marks the caller as blocked on an external event (a
+	// channel receive that another participant will satisfy). While
+	// suspended the goroutine does not hold back virtual time.
+	Suspend()
+	// Resume marks the caller runnable again after Suspend.
+	Resume()
+}
+
+// Real is the wall-clock timeline: Sleep is time.Sleep and
+// Suspend/Resume are no-ops. The zero value is not valid; use NewReal.
+type Real struct{ origin time.Time }
+
+// NewReal returns a wall-clock timeline with origin now.
+func NewReal() *Real { return &Real{origin: time.Now()} }
+
+// Sleep implements Timeline.
+func (*Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Now implements Timeline.
+func (r *Real) Now() time.Duration { return time.Since(r.origin) }
+
+// Enter implements Timeline.
+func (*Real) Enter() {}
+
+// Exit implements Timeline.
+func (*Real) Exit() {}
+
+// Suspend implements Timeline.
+func (*Real) Suspend() {}
+
+// Resume implements Timeline.
+func (*Real) Resume() {}
+
+// sleeper is one goroutine parked until a virtual deadline.
+type sleeper struct {
+	when time.Duration
+	ch   chan struct{}
+	idx  int
+}
+
+// sleeperHeap is a min-heap on deadlines.
+type sleeperHeap []*sleeper
+
+func (h sleeperHeap) Len() int           { return len(h) }
+func (h sleeperHeap) Less(i, j int) bool { return h[i].when < h[j].when }
+func (h sleeperHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *sleeperHeap) Push(x any)        { s := x.(*sleeper); s.idx = len(*h); *h = append(*h, s) }
+func (h *sleeperHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Virtual is the simulated timeline. The zero value is ready to use.
+type Virtual struct {
+	mu       sync.Mutex
+	now      time.Duration
+	active   int
+	sleepers sleeperHeap
+}
+
+// NewVirtual returns a virtual timeline at time zero.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// Now implements Timeline.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Enter implements Timeline.
+func (v *Virtual) Enter() {
+	v.mu.Lock()
+	v.active++
+	v.mu.Unlock()
+}
+
+// Exit implements Timeline.
+func (v *Virtual) Exit() {
+	v.mu.Lock()
+	v.deactivateLocked()
+	v.mu.Unlock()
+}
+
+// Suspend implements Timeline.
+func (v *Virtual) Suspend() {
+	v.mu.Lock()
+	v.deactivateLocked()
+	v.mu.Unlock()
+}
+
+// Resume implements Timeline.
+func (v *Virtual) Resume() {
+	v.mu.Lock()
+	v.active++
+	v.mu.Unlock()
+}
+
+// Sleep implements Timeline. Non-positive durations yield without
+// advancing time.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	s := &sleeper{when: v.now + d, ch: make(chan struct{})}
+	heap.Push(&v.sleepers, s)
+	v.deactivateLocked()
+	v.mu.Unlock()
+	<-s.ch
+	// advanceLocked credited this goroutine as active before waking it.
+}
+
+// deactivateLocked retires the caller from the active set; the last
+// active goroutine advances the clock.
+func (v *Virtual) deactivateLocked() {
+	v.active--
+	if v.active <= 0 {
+		v.advanceLocked()
+	}
+}
+
+// advanceLocked moves the clock to the earliest deadline and wakes every
+// sleeper due at the new time, crediting them as active before their
+// channels close so the clock can never run ahead of a woken goroutine.
+func (v *Virtual) advanceLocked() {
+	for v.active <= 0 && len(v.sleepers) > 0 {
+		next := v.sleepers[0].when
+		if next > v.now {
+			v.now = next
+		}
+		for len(v.sleepers) > 0 && v.sleepers[0].when <= v.now {
+			s := heap.Pop(&v.sleepers).(*sleeper)
+			v.active++
+			close(s.ch)
+		}
+	}
+	// active == 0 with no sleepers means every participant is suspended
+	// on an external event (or has exited); someone else's Resume will
+	// continue the simulation.
+}
+
+// Semaphore is a counting semaphore integrated with a Timeline. The
+// integration has one crucial property: a releaser that hands its slot
+// to a blocked acquirer credits the acquirer as active *before* waking
+// it, so virtual time can never advance past a goroutine that is about
+// to run. (A plain channel semaphore cannot do this — the releaser has
+// no way to credit the blocked sender atomically with the handoff — and
+// the resulting window systematically under-utilizes simulated
+// capacity.)
+type Semaphore struct {
+	mu      sync.Mutex
+	free    int
+	waiters []chan struct{}
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func NewSemaphore(capacity int) *Semaphore {
+	return &Semaphore{free: capacity}
+}
+
+// Acquire claims a slot on behalf of a registered goroutine, suspending
+// the timeline while blocked. FIFO handoff keeps the simulation fair.
+func (s *Semaphore) Acquire(t Timeline) {
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.waiters = append(s.waiters, ch)
+	s.mu.Unlock()
+	t.Suspend()
+	<-ch
+	// The releaser already called t.Resume() on our behalf.
+}
+
+// Release returns a slot, handing it directly to the oldest waiter if
+// one exists.
+func (s *Semaphore) Release(t Timeline) {
+	s.mu.Lock()
+	if len(s.waiters) > 0 {
+		ch := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.mu.Unlock()
+		t.Resume() // credit the waiter before it wakes
+		close(ch)
+		return
+	}
+	s.free++
+	s.mu.Unlock()
+}
+
+// Stats reports the timeline's internal state for tests.
+func (v *Virtual) Stats() (active, sleeping int, now time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.active, len(v.sleepers), v.now
+}

@@ -1,0 +1,207 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestVirtualSingleSleeperAdvances(t *testing.T) {
+	v := NewVirtual()
+	v.Enter()
+	v.Sleep(5 * time.Millisecond)
+	if got := v.Now(); got != 5*time.Millisecond {
+		t.Errorf("Now = %v, want 5ms", got)
+	}
+	v.Sleep(3 * time.Millisecond)
+	if got := v.Now(); got != 8*time.Millisecond {
+		t.Errorf("Now = %v, want 8ms", got)
+	}
+	v.Exit()
+}
+
+func TestVirtualZeroSleepIsNoop(t *testing.T) {
+	v := NewVirtual()
+	v.Enter()
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if got := v.Now(); got != 0 {
+		t.Errorf("Now = %v, want 0", got)
+	}
+	v.Exit()
+}
+
+func TestVirtualTwoSleepersInterleave(t *testing.T) {
+	v := NewVirtual()
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	run := func(name string, step time.Duration, n int) {
+		defer wg.Done()
+		defer v.Exit()
+		for i := 0; i < n; i++ {
+			v.Sleep(step)
+			log(name)
+		}
+	}
+	v.Enter()
+	v.Enter()
+	wg.Add(2)
+	go run("a", 2*time.Millisecond, 3) // fires at 2, 4, 6
+	go run("b", 3*time.Millisecond, 2) // fires at 3, 6
+	wg.Wait()
+	if got := v.Now(); got != 6*time.Millisecond {
+		t.Errorf("final Now = %v, want 6ms", got)
+	}
+	// a(2) b(3) a(4) then a/b at 6 in either order.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 || order[0] != "a" || order[1] != "b" || order[2] != "a" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestVirtualTimeDoesNotDependOnWallTime(t *testing.T) {
+	v := NewVirtual()
+	v.Enter()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		v.Sleep(time.Second) // 1000 virtual seconds
+	}
+	elapsed := time.Since(start)
+	v.Exit()
+	if got := v.Now(); got != 1000*time.Second {
+		t.Errorf("Now = %v, want 1000s", got)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("1000 virtual seconds took %v of wall time", elapsed)
+	}
+}
+
+func TestVirtualSuspendResumeExternalEvent(t *testing.T) {
+	// One goroutine suspends on a channel that a sleeping goroutine
+	// closes after a virtual delay: the clock must advance through the
+	// sleeper while the waiter is suspended, and the waiter must resume.
+	v := NewVirtual()
+	ready := make(chan struct{})
+	var wg sync.WaitGroup
+	var wokenAt time.Duration
+
+	v.Enter() // waiter
+	v.Enter() // sleeper
+	wg.Add(2)
+	go func() { // waiter
+		defer wg.Done()
+		defer v.Exit()
+		v.Suspend()
+		<-ready
+		v.Resume()
+		wokenAt = v.Now()
+	}()
+	go func() { // sleeper
+		defer wg.Done()
+		defer v.Exit()
+		v.Sleep(7 * time.Millisecond)
+		close(ready)
+	}()
+	wg.Wait()
+	if wokenAt != 7*time.Millisecond {
+		t.Errorf("waiter woke at %v, want 7ms", wokenAt)
+	}
+}
+
+func TestVirtualCapacitySemaphoreModel(t *testing.T) {
+	// Four workers share two capacity slots; each executes 10 operations
+	// of 1ms service time. Total service demand is 40ms over capacity 2
+	// → the simulation must end at exactly 20ms of virtual time.
+	v := NewVirtual()
+	slots := NewSemaphore(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		v.Enter()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer v.Exit()
+			for i := 0; i < 10; i++ {
+				slots.Acquire(v)
+				v.Sleep(time.Millisecond)
+				slots.Release(v)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); got != 20*time.Millisecond {
+		t.Errorf("virtual makespan = %v, want exactly 20ms", got)
+	}
+}
+
+func TestVirtualDeterministicThroughput(t *testing.T) {
+	// The capacity model must produce identical op counts run after run.
+	run := func() int64 {
+		v := NewVirtual()
+		slots := NewSemaphore(3)
+		stop := make(chan struct{})
+		var ops atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < 5; w++ {
+			v.Enter()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer v.Exit()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					slots.Acquire(v)
+					v.Sleep(time.Millisecond)
+					slots.Release(v)
+					ops.Add(1)
+				}
+			}()
+		}
+		v.Enter() // coordinator
+		v.Sleep(100 * time.Millisecond)
+		close(stop)
+		v.Exit()
+		wg.Wait()
+		return ops.Load()
+	}
+	a, b := run(), run()
+	// Capacity 3 slots × 1ms → ~300 ops in 100 virtual ms.
+	if a < 290 || a > 310 {
+		t.Errorf("ops = %d, want ≈300", a)
+	}
+	// Virtual time removes timer noise; only the stop-boundary op can
+	// differ between runs (goroutine scheduling may cut off the last
+	// operation on either side of close(stop)).
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Errorf("virtual runs differ: %d vs %d", a, b)
+	}
+}
+
+func TestRealTimelineBasics(t *testing.T) {
+	r := NewReal()
+	r.Enter()
+	r.Suspend()
+	r.Resume()
+	start := r.Now()
+	r.Sleep(5 * time.Millisecond)
+	if r.Now()-start < 5*time.Millisecond {
+		t.Error("Real.Sleep returned early")
+	}
+	r.Exit()
+}

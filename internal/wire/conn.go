@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Conn frames messages over a byte stream. It is not safe for concurrent
+// use: the prototype's RPC is synchronous (§6), one request in flight per
+// connection, which is also what bounds the multiprogramming level to the
+// number of clients.
+type Conn struct {
+	rw  io.ReadWriter
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// NewConn wraps a byte stream (usually a net.Conn) in a message framer.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{
+		rw: rw,
+		br: bufio.NewReader(rw),
+		bw: bufio.NewWriter(rw),
+	}
+}
+
+// Close closes the underlying stream if it is closable.
+func (c *Conn) Close() error {
+	if closer, ok := c.rw.(io.Closer); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
+// RemoteAddr reports the peer address when the stream is a net.Conn.
+func (c *Conn) RemoteAddr() string {
+	if nc, ok := c.rw.(net.Conn); ok {
+		return nc.RemoteAddr().String()
+	}
+	return "pipe"
+}
+
+// WriteMessage frames and sends one message.
+func (c *Conn) WriteMessage(m Message) error {
+	c.buf = c.buf[:0]
+	c.buf = append(c.buf, Magic[0], Magic[1], Version, byte(m.MsgType()))
+	c.buf = append(c.buf, 0, 0, 0, 0) // length placeholder
+	c.buf = m.appendPayload(c.buf)
+	payloadLen := len(c.buf) - 8
+	if payloadLen > MaxPayload {
+		return fmt.Errorf("wire: %v payload of %d bytes exceeds limit", m.MsgType(), payloadLen)
+	}
+	binary.BigEndian.PutUint32(c.buf[4:8], uint32(payloadLen))
+	if _, err := c.bw.Write(c.buf); err != nil {
+		return fmt.Errorf("wire: write %v: %w", m.MsgType(), err)
+	}
+	return c.bw.Flush()
+}
+
+// ReadMessage receives and decodes one message. io.EOF is returned
+// unwrapped when the peer closed the connection cleanly between frames.
+func (c *Conn) ReadMessage() (Message, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(c.br, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	if _, err := io.ReadFull(c.br, hdr[1:]); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	if hdr[0] != Magic[0] || hdr[1] != Magic[1] {
+		return nil, fmt.Errorf("wire: bad magic %02x%02x", hdr[0], hdr[1])
+	}
+	if hdr[2] != Version {
+		return nil, fmt.Errorf("wire: unsupported protocol version %d", hdr[2])
+	}
+	t := MsgType(hdr[3])
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("wire: %v payload of %d bytes exceeds limit", t, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, fmt.Errorf("wire: read %v payload: %w", t, err)
+	}
+	m, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{b: payload}
+	m.decodePayload(r)
+	if err := r.finish(t); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Call sends a request and reads the response, converting Error responses
+// into Go errors.
+func (c *Conn) Call(req Message) (Message, error) {
+	if err := c.WriteMessage(req); err != nil {
+		return nil, err
+	}
+	resp, err := c.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp.(*Error); ok {
+		return nil, e
+	}
+	return resp, nil
+}

@@ -1,0 +1,227 @@
+// Package wire implements the framed binary protocol between transaction
+// clients and the transaction server.
+//
+// The prototype of the paper ran synchronous RPC over a LAN (§6); this
+// package plays that role over TCP. Each message is one frame:
+//
+//	offset  size  field
+//	0       2     magic 0xED 0x05
+//	2       1     protocol version (1)
+//	3       1     message type
+//	4       4     payload length, big endian
+//	8       n     payload
+//
+// The request set mirrors the five basic operations of the prototype —
+// Begin, Read, Write, Commit, Abort — plus a clock-synchronization
+// handshake (the virtual-clock correction factor of §6) and a statistics
+// probe used by the measurement tools.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Magic identifies epsilondb frames.
+var Magic = [2]byte{0xED, 0x05}
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// MaxPayload bounds frame payloads; larger frames are rejected to protect
+// the peer from corrupt length fields.
+const MaxPayload = 1 << 20
+
+// MsgType identifies the message carried by a frame.
+type MsgType uint8
+
+// Request message types.
+const (
+	MsgBegin MsgType = iota + 1
+	MsgRead
+	MsgWrite
+	MsgCommit
+	MsgAbort
+	MsgSync
+	MsgStats
+)
+
+// Response message types.
+const (
+	MsgBeginOK MsgType = iota + 64
+	MsgValue
+	MsgOK
+	MsgSyncOK
+	MsgStatsOK
+	MsgError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgBegin:
+		return "Begin"
+	case MsgRead:
+		return "Read"
+	case MsgWrite:
+		return "Write"
+	case MsgCommit:
+		return "Commit"
+	case MsgAbort:
+		return "Abort"
+	case MsgSync:
+		return "Sync"
+	case MsgStats:
+		return "Stats"
+	case MsgBeginOK:
+		return "BeginOK"
+	case MsgValue:
+		return "Value"
+	case MsgOK:
+		return "OK"
+	case MsgSyncOK:
+		return "SyncOK"
+	case MsgStatsOK:
+		return "StatsOK"
+	case MsgError:
+		return "Error"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol message. Implementations append their payload
+// encoding and decode from a payload slice.
+type Message interface {
+	// MsgType returns the frame type byte.
+	MsgType() MsgType
+	// appendPayload appends the message payload to dst.
+	appendPayload(dst []byte) []byte
+	// decodePayload parses the payload.
+	decodePayload(src *reader)
+}
+
+// newMessage constructs the empty message for a frame type.
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case MsgBegin:
+		return &Begin{}, nil
+	case MsgRead:
+		return &Read{}, nil
+	case MsgWrite:
+		return &Write{}, nil
+	case MsgCommit:
+		return &Commit{}, nil
+	case MsgAbort:
+		return &Abort{}, nil
+	case MsgSync:
+		return &Sync{}, nil
+	case MsgStats:
+		return &Stats{}, nil
+	case MsgBeginOK:
+		return &BeginOK{}, nil
+	case MsgValue:
+		return &Value{}, nil
+	case MsgOK:
+		return &OK{}, nil
+	case MsgSyncOK:
+		return &SyncOK{}, nil
+	case MsgStatsOK:
+		return &StatsOK{}, nil
+	case MsgError:
+		return &Error{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
+	}
+}
+
+// reader is a cursor over a payload with sticky error handling.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated payload reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *reader) u8(what string) uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16(what string) uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *reader) str(what string) string {
+	n := int(r.u16(what))
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail(what)
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// leftover reports trailing bytes, which indicate a peer bug.
+func (r *reader) finish(t MsgType) error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %v payload has %d trailing bytes", t, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func appendU8(dst []byte, v uint8) []byte   { return append(dst, v) }
+func appendU16(dst []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(dst, v) }
+func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
+func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }
+func appendI64(dst []byte, v int64) []byte  { return appendU64(dst, uint64(v)) }
+
+func appendStr(dst []byte, s string) []byte {
+	if len(s) > 0xFFFF {
+		s = s[:0xFFFF]
+	}
+	dst = appendU16(dst, uint16(len(s)))
+	return append(dst, s...)
+}

@@ -1,0 +1,257 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// pipeConns returns two framers connected back to back.
+func pipeConns() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+// roundTrip sends m through an in-memory buffer and decodes it back.
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteMessage(m); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	got, err := c.ReadMessage()
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&Begin{Kind: core.Query, Timestamp: tsgen.Make(42, 3), Spec: core.BoundSpec{
+			Transaction: 100_000,
+			Groups:      map[string]core.Distance{"company": 4000, "personal": 3000},
+			Objects:     map[core.ObjectID]core.Distance{7: 200},
+		}},
+		&Begin{Kind: core.Update, Timestamp: tsgen.Make(1, 0), Spec: core.BoundSpec{Transaction: 0}},
+		&Read{Txn: 9, Object: 1863},
+		&Write{Txn: 9, Object: 1078, Delta: false, Value: 5230},
+		&Write{Txn: 9, Object: 1727, Delta: true, Value: -420},
+		&Commit{Txn: 9},
+		&Abort{Txn: 12},
+		&Sync{ClientTicks: 123456789},
+		&Stats{},
+		&BeginOK{Txn: 77},
+		&Value{Value: -99},
+		&OK{},
+		&SyncOK{ServerTicks: 987654321},
+		&StatsOK{Snapshot: metrics.Snapshot{Commits: 5, AbortLateRead: 2, WastedOps: 7}, ProperMisses: 3},
+		&Error{Code: CodeAbort, Reason: metrics.AbortImportLimit, Message: "limit exceeded"},
+		&Error{Code: CodeGeneric, Message: "unknown txn"},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip of %v:\n got %#v\nwant %#v", m.MsgType(), got, m)
+		}
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, m := range []Message{&Begin{}, &Read{}, &Write{}, &Commit{}, &Abort{}, &Sync{}, &Stats{},
+		&BeginOK{}, &Value{}, &OK{}, &SyncOK{}, &StatsOK{}, &Error{}} {
+		if s := m.MsgType().String(); strings.HasPrefix(s, "MsgType(") {
+			t.Errorf("missing name for %d", m.MsgType())
+		}
+	}
+	if MsgType(200).String() != "MsgType(200)" {
+		t.Error("unknown type string wrong")
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	e := &Error{Code: CodeAbort, Reason: metrics.AbortLateRead, Message: "x"}
+	if !strings.Contains(e.Error(), "late-read") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	g := &Error{Code: CodeGeneric, Message: "boom"}
+	if !strings.Contains(g.Error(), "boom") {
+		t.Errorf("Error() = %q", g.Error())
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x00, 0x00, Version, byte(MsgOK), 0, 0, 0, 0})
+	_, err := NewConn(&buf).ReadMessage()
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Errorf("bad magic not rejected: %v", err)
+	}
+}
+
+func TestBadVersionRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{Magic[0], Magic[1], 99, byte(MsgOK), 0, 0, 0, 0})
+	_, err := NewConn(&buf).ReadMessage()
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version not rejected: %v", err)
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{Magic[0], Magic[1], Version, 250, 0, 0, 0, 0})
+	_, err := NewConn(&buf).ReadMessage()
+	if err == nil || !strings.Contains(err.Error(), "unknown message type") {
+		t.Errorf("unknown type not rejected: %v", err)
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := []byte{Magic[0], Magic[1], Version, byte(MsgOK), 0xFF, 0xFF, 0xFF, 0xFF}
+	buf.Write(hdr)
+	_, err := NewConn(&buf).ReadMessage()
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized payload not rejected: %v", err)
+	}
+}
+
+func TestTruncatedPayloadRejected(t *testing.T) {
+	var full bytes.Buffer
+	c := NewConn(&full)
+	if err := c.WriteMessage(&Read{Txn: 1, Object: 2}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	truncated := bytes.NewBuffer(raw[:len(raw)-2])
+	_, err := NewConn(truncated).ReadMessage()
+	if err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	// An OK frame that claims a 3-byte payload.
+	var buf bytes.Buffer
+	buf.Write([]byte{Magic[0], Magic[1], Version, byte(MsgOK), 0, 0, 0, 3, 1, 2, 3})
+	_, err := NewConn(&buf).ReadMessage()
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing bytes not rejected: %v", err)
+	}
+}
+
+func TestCleanEOFBetweenFrames(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := NewConn(&buf).ReadMessage()
+	if err != io.EOF {
+		t.Errorf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func TestCallOverPipe(t *testing.T) {
+	client, server := pipeConns()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		req, err := server.ReadMessage()
+		if err != nil {
+			return
+		}
+		if r, ok := req.(*Read); ok && r.Object == 5 {
+			_ = server.WriteMessage(&Value{Value: 500})
+		} else {
+			_ = server.WriteMessage(&Error{Code: CodeGeneric, Message: "bad request"})
+		}
+	}()
+	resp, err := client.Call(&Read{Txn: 1, Object: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := resp.(*Value); !ok || v.Value != 500 {
+		t.Errorf("resp = %#v", resp)
+	}
+}
+
+func TestCallSurfacesErrorResponses(t *testing.T) {
+	client, server := pipeConns()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		if _, err := server.ReadMessage(); err != nil {
+			return
+		}
+		_ = server.WriteMessage(&Error{Code: CodeAbort, Reason: metrics.AbortExportLimit, Message: "tel"})
+	}()
+	_, err := client.Call(&Commit{Txn: 1})
+	we, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err = %v, want *wire.Error", err)
+	}
+	if we.Code != CodeAbort || we.Reason != metrics.AbortExportLimit {
+		t.Errorf("error = %#v", we)
+	}
+}
+
+func TestBeginRoundTripProperty(t *testing.T) {
+	prop := func(kind bool, ticks int64, site uint16, limit int64, groupLimit int64, objID uint32, objLimit int64) bool {
+		if ticks < 0 {
+			ticks = -ticks
+		}
+		ticks &= (1 << 40) - 1
+		k := core.Query
+		if kind {
+			k = core.Update
+		}
+		m := &Begin{
+			Kind:      k,
+			Timestamp: tsgen.Make(ticks, int(site)),
+			Spec: core.BoundSpec{
+				Transaction: limit,
+				Groups:      map[string]core.Distance{"g": groupLimit},
+				Objects:     map[core.ObjectID]core.Distance{core.ObjectID(objID): objLimit},
+			},
+		}
+		var buf bytes.Buffer
+		c := NewConn(&buf)
+		if err := c.WriteMessage(m); err != nil {
+			return false
+		}
+		got, err := c.ReadMessage()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, m)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	prop := func(v int64) bool {
+		var buf bytes.Buffer
+		c := NewConn(&buf)
+		if err := c.WriteMessage(&Value{Value: v}); err != nil {
+			return false
+		}
+		got, err := c.ReadMessage()
+		if err != nil {
+			return false
+		}
+		vv, ok := got.(*Value)
+		return ok && vv.Value == v
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

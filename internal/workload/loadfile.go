@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+// WriteScript renders a generated program as a transaction script in the
+// paper's language (§3.2), so generated workloads can be stored as the
+// load files the prototype's clients replayed (§6).
+//
+// Queries become the canonical sum query. Delta writes are expressed the
+// way the paper's updates express them — a read feeding the write's
+// expression:
+//
+//	tw0 = Read 7
+//	Write 7 , tw0+120
+func WriteScript(w io.Writer, p *core.Program) error {
+	var sb strings.Builder
+	switch p.Kind {
+	case core.Query:
+		fmt.Fprintf(&sb, "BEGIN Query TIL %d\n", p.Bounds.Transaction)
+	case core.Update:
+		fmt.Fprintf(&sb, "BEGIN Update TEL %d\n", p.Bounds.Transaction)
+	default:
+		return fmt.Errorf("workload: cannot serialize kind %d", p.Kind)
+	}
+	for name, limit := range p.Bounds.Groups {
+		fmt.Fprintf(&sb, "LIMIT %s %d\n", name, limit)
+	}
+	for obj, limit := range p.Bounds.Objects {
+		fmt.Fprintf(&sb, "LIMIT %d %d\n", obj, limit)
+	}
+
+	var sumVars []string
+	writeVar := 0
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case core.OpRead:
+			name := fmt.Sprintf("t%d", len(sumVars))
+			fmt.Fprintf(&sb, "%s = Read %d\n", name, op.Object)
+			sumVars = append(sumVars, name)
+		case core.OpWrite:
+			if op.UseDelta {
+				name := fmt.Sprintf("tw%d", writeVar)
+				writeVar++
+				fmt.Fprintf(&sb, "%s = Read %d\n", name, op.Object)
+				if op.Delta >= 0 {
+					fmt.Fprintf(&sb, "Write %d , %s+%d\n", op.Object, name, op.Delta)
+				} else {
+					fmt.Fprintf(&sb, "Write %d , %s-%d\n", op.Object, name, -op.Delta)
+				}
+			} else {
+				fmt.Fprintf(&sb, "Write %d , %d\n", op.Object, op.Value)
+			}
+		}
+	}
+	if p.Kind == core.Query && len(sumVars) > 0 {
+		fmt.Fprintf(&sb, "output(\"Sum is: \", %s)\n", strings.Join(sumVars, "+"))
+	}
+	sb.WriteString("COMMIT\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteLoadFile generates n transactions and renders them as one load
+// file, reproducing the prototype's pre-generated per-client data files.
+func (g *Generator) WriteLoadFile(w io.Writer, n int) error {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := WriteScript(w, g.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/txnlang"
+)
+
+func TestWriteScriptQueryRoundTrip(t *testing.T) {
+	p := core.NewQuery(100_000, 17, 42, 99)
+	p.Bounds = p.Bounds.WithGroup("company", 4000).WithObject(17, 200)
+	var sb strings.Builder
+	if err := WriteScript(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	src := sb.String()
+	for _, frag := range []string{"BEGIN Query TIL 100000", "LIMIT company 4000", "LIMIT 17 200", "t0 = Read 17", "output(\"Sum is: \", t0+t1+t2)", "COMMIT"} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("script missing %q:\n%s", frag, src)
+		}
+	}
+	parsed, err := txnlang.Parse(src)
+	if err != nil {
+		t.Fatalf("round trip parse: %v\n%s", err, src)
+	}
+	if parsed.Kind != core.Query || parsed.Spec.Transaction != 100_000 {
+		t.Errorf("parsed header: %v %d", parsed.Kind, parsed.Spec.Transaction)
+	}
+	if parsed.Spec.Groups["company"] != 4000 || parsed.Spec.Objects[17] != 200 {
+		t.Errorf("parsed limits: %+v", parsed.Spec)
+	}
+}
+
+func TestWriteScriptDeltaUpdateExecutes(t *testing.T) {
+	p := core.NewUpdate(0).Read(1).WriteDelta(2, 120).WriteDelta(3, -30)
+	var sb strings.Builder
+	if err := WriteScript(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	script, err := txnlang.Parse(sb.String())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, sb.String())
+	}
+
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for i := 1; i <= 3; i++ {
+		if _, err := st.Create(core.ObjectID(i), core.Value(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := tso.NewEngine(st, tso.Options{})
+	runner := txnlang.EngineRunner{Engine: e, Gen: tsgen.NewGenerator(0, &tsgen.LogicalClock{})}
+	if _, _, err := txnlang.RunRetry(script, runner, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	check, err := e.RunProgram(core.NewQuery(0, 2, 3), tsgen.Make(1000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Values[0] != 1120 || check.Values[1] != 970 {
+		t.Errorf("values after script = %v, want [1120 970]", check.Values)
+	}
+}
+
+func TestWriteScriptAbsoluteWrite(t *testing.T) {
+	p := core.NewUpdate(0).WriteValue(5, 777)
+	var sb strings.Builder
+	if err := WriteScript(&sb, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Write 5 , 777") {
+		t.Errorf("script:\n%s", sb.String())
+	}
+	if _, err := txnlang.Parse(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteScriptRejectsBadKind(t *testing.T) {
+	p := &core.Program{Kind: core.Kind(9)}
+	if err := WriteScript(&strings.Builder{}, p); err == nil {
+		t.Error("bad kind serialized")
+	}
+}
+
+func TestWriteLoadFileParsesBack(t *testing.T) {
+	g, err := NewGenerator(DefaultParams(LevelMedium), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteLoadFile(&sb, 8); err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := txnlang.ParseAll(sb.String())
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	if len(scripts) != 8 {
+		t.Fatalf("parsed %d scripts, want 8", len(scripts))
+	}
+	queries := 0
+	for _, s := range scripts {
+		if s.Terminator != "commit" {
+			t.Errorf("terminator %q", s.Terminator)
+		}
+		if s.Kind == core.Query {
+			queries++
+			if s.Spec.Transaction != LevelMedium.TIL {
+				t.Errorf("query TIL %d", s.Spec.Transaction)
+			}
+		} else if s.Spec.Transaction != LevelMedium.TEL {
+			t.Errorf("update TEL %d", s.Spec.Transaction)
+		}
+	}
+	if queries == 0 || queries == 8 {
+		t.Errorf("mix: %d queries of 8", queries)
+	}
+}
+
+func TestGeneratedLoadFileRunsToCompletion(t *testing.T) {
+	params := DefaultParams(LevelHigh)
+	params.NumObjects = 50
+	params.HotSetSize = 10
+	g, err := NewGenerator(params, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := g.WriteLoadFile(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	scripts, err := txnlang.ParseAll(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for i := 0; i < 50; i++ {
+		if _, err := st.Create(core.ObjectID(i), 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := tso.NewEngine(st, tso.Options{})
+	runner := txnlang.EngineRunner{Engine: e, Gen: tsgen.NewGenerator(0, &tsgen.LogicalClock{})}
+	for i, s := range scripts {
+		if _, _, err := txnlang.RunRetry(s, runner, nil, 100); err != nil {
+			t.Fatalf("script %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package workload generates the randomized transaction load of the
+// paper's performance tests (§7):
+//
+//   - about 1000 objects with values in [1000, 9999];
+//   - a high conflict ratio produced by concentrating most accesses on a
+//     hot set of about 20 objects (chosen so thrashing appears within a
+//     multiprogramming level of 10);
+//   - query ETs with about 20 read operations computing a sum;
+//   - update ETs with about 6 operations (reads plus writes whose values
+//     depend on the reads — generated here as delta writes so restarted
+//     transactions stay meaningful);
+//   - transaction inconsistency bounds drawn from the paper's levels
+//     (high/medium/low/zero).
+//
+// Generators are deterministic given their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+// Level is a named pair of transaction bounds from the §7 table.
+type Level struct {
+	Name string
+	TIL  core.Distance
+	TEL  core.Distance
+}
+
+// The paper's bound levels (§7): TEL is an order of magnitude below TIL
+// because update ETs have ~6 operations against the queries' ~20.
+var (
+	// LevelZero is the SR baseline: no inconsistency tolerated.
+	LevelZero = Level{Name: "zero", TIL: 0, TEL: 0}
+	// LevelLow tolerates little inconsistency.
+	LevelLow = Level{Name: "low-epsilon", TIL: 10_000, TEL: 1_000}
+	// LevelMedium is the intermediate setting.
+	LevelMedium = Level{Name: "medium-epsilon", TIL: 50_000, TEL: 5_000}
+	// LevelHigh is the most permissive setting.
+	LevelHigh = Level{Name: "high-epsilon", TIL: 100_000, TEL: 10_000}
+)
+
+// Levels lists the four settings in the order the figures plot them.
+func Levels() []Level {
+	return []Level{LevelZero, LevelLow, LevelMedium, LevelHigh}
+}
+
+// Params configures a workload generator.
+type Params struct {
+	// NumObjects is the database size; the paper used 1000.
+	NumObjects int
+	// HotSetSize is the size of the contended object subset; the paper
+	// used about 20.
+	HotSetSize int
+	// HotFraction is the probability that a query read targets the hot
+	// set; the paper says "most of our transactions accessed only about
+	// 20 objects", so the default is 0.9.
+	HotFraction float64
+	// UpdateHotFraction is the probability that an update operation
+	// targets the hot set. The paper's conflict ratio is dominated by
+	// query-update interference (its high-epsilon runs see almost no
+	// aborts, which rules out heavy update-update conflicts), so updates
+	// spread wider than query reads; default 0.8.
+	UpdateHotFraction float64
+	// QueryFraction is the probability a generated transaction is a
+	// query ET; default 0.5.
+	QueryFraction float64
+	// QueryOps is the mean number of reads in a query ET; the paper's
+	// typical query has about 20.
+	QueryOps int
+	// UpdateOps is the mean number of operations in an update ET; the
+	// paper's typical update has about 6 (reads feeding delta writes).
+	UpdateOps int
+	// MeanWriteDelta is w, the scale of the change a typical write
+	// makes; typical deltas are drawn uniformly from [1, 1.2w] with
+	// random sign.
+	MeanWriteDelta core.Value
+	// DeltaSpikeFraction is the probability that a write's delta is a
+	// spike drawn from [5.5w, 6.5w] instead of the typical range. The
+	// paper's updates mix small balance changes with occasional large
+	// rewrites (its examples write values like t1+4230); the spikes are
+	// what make the object import limit interesting — they are the
+	// operations "that cause high inconsistency" in the Figure 12
+	// discussion. Default 0.15.
+	DeltaSpikeFraction float64
+	// TIL and TEL are the transaction bounds stamped on generated
+	// programs (use a Level).
+	TIL core.Distance
+	TEL core.Distance
+}
+
+// DefaultParams returns the paper's §7 configuration at the given level.
+func DefaultParams(l Level) Params {
+	return Params{
+		NumObjects:         1000,
+		HotSetSize:         20,
+		HotFraction:        0.9,
+		UpdateHotFraction:  0.7,
+		QueryFraction:      0.5,
+		QueryOps:           20,
+		UpdateOps:          6,
+		MeanWriteDelta:     1500,
+		DeltaSpikeFraction: 0.15,
+		TIL:                l.TIL,
+		TEL:                l.TEL,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	switch {
+	case p.NumObjects <= 0:
+		return fmt.Errorf("workload: NumObjects must be positive, got %d", p.NumObjects)
+	case p.HotSetSize <= 0 || p.HotSetSize > p.NumObjects:
+		return fmt.Errorf("workload: HotSetSize %d outside (0, %d]", p.HotSetSize, p.NumObjects)
+	case p.HotFraction < 0 || p.HotFraction > 1:
+		return fmt.Errorf("workload: HotFraction %f outside [0, 1]", p.HotFraction)
+	case p.UpdateHotFraction < 0 || p.UpdateHotFraction > 1:
+		return fmt.Errorf("workload: UpdateHotFraction %f outside [0, 1]", p.UpdateHotFraction)
+	case p.QueryFraction < 0 || p.QueryFraction > 1:
+		return fmt.Errorf("workload: QueryFraction %f outside [0, 1]", p.QueryFraction)
+	case p.QueryOps <= 0:
+		return fmt.Errorf("workload: QueryOps must be positive, got %d", p.QueryOps)
+	case p.UpdateOps < 2:
+		return fmt.Errorf("workload: UpdateOps must be at least 2, got %d", p.UpdateOps)
+	case p.MeanWriteDelta <= 0:
+		return fmt.Errorf("workload: MeanWriteDelta must be positive, got %d", p.MeanWriteDelta)
+	case p.DeltaSpikeFraction < 0 || p.DeltaSpikeFraction > 1:
+		return fmt.Errorf("workload: DeltaSpikeFraction %f outside [0, 1]", p.DeltaSpikeFraction)
+	}
+	return nil
+}
+
+// Generator produces random transaction programs. It is not safe for
+// concurrent use; give each client goroutine its own (the prototype gave
+// each client its own pre-generated load file).
+type Generator struct {
+	p   Params
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator with the given parameters and seed.
+func NewGenerator(p Params, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{p: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Params returns the generator's configuration.
+func (g *Generator) Params() Params { return g.p }
+
+// Next generates the next transaction program.
+func (g *Generator) Next() *core.Program {
+	if g.rng.Float64() < g.p.QueryFraction {
+		return g.nextQuery()
+	}
+	return g.nextUpdate()
+}
+
+// nextQuery builds a sum query over ~QueryOps distinct objects.
+func (g *Generator) nextQuery() *core.Program {
+	n := jitter(g.rng, g.p.QueryOps)
+	objs := g.pickObjects(n, g.p.HotFraction)
+	p := core.NewQuery(g.p.TIL, objs...)
+	p.Label = "query"
+	return p
+}
+
+// nextUpdate builds an update with reads feeding delta writes: roughly
+// half the operations read, half write, matching the paper's example
+// where write values depend on the values read.
+func (g *Generator) nextUpdate() *core.Program {
+	n := jitter(g.rng, g.p.UpdateOps)
+	if n < 2 {
+		n = 2
+	}
+	writes := n / 2
+	reads := n - writes
+	objs := g.pickObjects(n, g.p.UpdateHotFraction)
+	p := core.NewUpdate(g.p.TEL)
+	p.Label = "update"
+	for i := 0; i < reads; i++ {
+		p.Read(objs[i])
+	}
+	for i := reads; i < n; i++ {
+		p.WriteDelta(objs[i], g.delta())
+	}
+	return p
+}
+
+// delta draws a write change with random sign: typically uniform from
+// [1, 1.2w], with probability DeltaSpikeFraction a spike from [4w, 5w].
+func (g *Generator) delta() core.Value {
+	w := g.p.MeanWriteDelta
+	var d core.Value
+	if g.rng.Float64() < g.p.DeltaSpikeFraction {
+		d = 11*w/2 + core.Value(g.rng.Int63n(int64(w)+1))
+	} else {
+		d = 1 + core.Value(g.rng.Int63n(int64(12*w/10)))
+	}
+	if g.rng.Intn(2) == 0 {
+		d = -d
+	}
+	return d
+}
+
+// jitter returns mean ± 25% (at least 1).
+func jitter(rng *rand.Rand, mean int) int {
+	span := mean / 4
+	if span == 0 {
+		return mean
+	}
+	n := mean - span + rng.Intn(2*span+1)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// pickObjects draws n distinct object ids, each from the hot set with
+// probability HotFraction. Hot objects are ids [0, HotSetSize); cold
+// objects are the rest. If a pool is exhausted the other is used.
+func (g *Generator) pickObjects(n int, hotFraction float64) []core.ObjectID {
+	if n > g.p.NumObjects {
+		n = g.p.NumObjects
+	}
+	chosen := make(map[core.ObjectID]bool, n)
+	out := make([]core.ObjectID, 0, n)
+	coldSpan := g.p.NumObjects - g.p.HotSetSize
+	for len(out) < n {
+		var id core.ObjectID
+		hot := g.rng.Float64() < hotFraction
+		if coldSpan == 0 {
+			hot = true
+		}
+		if hot {
+			id = core.ObjectID(g.rng.Intn(g.p.HotSetSize))
+		} else {
+			id = core.ObjectID(g.p.HotSetSize + g.rng.Intn(coldSpan))
+		}
+		if chosen[id] {
+			// Collision: fall back to a linear probe within the same
+			// pool so dense draws (n close to pool size) terminate.
+			id = g.probe(id, hot, chosen)
+			if chosen[id] {
+				continue
+			}
+		}
+		chosen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// probe scans forward from id within its pool for a free slot.
+func (g *Generator) probe(start core.ObjectID, hot bool, chosen map[core.ObjectID]bool) core.ObjectID {
+	lo, hi := 0, g.p.HotSetSize
+	if !hot {
+		lo, hi = g.p.HotSetSize, g.p.NumObjects
+	}
+	span := hi - lo
+	for i := 0; i < span; i++ {
+		id := core.ObjectID(lo + (int(start)-lo+i)%span)
+		if !chosen[id] {
+			return id
+		}
+	}
+	return start
+}

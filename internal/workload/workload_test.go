@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+func TestLevelsMatchPaperTable(t *testing.T) {
+	ls := Levels()
+	if len(ls) != 4 {
+		t.Fatalf("Levels() has %d entries", len(ls))
+	}
+	if LevelHigh.TIL != 100_000 || LevelHigh.TEL != 10_000 {
+		t.Errorf("high = %+v", LevelHigh)
+	}
+	if LevelMedium.TIL != 50_000 || LevelMedium.TEL != 5_000 {
+		t.Errorf("medium = %+v", LevelMedium)
+	}
+	if LevelLow.TIL != 10_000 || LevelLow.TEL != 1_000 {
+		t.Errorf("low = %+v", LevelLow)
+	}
+	if LevelZero.TIL != 0 || LevelZero.TEL != 0 {
+		t.Errorf("zero = %+v", LevelZero)
+	}
+}
+
+func TestDefaultParamsMatchPaperSetup(t *testing.T) {
+	p := DefaultParams(LevelHigh)
+	if p.NumObjects != 1000 || p.HotSetSize != 20 || p.QueryOps != 20 || p.UpdateOps != 6 {
+		t.Errorf("params = %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	base := DefaultParams(LevelZero)
+	cases := []func(*Params){
+		func(p *Params) { p.NumObjects = 0 },
+		func(p *Params) { p.HotSetSize = 0 },
+		func(p *Params) { p.HotSetSize = p.NumObjects + 1 },
+		func(p *Params) { p.HotFraction = -0.1 },
+		func(p *Params) { p.HotFraction = 1.1 },
+		func(p *Params) { p.UpdateHotFraction = -0.5 },
+		func(p *Params) { p.QueryFraction = 2 },
+		func(p *Params) { p.QueryOps = 0 },
+		func(p *Params) { p.UpdateOps = 1 },
+		func(p *Params) { p.MeanWriteDelta = 0 },
+		func(p *Params) { p.DeltaSpikeFraction = 1.5 },
+	}
+	for i, mutate := range cases {
+		p := base
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+		if _, err := NewGenerator(p, 1); err == nil {
+			t.Errorf("case %d: NewGenerator accepted invalid params", i)
+		}
+	}
+}
+
+func TestGeneratedProgramsAreValid(t *testing.T) {
+	g, err := NewGenerator(DefaultParams(LevelMedium), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, updates := 0, 0
+	for i := 0; i < 500; i++ {
+		p := g.Next()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated program invalid: %v (%s)", err, p)
+		}
+		switch p.Kind {
+		case core.Query:
+			queries++
+			if p.Bounds.Transaction != LevelMedium.TIL {
+				t.Fatalf("query TIL = %d", p.Bounds.Transaction)
+			}
+			if p.NumWrites() != 0 {
+				t.Fatal("query with writes")
+			}
+		case core.Update:
+			updates++
+			if p.Bounds.Transaction != LevelMedium.TEL {
+				t.Fatalf("update TEL = %d", p.Bounds.Transaction)
+			}
+			if p.NumWrites() == 0 || p.NumReads() == 0 {
+				t.Fatalf("update shape: %d reads %d writes", p.NumReads(), p.NumWrites())
+			}
+		}
+		for _, op := range p.Ops {
+			if int(op.Object) >= 1000 {
+				t.Fatalf("object id %d out of range", op.Object)
+			}
+			if op.Kind == core.OpWrite && !op.UseDelta {
+				t.Fatal("update write is not a delta write")
+			}
+		}
+	}
+	if queries == 0 || updates == 0 {
+		t.Errorf("mix = %d queries, %d updates", queries, updates)
+	}
+}
+
+func TestGeneratorDeterministicBySeed(t *testing.T) {
+	g1, _ := NewGenerator(DefaultParams(LevelLow), 7)
+	g2, _ := NewGenerator(DefaultParams(LevelLow), 7)
+	for i := 0; i < 50; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || len(a.Ops) != len(b.Ops) {
+			t.Fatalf("iteration %d diverged", i)
+		}
+		for j := range a.Ops {
+			if a.Ops[j] != b.Ops[j] {
+				t.Fatalf("iteration %d op %d: %+v vs %+v", i, j, a.Ops[j], b.Ops[j])
+			}
+		}
+	}
+}
+
+func TestHotFractionShapesAccessSkew(t *testing.T) {
+	p := DefaultParams(LevelZero)
+	p.HotFraction = 0.9
+	p.UpdateHotFraction = 0.25
+	g, _ := NewGenerator(p, 3)
+	hotQ, totalQ, hotU, totalU := 0, 0, 0, 0
+	for i := 0; i < 600; i++ {
+		prog := g.Next()
+		for _, op := range prog.Ops {
+			if prog.Kind == core.Query {
+				totalQ++
+				if int(op.Object) < p.HotSetSize {
+					hotQ++
+				}
+			} else {
+				totalU++
+				if int(op.Object) < p.HotSetSize {
+					hotU++
+				}
+			}
+		}
+	}
+	if frac := float64(hotQ) / float64(totalQ); frac < 0.80 || frac > 0.98 {
+		t.Errorf("query hot fraction = %.3f, want ≈0.9", frac)
+	}
+	if frac := float64(hotU) / float64(totalU); frac < 0.15 || frac > 0.35 {
+		t.Errorf("update hot fraction = %.3f, want ≈0.25", frac)
+	}
+}
+
+func TestQueryOpsNearMean(t *testing.T) {
+	g, _ := NewGenerator(DefaultParams(LevelZero), 5)
+	var total, count int
+	for i := 0; i < 400; i++ {
+		p := g.Next()
+		if p.Kind != core.Query {
+			continue
+		}
+		n := p.NumReads()
+		if n < 15 || n > 25 {
+			t.Fatalf("query with %d reads outside mean±25%%", n)
+		}
+		total += n
+		count++
+	}
+	mean := float64(total) / float64(count)
+	if mean < 18 || mean > 22 {
+		t.Errorf("mean query ops = %.1f, want ≈20", mean)
+	}
+}
+
+func TestWriteDeltaDistribution(t *testing.T) {
+	p := DefaultParams(LevelZero)
+	p.QueryFraction = 0 // updates only
+	g, _ := NewGenerator(p, 11)
+	w := p.MeanWriteDelta
+	var typicalSum float64
+	typical, spikes := 0, 0
+	for i := 0; i < 2000; i++ {
+		for _, op := range g.Next().Ops {
+			if op.Kind != core.OpWrite {
+				continue
+			}
+			d := math.Abs(float64(op.Delta))
+			if d == 0 {
+				t.Fatal("zero delta generated")
+			}
+			switch {
+			case d <= 1.2*float64(w):
+				typical++
+				typicalSum += d
+			case d >= 5.5*float64(w) && d <= 6.5*float64(w):
+				spikes++
+			default:
+				t.Fatalf("delta %.0f in the forbidden gap (w=%d)", d, w)
+			}
+		}
+	}
+	frac := float64(spikes) / float64(typical+spikes)
+	if frac < 0.10 || frac > 0.20 {
+		t.Errorf("spike fraction = %.3f, want ≈0.15", frac)
+	}
+	mean := typicalSum / float64(typical)
+	if mean < 0.5*float64(w) || mean > 0.7*float64(w) {
+		t.Errorf("mean typical |delta| = %.1f, want ≈0.6w = %d", mean, 6*w/10)
+	}
+}
+
+func TestDenseDrawTerminates(t *testing.T) {
+	// Requesting nearly all objects from a tiny database must terminate
+	// via the probing fallback.
+	p := DefaultParams(LevelZero)
+	p.NumObjects = 10
+	p.HotSetSize = 10
+	p.HotFraction = 1
+	p.UpdateHotFraction = 1
+	p.QueryOps = 10
+	p.QueryFraction = 1
+	g, err := NewGenerator(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := g.Next()
+	if got := len(prog.Objects()); got < 7 {
+		t.Errorf("dense draw produced %d distinct objects", got)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestMoreThanDatabaseClamps(t *testing.T) {
+	p := DefaultParams(LevelZero)
+	p.NumObjects = 5
+	p.HotSetSize = 5
+	p.QueryOps = 40
+	p.QueryFraction = 1
+	g, err := NewGenerator(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := g.Next()
+	if len(prog.Ops) > 5 {
+		t.Errorf("generated %d ops from a 5-object database", len(prog.Ops))
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
