@@ -135,7 +135,7 @@ func BenchmarkFig11ThroughputVsTIL(b *testing.B) {
 	var f experiment.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiment.RunTILSweep(benchConfig(), 4, tils, tels, nil)
+		f, _, err = experiment.RunTILSweep(benchConfig(), 4, tils, tels, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -193,7 +193,7 @@ func BenchmarkAblationCCProtocols(b *testing.B) {
 	var f experiment.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiment.RunCCComparison(benchConfig(), []int{1, 2, 4, 6}, workload.LevelHigh, protocols, nil)
+		f, _, err = experiment.RunCCComparison(benchConfig(), []int{1, 2, 4, 6}, workload.LevelHigh, protocols, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +209,7 @@ func BenchmarkAblationHistoryDepth(b *testing.B) {
 	var f experiment.Figure
 	for i := 0; i < b.N; i++ {
 		var err error
-		f, err = experiment.RunHistoryAblation(benchConfig(), []int{1, 5, 20, 100}, nil)
+		f, _, err = experiment.RunHistoryAblation(benchConfig(), []int{1, 5, 20, 100}, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,20 +11,26 @@ func (r *runner) ccAblation() error {
 	protocols := []experiment.Protocol{
 		experiment.ProtocolTO, experiment.ProtocolTwoPL, experiment.ProtocolMVTO,
 	}
-	f, err := experiment.RunCCComparison(r.base, r.mpls(), workload.LevelHigh, protocols, r.progress)
+	f, results, err := experiment.RunCCComparison(r.base, r.mpls(), workload.LevelHigh, protocols, r.progress)
 	if err != nil {
 		return err
 	}
-	return r.emit(f)
+	if err := r.emit(f); err != nil {
+		return err
+	}
+	return r.emitCells(f.ID, results)
 }
 
 // historyAblation sweeps the per-object write-history depth K.
 func (r *runner) historyAblation() error {
-	f, err := experiment.RunHistoryAblation(r.base, []int{1, 5, 20, 100}, r.progress)
+	f, results, err := experiment.RunHistoryAblation(r.base, []int{1, 5, 20, 100}, r.progress)
 	if err != nil {
 		return err
 	}
-	return r.emit(f)
+	if err := r.emit(f); err != nil {
+		return err
+	}
+	return r.emitCells(f.ID, results)
 }
 
 // hierarchyAblation measures the bottom-up control cost by depth.

@@ -120,6 +120,31 @@ func (r *runner) emit(f experiment.Figure) error {
 	return experiment.WriteCSV(file, f)
 }
 
+// emitCells prints the per-cell JSON records accompanying a figure (one
+// object per line: counters, abort mix, p50/p95/p99 latencies) and, with
+// -csv, also writes them to <dir>/<figID>-cells.jsonl.
+func (r *runner) emitCells(figID string, results []experiment.Result) error {
+	if len(results) == 0 {
+		return nil
+	}
+	if err := experiment.WriteCellsJSON(os.Stdout, figID, results); err != nil {
+		return err
+	}
+	fmt.Println()
+	if r.csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(filepath.Join(r.csvDir, figID+"-cells.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return experiment.WriteCellsJSON(file, figID, results)
+}
+
 func (r *runner) mpls() []int {
 	out := make([]int, 0, r.mplMax)
 	for i := 1; i <= r.mplMax; i++ {
@@ -146,7 +171,10 @@ func (r *runner) emitMPL(s *experiment.MPLSweep, which string) error {
 		"7": s.Figure7(), "8": s.Figure8(), "9": s.Figure9(), "10": s.Figure10(),
 	}
 	if which != "all" {
-		return r.emit(figs[which])
+		if err := r.emit(figs[which]); err != nil {
+			return err
+		}
+		return r.emitCells("fig"+which, s.AllResults())
 	}
 	for _, id := range []string{"7", "8", "9", "10"} {
 		if err := r.emit(figs[id]); err != nil {
@@ -157,15 +185,18 @@ func (r *runner) emitMPL(s *experiment.MPLSweep, which string) error {
 		fmt.Printf("thrashing point (%s): MPL %d\n", level.Name, s.ThrashingPoint(i))
 	}
 	fmt.Println()
-	return nil
+	return r.emitCells("fig7-10", s.AllResults())
 }
 
 func (r *runner) tilSweep() error {
-	f, err := experiment.RunTILSweep(r.base, 4, tilAxis(), telLevels(), r.progress)
+	f, results, err := experiment.RunTILSweep(r.base, 4, tilAxis(), telLevels(), r.progress)
 	if err != nil {
 		return err
 	}
-	return r.emit(f)
+	if err := r.emit(f); err != nil {
+		return err
+	}
+	return r.emitCells(f.ID, results)
 }
 
 func (r *runner) oilSweep(which string) error {
@@ -183,7 +214,7 @@ func (r *runner) oilSweep(which string) error {
 			return err
 		}
 	}
-	return nil
+	return r.emitCells("fig12-13", s.AllResults())
 }
 
 func (r *runner) all() error {

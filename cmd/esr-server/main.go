@@ -9,6 +9,12 @@
 // from the given min:max ranges ("the values of OIL and OEL are randomly
 // generated within a specified range"). -latency adds a per-operation
 // service delay to emulate the prototype's RPC cost.
+//
+// Observability: -debug-addr serves expvar (/debug/vars), pprof
+// (/debug/pprof/) and a JSON stats view (/debug/esr) with live counters,
+// the abort-reason breakdown and per-path latency percentiles; -trace
+// appends every engine event to a JSONL file; -flight keeps a ring of the
+// last N events and dumps it to stderr when aborts cluster.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,6 +50,10 @@ func main() {
 		latency  = flag.Duration("latency", 0, "simulated per-operation service latency")
 		seed     = flag.Int64("seed", 1, "database population seed")
 		stats    = flag.Duration("stats", 0, "print engine counters every interval (0 disables)")
+
+		debugAddr = flag.String("debug-addr", "", "serve expvar, pprof and /debug/esr on this address (empty disables)")
+		traceFile = flag.String("trace", "", "append engine trace events to this JSONL file")
+		flightN   = flag.Int("flight", 0, "keep the last N trace events in a flight recorder, dumped on abort storms")
 	)
 	flag.Parse()
 
@@ -60,8 +72,56 @@ func main() {
 		log.Fatalf("esr-server: populate: %v", err)
 	}
 	col := &metrics.Collector{}
-	engine := tso.NewEngine(store, tso.Options{Collector: col})
+
+	var tracers tso.MultiTracer
+	var sink *tso.JSONLSink
+	if *traceFile != "" {
+		f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("esr-server: -trace: %v", err)
+		}
+		defer f.Close()
+		sink = tso.NewJSONLSink(f)
+		defer sink.Flush()
+		tracers = append(tracers, sink)
+	}
+	if *flightN > 0 {
+		rec := tso.NewFlightRecorder(*flightN)
+		// Dump the ring to stderr when aborts cluster: 50 within one
+		// second is far beyond any healthy retry rate at these scales.
+		rec.OnAbortStorm(50, time.Second, func(evs []tso.Event) {
+			log.Printf("esr-server: abort storm detected, dumping last %d trace events", len(evs))
+			var buf strings.Builder
+			for _, ev := range evs {
+				buf.Write(tso.AppendEventJSON(nil, ev))
+				buf.WriteByte('\n')
+			}
+			os.Stderr.WriteString(buf.String())
+		})
+		tracers = append(tracers, rec)
+	}
+	opts := tso.Options{Collector: col}
+	if len(tracers) == 1 {
+		opts.Tracer = tracers[0]
+	} else if len(tracers) > 1 {
+		opts.Tracer = tracers
+	}
+
+	engine := tso.NewEngine(store, opts)
 	srv := server.New(engine, server.Options{SimulatedLatency: *latency})
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("esr-server: -debug-addr: %v", err)
+		}
+		log.Printf("esr-server: debug endpoint on http://%s/debug/esr", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, server.DebugMux(engine)); err != nil {
+				log.Printf("esr-server: debug server: %v", err)
+			}
+		}()
+	}
 
 	bound, err := srv.Listen(*addr)
 	if err != nil {

@@ -199,6 +199,8 @@ func (t *Txn) Commit() error {
 	_, err := t.c.call(&wire.Commit{Txn: t.id})
 	if err == nil {
 		t.done = true
+	} else {
+		t.noteIfAbort(err)
 	}
 	return err
 }
@@ -227,12 +229,29 @@ type Result struct {
 	Sum    core.Value
 }
 
-// RunProgram executes one attempt of a program over the connection.
+// RunProgram executes one attempt of a program over the connection. Every
+// error exit aborts the attempt first: returning with the transaction
+// still open would leak it server-side, where its pending writes keep
+// blocking conflicting operations until the connection dies. The abort is
+// a no-op when the server already finished the transaction.
 func (c *Client) RunProgram(p *core.Program) (*Result, error) {
 	t, err := c.Begin(p.Kind, p.Bounds)
 	if err != nil {
 		return nil, err
 	}
+	res, err := runOps(t, p)
+	if err == nil {
+		err = t.Commit()
+	}
+	if err != nil {
+		_ = t.Abort() // best-effort cleanup; the original error wins
+		return nil, err
+	}
+	return res, nil
+}
+
+// runOps executes a program's operations against one attempt.
+func runOps(t *Txn, p *core.Program) (*Result, error) {
 	res := &Result{Values: make([]core.Value, 0, len(p.Ops))}
 	for _, op := range p.Ops {
 		switch op.Kind {
@@ -256,9 +275,6 @@ func (c *Client) RunProgram(p *core.Program) (*Result, error) {
 			}
 			res.Values = append(res.Values, v)
 		}
-	}
-	if err := t.Commit(); err != nil {
-		return nil, err
 	}
 	return res, nil
 }
@@ -284,15 +300,38 @@ func (c *Client) RunRetry(p *core.Program, maxAttempts int) (*Result, int, error
 	}
 }
 
+// ServerStats is the full observability payload of the Stats probe.
+type ServerStats struct {
+	Snapshot     metrics.Snapshot
+	ProperMisses int64
+	// Live is the server's live-transaction gauge at probe time.
+	Live int64
+	// Latencies holds the server's per-path histograms; quantiles come
+	// from HistogramSnapshot.Quantile.
+	Latencies metrics.LatencySet
+}
+
 // Stats fetches the server's performance counters.
 func (c *Client) Stats() (metrics.Snapshot, int64, error) {
+	st, err := c.StatsFull()
+	return st.Snapshot, st.ProperMisses, err
+}
+
+// StatsFull fetches the counters together with the live-transaction gauge
+// and the per-path latency histograms added in protocol version 2.
+func (c *Client) StatsFull() (ServerStats, error) {
 	resp, err := c.call(&wire.Stats{})
 	if err != nil {
-		return metrics.Snapshot{}, 0, err
+		return ServerStats{}, err
 	}
 	so, ok := resp.(*wire.StatsOK)
 	if !ok {
-		return metrics.Snapshot{}, 0, fmt.Errorf("client: unexpected Stats response %v", resp.MsgType())
+		return ServerStats{}, fmt.Errorf("client: unexpected Stats response %v", resp.MsgType())
 	}
-	return so.Snapshot, so.ProperMisses, nil
+	return ServerStats{
+		Snapshot:     so.Snapshot,
+		ProperMisses: so.ProperMisses,
+		Live:         so.Live,
+		Latencies:    so.Latencies,
+	}, nil
 }

@@ -1,0 +1,130 @@
+package client
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// leakServer scripts a fake server that opens transactions normally and
+// fails one operation, recording whether the client cleans up with Abort.
+type leakServer struct {
+	aborts  atomic.Int64
+	commits atomic.Int64
+	failOp  func(wire.Message) wire.Message // non-nil response = injected failure
+}
+
+func (s *leakServer) dispatch(req wire.Message) wire.Message {
+	if resp := s.failOp(req); resp != nil {
+		return resp
+	}
+	switch req.(type) {
+	case *wire.Begin:
+		return &wire.BeginOK{Txn: 42}
+	case *wire.Read, *wire.Write:
+		return &wire.Value{Value: 1}
+	case *wire.Commit:
+		s.commits.Add(1)
+		return &wire.OK{}
+	case *wire.Abort:
+		s.aborts.Add(1)
+		return &wire.OK{}
+	}
+	return &wire.Error{Code: wire.CodeGeneric, Message: "unexpected"}
+}
+
+// TestRunProgramAbortsOnError pins the transaction-leak fix: when an
+// operation fails for a non-abort reason, RunProgram must abort the open
+// attempt instead of leaving it live on the server.
+func TestRunProgramAbortsOnError(t *testing.T) {
+	cases := []struct {
+		name       string
+		fail       func(wire.Message) wire.Message
+		wantAborts int64
+	}{
+		{
+			name: "generic error on read",
+			fail: func(req wire.Message) wire.Message {
+				if _, ok := req.(*wire.Read); ok {
+					return &wire.Error{Code: wire.CodeGeneric, Message: "disk on fire"}
+				}
+				return nil
+			},
+			wantAborts: 1,
+		},
+		{
+			name: "unexpected response type on write",
+			fail: func(req wire.Message) wire.Message {
+				if _, ok := req.(*wire.Write); ok {
+					return &wire.OK{} // protocol violation: Write answers with Value
+				}
+				return nil
+			},
+			wantAborts: 1,
+		},
+		{
+			name: "generic error on commit",
+			fail: func(req wire.Message) wire.Message {
+				if _, ok := req.(*wire.Commit); ok {
+					return &wire.Error{Code: wire.CodeGeneric, Message: "commit glitch"}
+				}
+				return nil
+			},
+			wantAborts: 1,
+		},
+		{
+			// A server-side abort already cleaned up the footprint; the
+			// client must NOT send a redundant Abort for a finished txn.
+			name: "server abort on read",
+			fail: func(req wire.Message) wire.Message {
+				if _, ok := req.(*wire.Read); ok {
+					return &wire.Error{Code: wire.CodeAbort, Reason: metrics.AbortLateRead, Message: "too old"}
+				}
+				return nil
+			},
+			wantAborts: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := &leakServer{failOp: tc.fail}
+			c := fakeServer(t, srv.dispatch)
+			p := core.NewUpdate(0).Read(1).WriteDelta(2, 5)
+			if _, err := c.RunProgram(p); err == nil {
+				t.Fatal("RunProgram succeeded, want injected failure")
+			}
+			if got := srv.aborts.Load(); got != tc.wantAborts {
+				t.Errorf("aborts sent = %d, want %d", got, tc.wantAborts)
+			}
+			if srv.commits.Load() != 0 {
+				t.Error("commit recorded despite failure")
+			}
+		})
+	}
+}
+
+// TestStatsFullReportsLiveAndLatencies pins the extended stats probe.
+func TestStatsFullReportsLiveAndLatencies(t *testing.T) {
+	srv := &leakServer{failOp: func(wire.Message) wire.Message { return nil }}
+	c := fakeServer(t, func(req wire.Message) wire.Message {
+		if _, ok := req.(*wire.Stats); ok {
+			col := &metrics.Collector{}
+			col.ObserveLatency(metrics.LatRead, 1e6)
+			return &wire.StatsOK{Live: 3, Latencies: col.LatencySnapshot()}
+		}
+		return srv.dispatch(req)
+	})
+	st, err := c.StatsFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 3 {
+		t.Errorf("Live = %d, want 3", st.Live)
+	}
+	if st.Latencies[metrics.LatRead].Count != 1 {
+		t.Errorf("read latency count = %d, want 1", st.Latencies[metrics.LatRead].Count)
+	}
+}

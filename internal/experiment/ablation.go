@@ -13,19 +13,22 @@ import (
 // inexact proper-value lookups at medium epsilon as K varies. Shallow
 // histories force the engine to approximate proper values (or abort,
 // under AbortOnProperMiss), which distorts inconsistency accounting.
-func RunHistoryAblation(base Config, depths []int, progress func(string)) (Figure, error) {
+func RunHistoryAblation(base Config, depths []int, progress func(string)) (Figure, []Result, error) {
 	base.Workload.TIL = workload.LevelMedium.TIL
 	base.Workload.TEL = workload.LevelMedium.TEL
 	tput := Series{Name: "throughput (txn/s)"}
 	aborts := Series{Name: "aborts"}
 	misses := Series{Name: "proper misses"}
+	var results []Result
 	for _, k := range depths {
 		cfg := base
 		cfg.HistoryDepth = k
 		res, err := Run(cfg)
 		if err != nil {
-			return Figure{}, fmt.Errorf("history ablation k=%d: %w", k, err)
+			return Figure{}, nil, fmt.Errorf("history ablation k=%d: %w", k, err)
 		}
+		res.Label = fmt.Sprintf("k=%d", k)
+		results = append(results, res)
 		if progress != nil {
 			progress(fmt.Sprintf("K=%-4d %s misses=%d", k, res, res.ProperMisses))
 		}
@@ -43,14 +46,14 @@ func RunHistoryAblation(base Config, depths []int, progress func(string)) (Figur
 		XLabel: "history depth K",
 		YLabel: "metric",
 		Series: []Series{tput, aborts, misses},
-	}, nil
+	}, results, nil
 }
 
 // RunCCComparison compares the registered concurrency-control protocols
 // across multiprogramming levels at the given epsilon level (the ESR
 // bounds only act on the TO engine; 2PL and MVTO are serializable
 // baselines). Unregistered protocols are skipped.
-func RunCCComparison(base Config, mpls []int, level workload.Level, protocols []Protocol, progress func(string)) (Figure, error) {
+func RunCCComparison(base Config, mpls []int, level workload.Level, protocols []Protocol, progress func(string)) (Figure, []Result, error) {
 	base.Workload.TIL = level.TIL
 	base.Workload.TEL = level.TEL
 	f := Figure{
@@ -75,7 +78,7 @@ func RunCCComparison(base Config, mpls []int, level workload.Level, protocols []
 	}
 	results, err := runCellsInterleaved(cells, progress)
 	if err != nil {
-		return Figure{}, fmt.Errorf("cc ablation: %w", err)
+		return Figure{}, nil, fmt.Errorf("cc ablation: %w", err)
 	}
 	for i, p := range registered {
 		se := Series{Name: string(p)}
@@ -85,7 +88,7 @@ func RunCCComparison(base Config, mpls []int, level workload.Level, protocols []
 		}
 		f.Series = append(f.Series, se)
 	}
-	return f, nil
+	return f, results, nil
 }
 
 // RunHierarchyOverhead measures the §3.1 caveat that "hierarchical

@@ -154,6 +154,19 @@ type Result struct {
 	// ProperMisses counts inexact proper-value lookups (history depth
 	// exceeded) during the whole run including warmup.
 	ProperMisses int64
+	// Label names the sweep cell this result came from (set by the
+	// interleaved sweep driver).
+	Label string
+	// AbortBreakdown maps abort-reason names to counts over the window.
+	AbortBreakdown map[string]int64
+	// OpP50/95/99 are operation-latency percentiles (reads and writes
+	// merged) over the measurement window, on the run's timeline —
+	// virtual durations for vclock runs, wall durations for -realtime.
+	// WaitP* and CommitP* cover the strict-ordering wait and commit
+	// paths. All are zero for engines that do not record latencies.
+	OpP50, OpP95, OpP99             time.Duration
+	WaitP50, WaitP95, WaitP99       time.Duration
+	CommitP50, CommitP95, CommitP99 time.Duration
 }
 
 // String renders a one-line summary.

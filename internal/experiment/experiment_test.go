@@ -161,7 +161,7 @@ func TestRunMPLSweepAndFigures(t *testing.T) {
 func TestRunTILSweep(t *testing.T) {
 	base := quickConfig(workload.LevelZero)
 	base.Duration = 200 * time.Millisecond
-	f, err := RunTILSweep(base, 2, []core.Distance{0, 10_000}, []core.Distance{1_000}, nil)
+	f, results, err := RunTILSweep(base, 2, []core.Distance{0, 10_000}, []core.Distance{1_000}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,6 +170,19 @@ func TestRunTILSweep(t *testing.T) {
 	}
 	if f.Series[0].Name != "TEL=1000" {
 		t.Errorf("series name = %q", f.Series[0].Name)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d cells, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Label == "" {
+			t.Errorf("cell result missing label: %+v", r)
+		}
+		// The virtual timeline drives the histograms: with a 1 ms-scale
+		// simulated op latency every cell must see nonzero percentiles.
+		if r.Commits > 0 && (r.OpP50 <= 0 || r.OpP99 < r.OpP50) {
+			t.Errorf("%s: op percentiles p50=%v p99=%v", r.Label, r.OpP50, r.OpP99)
+		}
 	}
 }
 
@@ -218,7 +231,7 @@ func TestRunHierarchyOverhead(t *testing.T) {
 func TestRunHistoryAblation(t *testing.T) {
 	base := quickConfig(workload.LevelMedium)
 	base.Duration = 200 * time.Millisecond
-	f, err := RunHistoryAblation(base, []int{1, 20}, nil)
+	f, _, err := RunHistoryAblation(base, []int{1, 20}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +247,7 @@ func TestRunHistoryAblation(t *testing.T) {
 func TestRunCCComparisonSkipsUnregistered(t *testing.T) {
 	base := quickConfig(workload.LevelZero)
 	base.Duration = 100 * time.Millisecond
-	f, err := RunCCComparison(base, []int{1}, workload.LevelZero,
+	f, _, err := RunCCComparison(base, []int{1}, workload.LevelZero,
 		[]Protocol{ProtocolTO, Protocol("vaporware")}, nil)
 	if err != nil {
 		t.Fatal(err)

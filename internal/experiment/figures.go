@@ -58,6 +58,16 @@ func RunMPLSweep(base Config, mpls []int, levels []workload.Level, progress func
 	return s, nil
 }
 
+// AllResults flattens the sweep's cells in label order, for the per-cell
+// JSON emission.
+func (s *MPLSweep) AllResults() []Result {
+	var out []Result
+	for _, row := range s.Cells {
+		out = append(out, row...)
+	}
+	return out
+}
+
 // figure extracts one metric across the sweep.
 func (s *MPLSweep) figure(id, title, ylabel string, skipZero bool, metric func(Result) float64) Figure {
 	f := Figure{ID: id, Title: title, XLabel: "Multiprogramming Level", YLabel: ylabel}
@@ -134,8 +144,9 @@ func (s *MPLSweep) ThrashingPoint(levelIdx int) int {
 
 // RunTILSweep reproduces Figure 11: at a fixed MPL, throughput as TIL
 // grows, with TEL held at each of the given levels. OIL/OEL stay high so
-// only the transaction bounds act.
-func RunTILSweep(base Config, mpl int, tils []core.Distance, tels []core.Distance, progress func(string)) (Figure, error) {
+// only the transaction bounds act. The raw per-cell results accompany the
+// figure for machine-readable emission.
+func RunTILSweep(base Config, mpl int, tils []core.Distance, tels []core.Distance, progress func(string)) (Figure, []Result, error) {
 	f := Figure{ID: "fig11", Title: fmt.Sprintf("Throughput vs Transaction Import Limit (MPL %d)", mpl),
 		XLabel: "TIL", YLabel: "Throughput (txn/s)"}
 	var cells []cell
@@ -150,7 +161,7 @@ func RunTILSweep(base Config, mpl int, tils []core.Distance, tels []core.Distanc
 	}
 	results, err := runCellsInterleaved(cells, progress)
 	if err != nil {
-		return Figure{}, fmt.Errorf("til sweep: %w", err)
+		return Figure{}, nil, fmt.Errorf("til sweep: %w", err)
 	}
 	for i, tel := range tels {
 		se := Series{Name: fmt.Sprintf("TEL=%d", tel)}
@@ -160,7 +171,7 @@ func RunTILSweep(base Config, mpl int, tils []core.Distance, tels []core.Distanc
 		}
 		f.Series = append(f.Series, se)
 	}
-	return f, nil
+	return f, results, nil
 }
 
 // OILSweep holds the results behind Figures 12 and 13: at a fixed MPL,
@@ -198,6 +209,16 @@ func RunOILSweep(base Config, mpl int, oilsInW []float64, tils []core.Distance, 
 		s.Cells = append(s.Cells, results[i*len(oilsInW):(i+1)*len(oilsInW)])
 	}
 	return s, nil
+}
+
+// AllResults flattens the sweep's cells in label order, for the per-cell
+// JSON emission.
+func (s *OILSweep) AllResults() []Result {
+	var out []Result
+	for _, row := range s.Cells {
+		out = append(out, row...)
+	}
+	return out
 }
 
 // figure extracts one metric across the OIL sweep.

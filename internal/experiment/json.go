@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// cellJSON is the machine-readable per-cell record emitted alongside each
+// figure: the paper's counters plus the observability layer's latency
+// percentiles and abort-reason mix. Durations are milliseconds on the
+// run's timeline (virtual for vclock runs, wall for -realtime).
+type cellJSON struct {
+	Figure          string           `json:"figure,omitempty"`
+	Cell            string           `json:"cell"`
+	MPL             int              `json:"mpl"`
+	ElapsedMs       float64          `json:"elapsed_ms"`
+	Throughput      float64          `json:"throughput_txn_s"`
+	Commits         int64            `json:"commits"`
+	Aborts          int64            `json:"aborts"`
+	AbortBreakdown  map[string]int64 `json:"abort_breakdown,omitempty"`
+	TotalOps        int64            `json:"total_ops"`
+	InconsistentOps int64            `json:"inconsistent_ops"`
+	WastedOps       int64            `json:"wasted_ops"`
+	Waits           int64            `json:"waits"`
+	OpsPerCommit    float64          `json:"ops_per_commit"`
+	ProperMisses    int64            `json:"proper_misses"`
+	OpP50Ms         float64          `json:"op_p50_ms"`
+	OpP95Ms         float64          `json:"op_p95_ms"`
+	OpP99Ms         float64          `json:"op_p99_ms"`
+	WaitP50Ms       float64          `json:"wait_p50_ms"`
+	WaitP95Ms       float64          `json:"wait_p95_ms"`
+	WaitP99Ms       float64          `json:"wait_p99_ms"`
+	CommitP50Ms     float64          `json:"commit_p50_ms"`
+	CommitP95Ms     float64          `json:"commit_p95_ms"`
+	CommitP99Ms     float64          `json:"commit_p99_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// WriteCellsJSON writes one JSON object per line for every cell of a
+// figure — the bench's machine-readable companion to the aligned tables.
+func WriteCellsJSON(w io.Writer, figureID string, results []Result) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		rec := cellJSON{
+			Figure:          figureID,
+			Cell:            r.Label,
+			MPL:             r.MPL,
+			ElapsedMs:       ms(r.Elapsed),
+			Throughput:      r.Throughput,
+			Commits:         r.Commits,
+			Aborts:          r.Aborts,
+			AbortBreakdown:  r.AbortBreakdown,
+			TotalOps:        r.TotalOps,
+			InconsistentOps: r.InconsistentOps,
+			WastedOps:       r.WastedOps,
+			Waits:           r.Waits,
+			OpsPerCommit:    r.OpsPerCommit,
+			ProperMisses:    r.ProperMisses,
+			OpP50Ms:         ms(r.OpP50),
+			OpP95Ms:         ms(r.OpP95),
+			OpP99Ms:         ms(r.OpP99),
+			WaitP50Ms:       ms(r.WaitP50),
+			WaitP95Ms:       ms(r.WaitP95),
+			WaitP99Ms:       ms(r.WaitP99),
+			CommitP50Ms:     ms(r.CommitP50),
+			CommitP95Ms:     ms(r.CommitP95),
+			CommitP99Ms:     ms(r.CommitP99),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -30,25 +30,27 @@ type Engine interface {
 }
 
 // engineBuilder constructs an Engine over a populated store. The parker
-// integrates the engine's internal waits with the harness timeline. The
-// registry is extended by the baseline packages via RegisterProtocol.
-type engineBuilder func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine
+// integrates the engine's internal waits with the harness timeline; now
+// reads that timeline, so latency histograms measure virtual durations on
+// the virtual clock and wall durations in -realtime runs. The registry is
+// extended by the baseline packages via RegisterProtocol.
+type engineBuilder func(store *storage.Store, col *metrics.Collector, parker tso.Parker, now func() time.Duration) Engine
 
 var protocolRegistry = map[Protocol]engineBuilder{
-	ProtocolTO: func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine {
-		return tso.NewEngine(store, tso.Options{Collector: col, Parker: parker})
+	ProtocolTO: func(store *storage.Store, col *metrics.Collector, parker tso.Parker, now func() time.Duration) Engine {
+		return tso.NewEngine(store, tso.Options{Collector: col, Parker: parker, Now: now})
 	},
-	ProtocolTwoPL: func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine {
+	ProtocolTwoPL: func(store *storage.Store, col *metrics.Collector, parker tso.Parker, now func() time.Duration) Engine {
 		return twopl.NewEngine(store, col, parker)
 	},
-	ProtocolMVTO: func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine {
+	ProtocolMVTO: func(store *storage.Store, col *metrics.Collector, parker tso.Parker, now func() time.Duration) Engine {
 		return mvto.NewEngine(store, col, parker)
 	},
 }
 
 // RegisterProtocol installs a baseline engine builder (used by the
 // ablation packages at init time through the harness's setup code).
-func RegisterProtocol(p Protocol, build func(store *storage.Store, col *metrics.Collector, parker tso.Parker) Engine) {
+func RegisterProtocol(p Protocol, build func(store *storage.Store, col *metrics.Collector, parker tso.Parker, now func() time.Duration) Engine) {
 	protocolRegistry[p] = build
 }
 
@@ -111,6 +113,7 @@ func runCellsInterleaved(cells []cell, progress func(string)) ([]Result, error) 
 			if err != nil {
 				return nil, fmt.Errorf("%s: %w", cells[i].label, err)
 			}
+			r.Label = cells[i].label
 			all[i] = append(all[i], r)
 			if progress != nil {
 				progress(fmt.Sprintf("[rep %d/%d] %s %s", rep+1, reps, cells[i].label, r))
@@ -158,7 +161,13 @@ func runOnce(cfg Config) (Result, error) {
 	}
 
 	col := &metrics.Collector{}
-	engine := build(store, col, timeline)
+	engine := build(store, col, timeline, timeline.Now)
+	// latCol records client-perceived operation latencies — network,
+	// server queueing, service time, and engine waits together, measured
+	// on the run's timeline. It is separate from col because the TO
+	// engine also records its internal (engine-only) latencies there, and
+	// the two views must not blend in one histogram.
+	latCol := &metrics.Collector{}
 
 	// One logical clock shared by all sites: timestamp order equals
 	// Begin order, the deterministic stand-in for the prototype's
@@ -193,7 +202,7 @@ func runOnce(cfg Config) (Result, error) {
 		jitter := rand.New(rand.NewSource(cfg.Seed ^ int64(site)*7919 ^ 0x5eed))
 		clients = append(clients, func() {
 			defer timeline.Exit()
-			runClient(engine, timeline, gen, wl, cfg.OpLatency, cfg.NetLatency, jitter, slots, maxAttempts, stop)
+			runClient(engine, timeline, gen, wl, cfg.OpLatency, cfg.NetLatency, jitter, slots, maxAttempts, latCol, stop)
 		})
 	}
 	for _, c := range clients {
@@ -206,15 +215,22 @@ func runOnce(cfg Config) (Result, error) {
 
 	timeline.Sleep(cfg.Warmup)
 	before := col.Snapshot()
+	engLatBefore := col.LatencySnapshot()
+	cliLatBefore := latCol.LatencySnapshot()
 	start := timeline.Now()
 	timeline.Sleep(cfg.Duration)
 	after := col.Snapshot()
+	engLatAfter := col.LatencySnapshot()
+	cliLatAfter := latCol.LatencySnapshot()
 	elapsed := timeline.Now() - start
 	close(stop)
 	timeline.Exit()
 	wg.Wait()
 
 	delta := after.Sub(before)
+	engLat := engLatAfter.Sub(engLatBefore)
+	cliLat := cliLatAfter.Sub(cliLatBefore)
+	ops := cliLat.Ops()
 	res := Result{
 		MPL:             cfg.MPL,
 		Elapsed:         elapsed,
@@ -227,6 +243,16 @@ func runOnce(cfg Config) (Result, error) {
 		OpsPerCommit:    delta.OpsPerCommit(),
 		Throughput:      float64(delta.Commits) / elapsed.Seconds(),
 		ProperMisses:    store.ProperMisses(),
+		AbortBreakdown:  delta.AbortBreakdown(),
+		OpP50:           time.Duration(ops.Quantile(0.50)),
+		OpP95:           time.Duration(ops.Quantile(0.95)),
+		OpP99:           time.Duration(ops.Quantile(0.99)),
+		WaitP50:         time.Duration(engLat[metrics.LatWait].Quantile(0.50)),
+		WaitP95:         time.Duration(engLat[metrics.LatWait].Quantile(0.95)),
+		WaitP99:         time.Duration(engLat[metrics.LatWait].Quantile(0.99)),
+		CommitP50:       time.Duration(cliLat[metrics.LatCommit].Quantile(0.50)),
+		CommitP95:       time.Duration(cliLat[metrics.LatCommit].Quantile(0.95)),
+		CommitP99:       time.Duration(cliLat[metrics.LatCommit].Quantile(0.99)),
 	}
 	return res, nil
 }
@@ -234,7 +260,7 @@ func runOnce(cfg Config) (Result, error) {
 // runClient is one closed-loop client: generate a transaction, submit it
 // operation by operation with the simulated per-operation latency, and
 // on abort resubmit with a fresh timestamp until it commits (§6).
-func runClient(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, wl *workload.Generator, opLatency, netLatency time.Duration, jitter *rand.Rand, slots *vclock.Semaphore, maxAttempts int, stop <-chan struct{}) {
+func runClient(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, wl *workload.Generator, opLatency, netLatency time.Duration, jitter *rand.Rand, slots *vclock.Semaphore, maxAttempts int, latCol *metrics.Collector, stop <-chan struct{}) {
 	for {
 		select {
 		case <-stop:
@@ -243,7 +269,7 @@ func runClient(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, wl *wor
 		}
 		p := wl.Next()
 		for attempt := 0; attempt < maxAttempts; attempt++ {
-			ok, fatal := runAttempt(e, timeline, gen, p, opLatency, netLatency, jitter, slots, stop)
+			ok, fatal := runAttempt(e, timeline, gen, p, opLatency, netLatency, jitter, slots, latCol, stop)
 			if ok || fatal {
 				break
 			}
@@ -257,8 +283,11 @@ func runClient(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, wl *wor
 }
 
 // runAttempt executes one attempt; ok reports commit, fatal reports a
-// non-retryable condition (engine rejected Begin, or shutdown).
-func runAttempt(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, p *core.Program, opLatency, netLatency time.Duration, jitter *rand.Rand, slots *vclock.Semaphore, stop <-chan struct{}) (ok, fatal bool) {
+// non-retryable condition (engine rejected Begin, or shutdown). Each
+// successful operation's client-perceived latency — network time, server
+// queueing, service time, and any engine wait — is recorded into latCol
+// on the run's timeline.
+func runAttempt(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, p *core.Program, opLatency, netLatency time.Duration, jitter *rand.Rand, slots *vclock.Semaphore, latCol *metrics.Collector, stop <-chan struct{}) (ok, fatal bool) {
 	txn, err := e.Begin(p.Kind, gen.Next(), p.Bounds)
 	if err != nil {
 		return false, true
@@ -270,6 +299,7 @@ func runAttempt(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, p *cor
 			return false, true
 		default:
 		}
+		opStart := timeline.Now()
 		// The network/client component of the RPC elapses outside the
 		// server, then the service component occupies one server slot —
 		// queueing there is the saturation behaviour of the shared
@@ -290,14 +320,18 @@ func runAttempt(e Engine, timeline vclock.Timeline, gen *tsgen.Generator, p *cor
 			if _, err := e.Read(txn, op.Object); err != nil {
 				return false, false
 			}
+			latCol.ObserveLatency(metrics.LatRead, timeline.Now()-opStart)
 		case core.OpWrite:
 			if _, err := e.WriteDelta(txn, op.Object, op.Delta); err != nil {
 				return false, false
 			}
+			latCol.ObserveLatency(metrics.LatWrite, timeline.Now()-opStart)
 		}
 	}
+	commitStart := timeline.Now()
 	if err := e.Commit(txn); err != nil {
 		return false, false
 	}
+	latCol.ObserveLatency(metrics.LatCommit, timeline.Now()-commitStart)
 	return true, false
 }

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The latency histograms use log-linear bucketing (the HDR scheme): each
+// power-of-two range ("octave") is split into 2^histSubBits equal-width
+// sub-buckets, giving a worst-case relative error of 1/2^histSubBits
+// (12.5%) — ample for p50/p95/p99 — with a small fixed bucket array and
+// no allocation on the record path. Values are nanoseconds; the array
+// covers the full non-negative int64 range, so no observation is ever
+// dropped or clamped.
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits // 8
+
+	// NumHistBuckets spans values 0..MaxInt64: the largest exponent is
+	// 62, whose octave starts at bucket (62-histSubBits+1)*histSubBuckets.
+	NumHistBuckets = (62-histSubBits+1)*histSubBuckets + histSubBuckets
+)
+
+// histBucket maps a non-negative value to its bucket index. Values below
+// histSubBuckets get exact unit-width buckets; above, the top histSubBits
+// bits after the leading one select the sub-bucket within the octave.
+func histBucket(v int64) int {
+	if v < histSubBuckets {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // floor(log2(v)), >= histSubBits
+	shift := uint(exp - histSubBits)
+	sub := int(uint64(v)>>shift) - histSubBuckets // 0..histSubBuckets-1
+	return (exp-histSubBits+1)*histSubBuckets + sub
+}
+
+// BucketUpper returns the largest value mapped to bucket i, the value
+// quantile estimation reports (a conservative upper bound).
+func BucketUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	g := i >> histSubBits // octave group, >= 1
+	sub := i & (histSubBuckets - 1)
+	return (int64(histSubBuckets+sub+1) << uint(g-1)) - 1
+}
+
+// Histogram is a fixed-size concurrent latency histogram. The zero value
+// is ready to use; recording is a single atomic increment plus an atomic
+// add, with no allocation and no locks. A nil *Histogram drops updates,
+// mirroring the nil-Collector convention.
+type Histogram struct {
+	counts [NumHistBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value (negative values count as zero).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Snapshot copies the histogram's current state. Concurrent observers may
+// land between bucket and total reads; totals are reconciled from the
+// buckets so the snapshot is internally consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, the unit the
+// wire protocol ships and the experiment harness differences.
+type HistogramSnapshot struct {
+	Counts [NumHistBuckets]int64
+	Count  int64
+	Sum    int64
+}
+
+// Sub returns the bucket-wise difference s − t, confining a measurement
+// to an interval.
+func (s HistogramSnapshot) Sub(t HistogramSnapshot) HistogramSnapshot {
+	out := s
+	for i := range out.Counts {
+		out.Counts[i] -= t.Counts[i]
+	}
+	out.Count -= t.Count
+	out.Sum -= t.Sum
+	return out
+}
+
+// Merge returns the bucket-wise sum s + t, combining histograms from
+// several sources (e.g. the read and write paths) into one distribution.
+func (s HistogramSnapshot) Merge(t HistogramSnapshot) HistogramSnapshot {
+	out := s
+	for i := range out.Counts {
+		out.Counts[i] += t.Counts[i]
+	}
+	out.Count += t.Count
+	out.Sum += t.Sum
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) in the
+// recorded unit (nanoseconds for durations). An empty histogram yields 0.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the observation we need to cover.
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(NumHistBuckets - 1)
+}
+
+// Mean returns the exact arithmetic mean of the recorded values.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// LatencyKind names the engine paths whose latency is recorded.
+type LatencyKind uint8
+
+const (
+	// LatRead is a successful read operation, entry to return.
+	LatRead LatencyKind = iota
+	// LatWrite is a successful write operation, entry to return.
+	LatWrite
+	// LatCommit is a commit, entry to return.
+	LatCommit
+	// LatWait is one strict-ordering wait, block to wake.
+	LatWait
+
+	// NumLatencyKinds sizes per-kind arrays.
+	NumLatencyKinds
+)
+
+// String implements fmt.Stringer.
+func (k LatencyKind) String() string {
+	switch k {
+	case LatRead:
+		return "read"
+	case LatWrite:
+		return "write"
+	case LatCommit:
+		return "commit"
+	case LatWait:
+		return "wait"
+	default:
+		return fmt.Sprintf("latency(%d)", uint8(k))
+	}
+}
+
+// LatencySet is one snapshot per engine path, indexed by LatencyKind.
+type LatencySet [NumLatencyKinds]HistogramSnapshot
+
+// Sub differences two sets kind-wise.
+func (s LatencySet) Sub(t LatencySet) LatencySet {
+	var out LatencySet
+	for i := range s {
+		out[i] = s[i].Sub(t[i])
+	}
+	return out
+}
+
+// Ops merges the read and write histograms: the per-operation latency
+// distribution the bench reports.
+func (s LatencySet) Ops() HistogramSnapshot { return s[LatRead].Merge(s[LatWrite]) }

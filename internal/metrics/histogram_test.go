@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear bucketing: unit-width buckets
+// below histSubBuckets, contiguous octave/sub-bucket mapping above, and
+// BucketUpper as the exact inverse upper bound.
+func TestBucketBoundaries(t *testing.T) {
+	// Small values get exact buckets.
+	for v := int64(0); v < histSubBuckets; v++ {
+		if got := histBucket(v); got != int(v) {
+			t.Errorf("histBucket(%d) = %d, want %d", v, got, v)
+		}
+		if got := BucketUpper(int(v)); got != v {
+			t.Errorf("BucketUpper(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Negative values clamp to bucket 0.
+	if got := histBucket(-5); got != 0 {
+		t.Errorf("histBucket(-5) = %d, want 0", got)
+	}
+	// Buckets are contiguous and monotone across octave boundaries.
+	prev := -1
+	for _, v := range []int64{0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 63, 64,
+		1000, 1023, 1024, 1 << 20, 1 << 40, math.MaxInt64} {
+		b := histBucket(v)
+		if b < prev {
+			t.Errorf("histBucket(%d) = %d < previous bucket %d", v, b, prev)
+		}
+		prev = b
+		if b < 0 || b >= NumHistBuckets {
+			t.Fatalf("histBucket(%d) = %d out of range [0,%d)", v, b, NumHistBuckets)
+		}
+		// Every value is <= its bucket's upper bound, and above the
+		// previous bucket's upper bound.
+		if up := BucketUpper(b); v > up {
+			t.Errorf("value %d > BucketUpper(%d) = %d", v, b, up)
+		}
+		if b > 0 {
+			if low := BucketUpper(b-1) + 1; v < low {
+				t.Errorf("value %d < lower bound %d of bucket %d", v, low, b)
+			}
+		}
+	}
+	// The relative error bound: the bucket width never exceeds
+	// 1/histSubBuckets of the bucket's lower bound (log-linear property).
+	for b := histSubBuckets; b < NumHistBuckets-1; b++ {
+		low := BucketUpper(b-1) + 1
+		width := BucketUpper(b) - low + 1
+		if width > low/histSubBuckets+1 {
+			t.Fatalf("bucket %d width %d exceeds %d/8+1", b, width, low)
+		}
+	}
+	// The top bucket covers MaxInt64 exactly.
+	if got := BucketUpper(NumHistBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("top BucketUpper = %d, want MaxInt64", got)
+	}
+	if got := histBucket(math.MaxInt64); got != NumHistBuckets-1 {
+		t.Errorf("histBucket(MaxInt64) = %d, want %d", got, NumHistBuckets-1)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations 1..100: p50 covers 50, p99 covers 99.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 {
+		t.Fatalf("count=%d sum=%d", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", m)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want int64 // value the quantile must cover
+	}{{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100}} {
+		got := s.Quantile(tc.q)
+		if got < tc.want {
+			t.Errorf("Quantile(%v) = %d, below %d", tc.q, got, tc.want)
+		}
+		// Log-linear error bound: the reported upper bound is within
+		// 12.5% + 1 of the true value.
+		if max := tc.want + tc.want/histSubBuckets + 1; got > max {
+			t.Errorf("Quantile(%v) = %d, above error bound %d", tc.q, got, max)
+		}
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %d, want 0", q)
+	}
+}
+
+func TestHistogramSubAndMerge(t *testing.T) {
+	var a, b Histogram
+	for v := int64(0); v < 50; v++ {
+		a.Observe(v)
+	}
+	mid := a.Snapshot()
+	for v := int64(50); v < 100; v++ {
+		a.Observe(v)
+	}
+	full := a.Snapshot()
+
+	// Sub isolates the second half.
+	second := full.Sub(mid)
+	if second.Count != 50 {
+		t.Errorf("Sub count = %d, want 50", second.Count)
+	}
+	if second.Quantile(0) < 50 {
+		t.Errorf("Sub min quantile = %d, want >= 50", second.Quantile(0))
+	}
+
+	// Merge of two disjoint histograms equals observing everything once.
+	for v := int64(50); v < 100; v++ {
+		b.Observe(v)
+	}
+	merged := mid.Merge(b.Snapshot())
+	if merged != full {
+		t.Error("Merge(first, second) != full histogram")
+	}
+}
+
+func TestNilHistogramAndCollectorLatency(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveDuration(time.Second)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Errorf("nil histogram count = %d", s.Count)
+	}
+
+	var c *Collector
+	c.ObserveLatency(LatRead, time.Millisecond)
+	c.AddDirtySourceAborted(3)
+	if s := c.LatencySnapshot(); s[LatRead].Count != 0 {
+		t.Error("nil collector recorded latency")
+	}
+}
+
+func TestCollectorLatencySet(t *testing.T) {
+	c := &Collector{}
+	c.ObserveLatency(LatRead, 100*time.Microsecond)
+	c.ObserveLatency(LatRead, 200*time.Microsecond)
+	c.ObserveLatency(LatWrite, 300*time.Microsecond)
+	c.ObserveLatency(LatCommit, time.Millisecond)
+	c.ObserveLatency(LatWait, 2*time.Millisecond)
+	c.ObserveLatency(NumLatencyKinds, time.Hour) // out of range: dropped
+
+	s := c.LatencySnapshot()
+	if s[LatRead].Count != 2 || s[LatWrite].Count != 1 ||
+		s[LatCommit].Count != 1 || s[LatWait].Count != 1 {
+		t.Fatalf("per-kind counts = %d/%d/%d/%d",
+			s[LatRead].Count, s[LatWrite].Count, s[LatCommit].Count, s[LatWait].Count)
+	}
+	ops := s.Ops()
+	if ops.Count != 3 {
+		t.Errorf("Ops count = %d, want 3", ops.Count)
+	}
+	if p := ops.Quantile(1); p < int64(300*time.Microsecond) {
+		t.Errorf("Ops p100 = %d, want >= 300us", p)
+	}
+	// Sub on the set zeroes everything.
+	if d := s.Sub(s); d[LatRead].Count != 0 || d.Ops().Count != 0 {
+		t.Error("LatencySet.Sub(self) not zero")
+	}
+}
+
+func TestAddDirtySourceAborted(t *testing.T) {
+	c := &Collector{}
+	c.AddDirtySourceAborted(4)
+	c.AddDirtySourceAborted(0)
+	c.AddDirtySourceAborted(-2)
+	c.DirtySourceAborted()
+	if got := c.Snapshot().DirtySourceAborted; got != 5 {
+		t.Errorf("DirtySourceAborted = %d, want 5", got)
+	}
+}
+
+func TestAbortBreakdown(t *testing.T) {
+	c := &Collector{}
+	c.Abort(AbortLateRead, 0)
+	c.Abort(AbortLateRead, 0)
+	c.Abort(AbortExplicit, 0)
+	got := c.Snapshot().AbortBreakdown()
+	if len(got) != 2 || got["late-read"] != 2 || got["explicit"] != 1 {
+		t.Errorf("AbortBreakdown = %v", got)
+	}
+}
+
+// TestHistogramConcurrent exercises the record path under the race
+// detector.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Errorf("count = %d, want 8000", s.Count)
+	}
+}

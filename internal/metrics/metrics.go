@@ -8,7 +8,10 @@
 // snapshot deltas over timed intervals to derive throughput.
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Collector accumulates counters for one engine instance. The zero value
 // is ready to use. A nil *Collector is also valid and drops all updates,
@@ -37,6 +40,8 @@ type Collector struct {
 	waits     atomic.Int64
 
 	dirtySourceAborted atomic.Int64
+
+	lat [NumLatencyKinds]Histogram
 }
 
 // AbortReason classifies why the engine aborted a transaction attempt.
@@ -171,10 +176,34 @@ func (c *Collector) Waited() {
 // DirtySourceAborted records that an update whose uncommitted value had
 // been read by a query later aborted — the §5.1 corner the paper chooses
 // not to guard against; we count it for observability.
-func (c *Collector) DirtySourceAborted() {
-	if c != nil {
-		c.dirtySourceAborted.Add(1)
+func (c *Collector) DirtySourceAborted() { c.AddDirtySourceAborted(1) }
+
+// AddDirtySourceAborted records n dirty-source-abort occurrences at once
+// (an aborting update may have had several query readers).
+func (c *Collector) AddDirtySourceAborted(n int64) {
+	if c != nil && n > 0 {
+		c.dirtySourceAborted.Add(n)
 	}
+}
+
+// ObserveLatency records one duration on the given engine path.
+func (c *Collector) ObserveLatency(k LatencyKind, d time.Duration) {
+	if c != nil && k < NumLatencyKinds {
+		c.lat[k].ObserveDuration(d)
+	}
+}
+
+// LatencySnapshot copies the per-path latency histograms. A nil Collector
+// snapshots as empty.
+func (c *Collector) LatencySnapshot() LatencySet {
+	var s LatencySet
+	if c == nil {
+		return s
+	}
+	for i := range c.lat {
+		s[i] = c.lat[i].Snapshot()
+	}
+	return s
 }
 
 // Snapshot is a point-in-time copy of all counters.
@@ -230,6 +259,28 @@ func (c *Collector) Snapshot() Snapshot {
 		Waits:              c.waits.Load(),
 		DirtySourceAborted: c.dirtySourceAborted.Load(),
 	}
+}
+
+// AbortBreakdown returns the nonzero abort counters keyed by reason name
+// — the shape the debug endpoint and the bench's per-cell JSON report.
+func (s Snapshot) AbortBreakdown() map[string]int64 {
+	out := make(map[string]int64)
+	for reason, v := range map[AbortReason]int64{
+		AbortLateRead:      s.AbortLateRead,
+		AbortLateWrite:     s.AbortLateWrite,
+		AbortImportLimit:   s.AbortImportLimit,
+		AbortExportLimit:   s.AbortExportLimit,
+		AbortWaitTimeout:   s.AbortWaitTimeout,
+		AbortMissingObject: s.AbortMissingObject,
+		AbortExplicit:      s.AbortExplicit,
+		AbortDeadlock:      s.AbortDeadlock,
+		AbortOther:         s.AbortOther,
+	} {
+		if v != 0 {
+			out[reason.String()] = v
+		}
+	}
+	return out
 }
 
 // Aborts sums all abort reasons — the paper's "number of retries".

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// rawDial opens a bare wire connection, bypassing the client package, so
+// tests can exercise the protocol (and misbehave) directly.
+func rawDial(t *testing.T, addr string) (*wire.Conn, net.Conn) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.NewConn(nc), nc
+}
+
+func call(t *testing.T, c *wire.Conn, req wire.Message) wire.Message {
+	t.Helper()
+	resp, err := c.Call(req)
+	if err != nil {
+		t.Fatalf("%v: %v", req.MsgType(), err)
+	}
+	return resp
+}
+
+func TestStatsCarriesLiveGaugeAndLatencies(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, _ := startServer(t, 2, tso.Options{Collector: col}, Options{Clock: clock})
+	conn, nc := rawDial(t, addr)
+	defer nc.Close()
+
+	// One committed update, then one transaction left open.
+	ok := call(t, conn, &wire.Begin{Kind: core.Update, Timestamp: tsgen.Make(1, 0), Spec: core.SRSpec()}).(*wire.BeginOK)
+	call(t, conn, &wire.Read{Txn: ok.Txn, Object: 1})
+	call(t, conn, &wire.Write{Txn: ok.Txn, Object: 1, Value: 7})
+	call(t, conn, &wire.Commit{Txn: ok.Txn})
+	open := call(t, conn, &wire.Begin{Kind: core.Update, Timestamp: tsgen.Make(2, 0), Spec: core.SRSpec()}).(*wire.BeginOK)
+
+	stats := call(t, conn, &wire.Stats{}).(*wire.StatsOK)
+	if stats.Live != 1 {
+		t.Errorf("Live = %d, want 1", stats.Live)
+	}
+	if stats.Snapshot.Commits != 1 {
+		t.Errorf("Commits = %d, want 1", stats.Snapshot.Commits)
+	}
+	for _, k := range []metrics.LatencyKind{metrics.LatRead, metrics.LatWrite, metrics.LatCommit} {
+		if h := stats.Latencies[k]; h.Count == 0 || h.Quantile(0.5) <= 0 {
+			t.Errorf("%v histogram over the wire: count=%d p50=%d, want populated", k, h.Count, h.Quantile(0.5))
+		}
+	}
+	call(t, conn, &wire.Abort{Txn: open.Txn})
+}
+
+// TestDisconnectAbortsOrphanedTxns pins the server-side cleanup: a client
+// that drops mid-transaction must not leave the transaction live (its
+// pending writes would block every later conflicting operation forever).
+func TestDisconnectAbortsOrphanedTxns(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, srv := startServer(t, 2, tso.Options{Collector: col}, Options{Clock: clock})
+	conn, nc := rawDial(t, addr)
+
+	ok := call(t, conn, &wire.Begin{Kind: core.Update, Timestamp: tsgen.Make(1, 0), Spec: core.SRSpec()}).(*wire.BeginOK)
+	call(t, conn, &wire.Write{Txn: ok.Txn, Object: 1, Value: 1})
+	if live := srv.Engine().Live(); live != 1 {
+		t.Fatalf("Live before disconnect = %d, want 1", live)
+	}
+
+	nc.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Engine().Live() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Live = %d after disconnect, want 0", srv.Engine().Live())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := col.Snapshot().AbortExplicit; got != 1 {
+		t.Errorf("AbortExplicit = %d, want 1 (server-side cleanup abort)", got)
+	}
+}
+
+// TestDisconnectDoesNotAbortFinishedTxns: transactions the client finished
+// (commit, abort, or server-side abort) must not be re-aborted at teardown.
+func TestDisconnectLeavesFinishedTxnsAlone(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, srv := startServer(t, 2, tso.Options{Collector: col}, Options{Clock: clock})
+	conn, nc := rawDial(t, addr)
+
+	ok := call(t, conn, &wire.Begin{Kind: core.Update, Timestamp: tsgen.Make(1, 0), Spec: core.SRSpec()}).(*wire.BeginOK)
+	call(t, conn, &wire.Write{Txn: ok.Txn, Object: 1, Value: 1})
+	call(t, conn, &wire.Commit{Txn: ok.Txn})
+	nc.Close()
+	srv.Close() // waits for the connection goroutine, so teardown has run
+
+	if s := col.Snapshot(); s.Commits != 1 || s.Aborts() != 0 {
+		t.Errorf("after teardown: commits=%d aborts=%v, want 1 commit and no aborts",
+			s.Commits, s.AbortBreakdown())
+	}
+}
+
+func TestDebugMuxServesStats(t *testing.T) {
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	if _, err := st.Create(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	col := &metrics.Collector{}
+	e := tso.NewEngine(st, tso.Options{Collector: col})
+	txn, err := e.Begin(core.Update, tsgen.Make(1, 0), core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Read(txn, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(txn, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(txn); err != nil {
+		t.Fatal(err)
+	}
+	// One explicit abort so the breakdown is nonempty.
+	txn2, err := e.Begin(core.Update, tsgen.Make(2, 0), core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Abort(txn2); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(DebugMux(e))
+	defer ts.Close()
+
+	var stats struct {
+		Counters       map[string]int64          `json:"counters"`
+		AbortBreakdown map[string]int64          `json:"abort_breakdown"`
+		LiveTxns       int                       `json:"live_txns"`
+		Latency        map[string]latencySummary `json:"latency"`
+	}
+	resp, err := ts.Client().Get(ts.URL + "/debug/esr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/esr status = %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters["commits"] != 1 {
+		t.Errorf("commits = %d, want 1", stats.Counters["commits"])
+	}
+	if stats.AbortBreakdown["explicit"] != 1 {
+		t.Errorf("abort_breakdown = %v, want explicit:1", stats.AbortBreakdown)
+	}
+	if stats.LiveTxns != 0 {
+		t.Errorf("live_txns = %d, want 0", stats.LiveTxns)
+	}
+	for _, path := range []string{"read", "write", "commit"} {
+		sum, ok := stats.Latency[path]
+		if !ok || sum.Count == 0 || sum.P99Ns <= 0 {
+			t.Errorf("latency[%q] = %+v, want populated percentiles", path, sum)
+		}
+	}
+
+	// expvar and pprof are mounted.
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		r, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != 200 {
+			t.Errorf("GET %s status = %d", path, r.StatusCode)
+		}
+	}
+
+	// A second mux over another engine must not panic on the expvar
+	// re-publish path.
+	st2 := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	DebugMux(tso.NewEngine(st2, tso.Options{}))
+}

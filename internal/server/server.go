@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 	"github.com/epsilondb/epsilondb/internal/tso"
 	"github.com/epsilondb/epsilondb/internal/wire"
@@ -137,8 +138,22 @@ func (s *Server) Close() error {
 
 // ServeConn serves one client connection until EOF or error. It may be
 // called directly with an in-process pipe for embedded deployments.
+//
+// The server tracks the transactions each connection has open and aborts
+// any still live when the connection ends: a client that dies (or whose
+// wire breaks) mid-transaction must not strand pending writes that block
+// every later conflicting operation.
 func (s *Server) ServeConn(rw io.ReadWriter) {
 	conn := wire.NewConn(rw)
+	open := make(map[core.TxnID]struct{})
+	defer func() {
+		for txn := range open {
+			// ErrUnknownTxn just means the engine finished it first.
+			if err := s.engine.Abort(txn); err == nil {
+				s.opts.Logf("server: %s: aborted orphaned txn %d on disconnect", conn.RemoteAddr(), txn)
+			}
+		}
+	}()
 	for {
 		req, err := conn.ReadMessage()
 		if err != nil {
@@ -148,10 +163,37 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 			return
 		}
 		resp := s.dispatch(req)
+		trackTxn(open, req, resp)
 		if err := conn.WriteMessage(resp); err != nil {
 			s.opts.Logf("server: %s: %v", conn.RemoteAddr(), err)
 			return
 		}
+	}
+}
+
+// trackTxn maintains the connection's open-transaction set from one
+// request/response exchange.
+func trackTxn(open map[core.TxnID]struct{}, req, resp wire.Message) {
+	switch m := req.(type) {
+	case *wire.Begin:
+		if ok, isOK := resp.(*wire.BeginOK); isOK {
+			open[ok.Txn] = struct{}{}
+		}
+	case *wire.Read:
+		if e, isErr := resp.(*wire.Error); isErr && e.Code == wire.CodeAbort {
+			delete(open, m.Txn) // engine aborted it internally
+		}
+	case *wire.Write:
+		if e, isErr := resp.(*wire.Error); isErr && e.Code == wire.CodeAbort {
+			delete(open, m.Txn)
+		}
+	case *wire.Commit:
+		// Finished on OK; on error it is either aborted (CodeAbort) or
+		// already gone (unknown txn) — no longer this connection's to
+		// clean up either way.
+		delete(open, m.Txn)
+	case *wire.Abort:
+		delete(open, m.Txn)
 	}
 }
 
@@ -208,6 +250,8 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 		return &wire.StatsOK{
 			Snapshot:     s.engine.MetricsSnapshot(),
 			ProperMisses: s.engine.Store().ProperMisses(),
+			Live:         int64(s.engine.Live()),
+			Latencies:    s.engine.LatencySnapshot(),
 		}
 
 	default:

@@ -66,6 +66,12 @@ type Options struct {
 	// deadlock, and a virtual timeline must never be held back by a
 	// wall-clock timer.
 	Parker Parker
+	// Now drives the per-operation latency histograms and trace event
+	// timestamps: it returns elapsed time on whatever timeline the
+	// engine runs on. Nil means the wall clock since engine creation;
+	// deterministic harnesses pass the vclock timeline's Now so virtual
+	// runs still yield real latency distributions.
+	Now func() time.Duration
 }
 
 // Parker marks a goroutine as blocked/runnable on an external timeline;
@@ -120,6 +126,10 @@ func NewEngine(store *storage.Store, opts Options) *Engine {
 	if opts.WaitTimeout == 0 {
 		opts.WaitTimeout = DefaultWaitTimeout
 	}
+	if opts.Now == nil {
+		start := time.Now()
+		opts.Now = func() time.Duration { return time.Since(start) }
+	}
 	return &Engine{
 		store:        store,
 		opts:         opts,
@@ -135,8 +145,23 @@ func (e *Engine) Store() *storage.Store { return e.store }
 // returns zeros.
 func (e *Engine) MetricsSnapshot() metrics.Snapshot { return e.opts.Collector.Snapshot() }
 
+// LatencySnapshot reads the engine's per-path latency histograms;
+// without a collector it returns empties.
+func (e *Engine) LatencySnapshot() metrics.LatencySet {
+	return e.opts.Collector.LatencySnapshot()
+}
+
 // Schema returns the engine's schema (the flat schema if none was set).
 func (e *Engine) Schema() *core.Schema { return e.opts.Schema }
+
+// Live returns the number of transaction attempts currently in the live
+// table — begun but neither committed nor aborted. A nonzero value at
+// quiescence indicates leaked transactions.
+func (e *Engine) Live() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.txns)
+}
 
 // Begin starts a transaction attempt with the given kind, timestamp and
 // inconsistency specification, returning its id. Timestamps must be
@@ -196,6 +221,7 @@ func (e *Engine) remove(txn core.TxnID) (*txnState, bool) {
 // into the committed history, reader entries are withdrawn, and waiters
 // are woken.
 func (e *Engine) Commit(txn core.TxnID) error {
+	start := e.opts.Now()
 	st, ok := e.remove(txn)
 	if !ok {
 		return ErrUnknownTxn
@@ -212,6 +238,7 @@ func (e *Engine) Commit(txn core.TxnID) error {
 	}
 	e.clearDirtyNote(st.id, false)
 	e.opts.Collector.Commit()
+	e.opts.Collector.ObserveLatency(metrics.LatCommit, e.opts.Now()-start)
 	e.trace(Event{Kind: EvCommit, Txn: st.id, TxnKind: st.kind, TS: st.ts})
 	return nil
 }
@@ -231,11 +258,16 @@ func (e *Engine) Abort(txn core.TxnID) error {
 
 // abortNow aborts the attempt internally and builds the AbortError the
 // failed operation returns. No object locks may be held by the caller.
+//
+// When remove reports the attempt already finished — a concurrent
+// client-requested Abort raced with this operation and released the
+// footprint first — only the error is built: re-running finishAbort on
+// the stale state would re-release objects another attempt may already
+// own and double-count the abort.
 func (e *Engine) abortNow(st *txnState, reason metrics.AbortReason, cause error) *AbortError {
 	if removed, ok := e.remove(st.id); ok {
-		st = removed
+		e.finishAbort(removed, reason, cause)
 	}
-	e.finishAbort(st, reason, cause)
 	return &AbortError{Txn: st.id, Reason: reason, Err: cause}
 }
 
@@ -273,15 +305,15 @@ func (e *Engine) clearDirtyNote(writer core.TxnID, aborted bool) {
 	delete(e.dirtyReaders, writer)
 	e.mu.Unlock()
 	if aborted {
-		for i := 0; i < n; i++ {
-			e.opts.Collector.DirtySourceAborted()
-		}
+		e.opts.Collector.AddDirtySourceAborted(int64(n))
 	}
 }
 
-// trace emits an event if a tracer is installed.
+// trace emits an event if a tracer is installed, stamping it with the
+// engine's timeline.
 func (e *Engine) trace(ev Event) {
 	if e.opts.Tracer != nil {
+		ev.At = e.opts.Now()
 		e.opts.Tracer.Trace(ev)
 	}
 }
@@ -291,6 +323,7 @@ func (e *Engine) trace(ev Event) {
 // released while waiting and re-acquired before returning.
 func (e *Engine) waitForResolve(o *storage.Object) error {
 	ch := o.Changed()
+	start := e.opts.Now()
 	if p := e.opts.Parker; p != nil {
 		// Timeline-integrated wait: suspend while blocked; the
 		// broadcast credits us back before closing the channel.
@@ -300,12 +333,16 @@ func (e *Engine) waitForResolve(o *storage.Object) error {
 		e.opts.Collector.Waited()
 		p.Suspend()
 		<-ch
+		e.opts.Collector.ObserveLatency(metrics.LatWait, e.opts.Now()-start)
 		o.Lock()
 		return nil
 	}
 	o.Unlock()
 	e.opts.Collector.Waited()
-	defer o.Lock()
+	defer func() {
+		e.opts.Collector.ObserveLatency(metrics.LatWait, e.opts.Now()-start)
+		o.Lock()
+	}()
 	if e.opts.WaitTimeout < 0 {
 		<-ch
 		return nil

@@ -1,0 +1,306 @@
+package tso
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+)
+
+// TestAbortNowAfterFinishDoesNotDoubleRelease is the surgical regression
+// test for the abortNow double-release: once an attempt has finished, a
+// racing internal abort must only build the error, not re-run
+// finishAbort on the stale state.
+func TestAbortNowAfterFinishDoesNotDoubleRelease(t *testing.T) {
+	col := &metrics.Collector{}
+	rec := NewFlightRecorder(64)
+	e := newTestEngine(t, 1, Options{Collector: col, Tracer: rec})
+
+	txn := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(txn, 1, 500); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	st, err := e.lookup(txn)
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if err := e.Abort(txn); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+
+	// The stale-state internal abort: must return the error without
+	// touching objects or counters again.
+	ae := e.abortNow(st, metrics.AbortWaitTimeout, fmt.Errorf("stale"))
+	if ae == nil || ae.Reason != metrics.AbortWaitTimeout {
+		t.Fatalf("abortNow = %v", ae)
+	}
+
+	s := col.Snapshot()
+	if s.Aborts() != 1 || s.AbortExplicit != 1 || s.AbortWaitTimeout != 0 {
+		t.Errorf("aborts double-counted: total=%d explicit=%d timeout=%d",
+			s.Aborts(), s.AbortExplicit, s.AbortWaitTimeout)
+	}
+	if s.WastedOps != 1 {
+		t.Errorf("WastedOps = %d, want 1 (one write, counted once)", s.WastedOps)
+	}
+	abortEvents := 0
+	for _, ev := range rec.Snapshot() {
+		if ev.Kind == EvAbort {
+			abortEvents++
+		}
+	}
+	if abortEvents != 1 {
+		t.Errorf("traced %d abort events, want 1", abortEvents)
+	}
+
+	// The object must be clean and writable by a new attempt.
+	next := mustBegin(t, e, core.Update, 20, 0)
+	if err := e.Write(next, 1, 600); err != nil {
+		t.Fatalf("Write after double abort: %v", err)
+	}
+	if err := e.Commit(next); err != nil {
+		t.Fatalf("Commit after double abort: %v", err)
+	}
+	if n := e.Live(); n != 0 {
+		t.Errorf("Live() = %d, want 0", n)
+	}
+}
+
+// TestConcurrentAbortVsBlockedOperation drives the full race: an
+// operation blocked in a strict-ordering wait while the client aborts the
+// same attempt. The wait times out into abortNow, whose remove must fail
+// and release nothing a second time.
+func TestConcurrentAbortVsBlockedOperation(t *testing.T) {
+	col := &metrics.Collector{}
+	e := newTestEngine(t, 1, Options{Collector: col, WaitTimeout: 50 * time.Millisecond})
+
+	writer := mustBegin(t, e, core.Update, 10, 0)
+	if err := e.Write(writer, 1, 500); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	reader := mustBegin(t, e, core.Update, 20, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Read(reader, 1)
+		done <- err
+	}()
+
+	// Wait until the read blocks on the pending write, then abort the
+	// reading attempt out from under it.
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Snapshot().Waits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("read never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.Abort(reader); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	err := <-done
+	if _, ok := IsAbort(err); !ok {
+		t.Fatalf("blocked read returned %v, want AbortError", err)
+	}
+
+	s := col.Snapshot()
+	if got := s.Aborts(); got != 1 {
+		t.Errorf("aborts = %d, want exactly 1 (no double count)", got)
+	}
+	// The writer's pending write must have survived both abort paths.
+	if err := e.Commit(writer); err != nil {
+		t.Fatalf("writer commit after race: %v", err)
+	}
+	if n := e.Live(); n != 0 {
+		t.Errorf("Live() = %d, want 0", n)
+	}
+}
+
+func TestEngineLatencyHistograms(t *testing.T) {
+	col := &metrics.Collector{}
+	e := newTestEngine(t, 2, Options{Collector: col})
+
+	u := mustBegin(t, e, core.Update, 10, 0)
+	if _, err := e.Read(u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(u, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+
+	lat := e.LatencySnapshot()
+	if lat[metrics.LatRead].Count != 1 {
+		t.Errorf("read latencies = %d, want 1", lat[metrics.LatRead].Count)
+	}
+	if lat[metrics.LatWrite].Count != 1 {
+		t.Errorf("write latencies = %d, want 1", lat[metrics.LatWrite].Count)
+	}
+	if lat[metrics.LatCommit].Count != 1 {
+		t.Errorf("commit latencies = %d, want 1", lat[metrics.LatCommit].Count)
+	}
+	if ops := lat.Ops(); ops.Count != 2 {
+		t.Errorf("ops = %d, want 2", ops.Count)
+	}
+}
+
+// TestVirtualNowDrivesLatencies checks that a custom Now source (the
+// vclock integration point) is what the histograms and trace stamps see.
+func TestVirtualNowDrivesLatencies(t *testing.T) {
+	var vnow time.Duration
+	col := &metrics.Collector{}
+	var events []Event
+	e := newTestEngine(t, 1, Options{
+		Collector: col,
+		Tracer:    tracerFunc(func(ev Event) { events = append(events, ev) }),
+		Now:       func() time.Duration { vnow += time.Millisecond; return vnow },
+	})
+	u := mustBegin(t, e, core.Update, 10, 0)
+	if _, err := e.Read(u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	lat := e.LatencySnapshot()
+	// Every Now() call advances 1ms, so recorded durations are positive
+	// multiples of a millisecond.
+	if p := lat[metrics.LatRead].Quantile(1); p < int64(time.Millisecond) {
+		t.Errorf("read p100 = %d, want >= 1ms from virtual clock", p)
+	}
+	for _, ev := range events {
+		if ev.At == 0 {
+			t.Errorf("event %v not stamped with virtual time", ev.Kind)
+		}
+	}
+}
+
+type tracerFunc func(Event)
+
+func (f tracerFunc) Trace(ev Event) { f(ev) }
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	col := &metrics.Collector{}
+	e := newTestEngine(t, 2, Options{Collector: col, Tracer: sink})
+
+	u := mustBegin(t, e, core.Update, 10, 0)
+	if _, err := e.Read(u, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Write(u, 2, 750); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 { // begin, read, write, commit
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	kinds := make([]string, 0, 4)
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %q is not valid JSON: %v", line, err)
+		}
+		kinds = append(kinds, obj["ev"].(string))
+	}
+	want := []string{"begin", "read", "write", "commit"}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("line %d event = %q, want %q", i, kinds[i], want[i])
+		}
+	}
+	// The write line carries object and value.
+	var wr map[string]any
+	if err := json.Unmarshal([]byte(lines[2]), &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr["obj"].(float64) != 2 || wr["val"].(float64) != 750 {
+		t.Errorf("write line = %v", wr)
+	}
+}
+
+func TestFlightRecorderRingAndStorm(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	var storms [][]Event
+	rec.OnAbortStorm(3, 100*time.Millisecond, func(evs []Event) {
+		storms = append(storms, evs)
+	})
+
+	// Fill past capacity: the ring keeps the newest 4.
+	for i := 1; i <= 6; i++ {
+		rec.Trace(Event{Kind: EvRead, Txn: core.TxnID(i), At: time.Duration(i) * time.Millisecond})
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 4 || snap[0].Txn != 3 || snap[3].Txn != 6 {
+		t.Fatalf("ring snapshot = %+v", snap)
+	}
+
+	// Two aborts inside the window: below threshold, no storm.
+	rec.Trace(Event{Kind: EvAbort, Txn: 7, At: 10 * time.Millisecond})
+	rec.Trace(Event{Kind: EvAbort, Txn: 8, At: 20 * time.Millisecond})
+	if len(storms) != 0 {
+		t.Fatalf("storm fired below threshold")
+	}
+	// Third abort within the window trips the recorder once.
+	rec.Trace(Event{Kind: EvAbort, Txn: 9, At: 30 * time.Millisecond})
+	if len(storms) != 1 {
+		t.Fatalf("storms = %d, want 1", len(storms))
+	}
+	if len(storms[0]) != 4 || storms[0][3].Txn != 9 {
+		t.Errorf("storm dump = %+v", storms[0])
+	}
+	// A fourth abort in the same window must not re-fire (rate limit)...
+	rec.Trace(Event{Kind: EvAbort, Txn: 10, At: 40 * time.Millisecond})
+	if len(storms) != 1 {
+		t.Fatalf("storm re-fired within its window")
+	}
+	// ...but a sustained storm one window later does.
+	rec.Trace(Event{Kind: EvAbort, Txn: 11, At: 131 * time.Millisecond})
+	rec.Trace(Event{Kind: EvAbort, Txn: 12, At: 132 * time.Millisecond})
+	rec.Trace(Event{Kind: EvAbort, Txn: 13, At: 133 * time.Millisecond})
+	if len(storms) != 2 {
+		t.Fatalf("storms = %d, want 2 after window elapsed", len(storms))
+	}
+
+	// WriteJSONL emits one valid line per buffered event.
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dump lines = %d, want 4", len(lines))
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("dump line %q invalid: %v", line, err)
+		}
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	var a, b []Event
+	m := MultiTracer{
+		tracerFunc(func(ev Event) { a = append(a, ev) }),
+		tracerFunc(func(ev Event) { b = append(b, ev) }),
+	}
+	m.Trace(Event{Kind: EvBegin, Txn: 1})
+	if len(a) != 1 || len(b) != 1 {
+		t.Errorf("fan out: a=%d b=%d", len(a), len(b))
+	}
+}

@@ -12,6 +12,7 @@ import (
 // value read. On any rejection the attempt is aborted internally and an
 // *AbortError is returned; the client resubmits with a fresh timestamp.
 func (e *Engine) Read(txn core.TxnID, obj core.ObjectID) (core.Value, error) {
+	start := e.opts.Now()
 	st, err := e.lookup(txn)
 	if err != nil {
 		return 0, err
@@ -20,10 +21,16 @@ func (e *Engine) Read(txn core.TxnID, obj core.ObjectID) (core.Value, error) {
 	if err != nil {
 		return 0, e.abortNow(st, metrics.AbortMissingObject, err)
 	}
+	var v core.Value
 	if st.kind == core.Update {
-		return e.readUpdate(st, o)
+		v, err = e.readUpdate(st, o)
+	} else {
+		v, err = e.readQuery(st, o)
 	}
-	return e.readQuery(st, o)
+	if err == nil {
+		e.opts.Collector.ObserveLatency(metrics.LatRead, e.opts.Now()-start)
+	}
+	return v, err
 }
 
 // readUpdate is the consistent read path for update ETs. Their writes

@@ -1,6 +1,8 @@
 package tso
 
 import (
+	"time"
+
 	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 )
@@ -48,6 +50,10 @@ type Event struct {
 	Kind    EventKind
 	Txn     core.TxnID
 	TxnKind core.Kind
+	// At is the event time on the engine's timeline (Options.Now):
+	// elapsed wall time by default, virtual time under the vclock
+	// harness. Stamped by the engine when the event is emitted.
+	At time.Duration
 	// TS is the attempt's timestamp.
 	TS tsgen.Timestamp
 	// Object, for reads and writes.

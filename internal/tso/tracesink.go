@@ -1,0 +1,208 @@
+// Trace sinks: consumers for the engine's Tracer hook. The JSONL sink
+// streams every event as one JSON object per line — the structured
+// execution traces that consistency checkers over observed histories
+// (Biswas & Enea; Nagar & Jagannathan) take as input. The flight
+// recorder keeps the last N events in a ring buffer and dumps them when
+// an abort storm hits, so the window into a misbehaving engine is the
+// moments *before* the storm, not just its aftermath.
+package tso
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// MultiTracer fans one event stream out to several tracers, in order.
+type MultiTracer []Tracer
+
+// Trace implements Tracer.
+func (m MultiTracer) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// JSONLSink writes every event as one JSON line to a buffered writer.
+// Encoding is hand-rolled appends into a reused buffer: the tracer hook
+// runs with object locks held, so the sink must not allocate per event
+// beyond the occasional buffer growth.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONLSink returns a sink over w. Call Flush before reading what was
+// written; the sink buffers aggressively.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Trace implements Tracer. Write errors are sticky and reported by Flush.
+func (s *JSONLSink) Trace(ev Event) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.buf = AppendEventJSON(s.buf[:0], ev)
+		s.buf = append(s.buf, '\n')
+		_, s.err = s.bw.Write(s.buf)
+	}
+	s.mu.Unlock()
+}
+
+// Flush drains the buffer to the underlying writer and returns the first
+// error encountered since the last Flush.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.bw.Flush()
+	}
+	err := s.err
+	s.err = nil
+	return err
+}
+
+// AppendEventJSON appends ev as a single JSON object to dst. Zero-valued
+// optional fields (object, value, inconsistency, dirty flag) are omitted
+// for begin/commit/abort events to keep traces compact.
+func AppendEventJSON(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"ev":"`...)
+	dst = append(dst, ev.Kind.String()...)
+	dst = append(dst, `","txn":`...)
+	dst = strconv.AppendUint(dst, uint64(ev.Txn), 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, ev.TxnKind.String()...)
+	dst = append(dst, `","at_ns":`...)
+	dst = strconv.AppendInt(dst, int64(ev.At), 10)
+	dst = append(dst, `,"ts":`...)
+	dst = strconv.AppendUint(dst, uint64(ev.TS), 10)
+	if ev.Kind == EvRead || ev.Kind == EvWrite {
+		dst = append(dst, `,"obj":`...)
+		dst = strconv.AppendUint(dst, uint64(ev.Object), 10)
+		dst = append(dst, `,"val":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Value), 10)
+		dst = append(dst, `,"ver":`...)
+		dst = strconv.AppendUint(dst, uint64(ev.Version), 10)
+		if ev.Inconsistency != 0 {
+			dst = append(dst, `,"inc":`...)
+			dst = strconv.AppendInt(dst, int64(ev.Inconsistency), 10)
+		}
+		if ev.DirtyRead {
+			dst = append(dst, `,"dirty":true`...)
+		}
+	}
+	return append(dst, '}')
+}
+
+// FlightRecorder keeps the most recent events in a fixed ring buffer and,
+// when aborts cluster, hands the buffered history to a storm handler.
+// Storm detection is sliding-window: a dump fires when at least
+// `threshold` aborts land within `window` of engine time, and re-arms one
+// full window after firing so a sustained storm produces one dump per
+// window rather than one per abort.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+
+	abortTimes []time.Duration // recent abort stamps, oldest first
+	threshold  int
+	window     time.Duration
+	lastDump   time.Duration
+	dumped     bool
+	onStorm    func([]Event)
+}
+
+// NewFlightRecorder returns a recorder holding the last n events
+// (minimum 1).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{ring: make([]Event, n)}
+}
+
+// OnAbortStorm installs the storm trigger: fn receives a copy of the ring
+// (oldest first) when threshold aborts occur within window. fn runs on
+// the engine goroutine that traced the triggering abort, so it should
+// hand off heavy work.
+func (f *FlightRecorder) OnAbortStorm(threshold int, window time.Duration, fn func([]Event)) {
+	f.mu.Lock()
+	f.threshold = threshold
+	f.window = window
+	f.onStorm = fn
+	f.mu.Unlock()
+}
+
+// Trace implements Tracer.
+func (f *FlightRecorder) Trace(ev Event) {
+	f.mu.Lock()
+	f.ring[f.next] = ev
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+	var fire func([]Event)
+	var events []Event
+	if ev.Kind == EvAbort && f.onStorm != nil {
+		f.abortTimes = append(f.abortTimes, ev.At)
+		cutoff := ev.At - f.window
+		i := 0
+		for i < len(f.abortTimes) && f.abortTimes[i] < cutoff {
+			i++
+		}
+		f.abortTimes = f.abortTimes[i:]
+		if len(f.abortTimes) >= f.threshold && (!f.dumped || ev.At-f.lastDump >= f.window) {
+			f.lastDump = ev.At
+			f.dumped = true
+			fire = f.onStorm
+			events = f.snapshotLocked()
+		}
+	}
+	f.mu.Unlock()
+	if fire != nil {
+		fire(events)
+	}
+}
+
+// Snapshot copies the buffered events, oldest first.
+func (f *FlightRecorder) Snapshot() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snapshotLocked()
+}
+
+func (f *FlightRecorder) snapshotLocked() []Event {
+	if !f.full {
+		return append([]Event(nil), f.ring[:f.next]...)
+	}
+	out := make([]Event, 0, len(f.ring))
+	out = append(out, f.ring[f.next:]...)
+	return append(out, f.ring[:f.next]...)
+}
+
+// WriteJSONL dumps the buffered events to w in JSONL form, oldest first.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	var buf []byte
+	for _, ev := range f.Snapshot() {
+		buf = AppendEventJSON(buf[:0], ev)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The compiler enforces the Tracer contracts.
+var (
+	_ Tracer = (*JSONLSink)(nil)
+	_ Tracer = (*FlightRecorder)(nil)
+	_ Tracer = MultiTracer(nil)
+)

@@ -38,6 +38,7 @@ func (e *Engine) WriteDelta(txn core.TxnID, obj core.ObjectID, delta core.Value)
 //     uncommitted query readers (§5.2) — fits the object export limit
 //     and the hierarchy/transaction export bounds.
 func (e *Engine) write(txn core.TxnID, obj core.ObjectID, value, delta core.Value, useDelta bool) (core.Value, error) {
+	start := e.opts.Now()
 	st, err := e.lookup(txn)
 	if err != nil {
 		return 0, err
@@ -124,5 +125,6 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, value, delta core.Valu
 
 	st.opsExecuted++
 	e.opts.Collector.WriteExecuted(caseThree && exported > 0)
+	e.opts.Collector.ObserveLatency(metrics.LatWrite, e.opts.Now()-start)
 	return newValue, nil
 }

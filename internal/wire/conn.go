@@ -17,6 +17,13 @@ type Conn struct {
 	br  *bufio.Reader
 	bw  *bufio.Writer
 	buf []byte
+	// hdr and rbuf are the reused receive buffers: the frame header and
+	// the grow-only payload buffer ReadMessage decodes from, mirroring
+	// buf on the write side. Decoding copies everything it retains
+	// (strings, map entries), so reusing the backing array across
+	// messages is safe.
+	hdr  [8]byte
+	rbuf []byte
 }
 
 // NewConn wraps a byte stream (usually a net.Conn) in a message framer.
@@ -64,7 +71,7 @@ func (c *Conn) WriteMessage(m Message) error {
 // ReadMessage receives and decodes one message. io.EOF is returned
 // unwrapped when the peer closed the connection cleanly between frames.
 func (c *Conn) ReadMessage() (Message, error) {
-	var hdr [8]byte
+	hdr := c.hdr[:]
 	if _, err := io.ReadFull(c.br, hdr[:1]); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
@@ -85,7 +92,10 @@ func (c *Conn) ReadMessage() (Message, error) {
 	if n > MaxPayload {
 		return nil, fmt.Errorf("wire: %v payload of %d bytes exceeds limit", t, n)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(c.rbuf)) < n {
+		c.rbuf = make([]byte, n)
+	}
+	payload := c.rbuf[:n]
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return nil, fmt.Errorf("wire: read %v payload: %w", t, err)
 	}

@@ -181,10 +181,17 @@ func (*SyncOK) MsgType() MsgType { return MsgSyncOK }
 func (m *SyncOK) appendPayload(dst []byte) []byte { return appendI64(dst, m.ServerTicks) }
 func (m *SyncOK) decodePayload(r *reader)         { m.ServerTicks = r.i64("server ticks") }
 
-// StatsOK carries the server's counters.
+// StatsOK carries the server's counters, the live-transaction gauge, and
+// the per-path latency histograms (sparse-encoded: only nonzero buckets
+// travel, so an idle server's stats frame stays tiny).
 type StatsOK struct {
 	Snapshot     metrics.Snapshot
 	ProperMisses int64
+	// Live is the number of transactions currently open in the engine.
+	Live int64
+	// Latencies holds one histogram per engine path (read, write,
+	// commit, wait), from which clients derive percentiles.
+	Latencies metrics.LatencySet
 }
 
 // MsgType implements Message.
@@ -197,9 +204,13 @@ func (m *StatsOK) appendPayload(dst []byte) []byte {
 		s.AbortLateRead, s.AbortLateWrite, s.AbortImportLimit, s.AbortExportLimit,
 		s.AbortWaitTimeout, s.AbortMissingObject, s.AbortExplicit, s.AbortDeadlock, s.AbortOther,
 		s.ReadsExecuted, s.WritesExecuted, s.InconsistentReads, s.InconsistentWrites,
-		s.WastedOps, s.Waits, s.DirtySourceAborted, m.ProperMisses,
+		s.WastedOps, s.Waits, s.DirtySourceAborted, m.ProperMisses, m.Live,
 	} {
 		dst = appendI64(dst, v)
+	}
+	dst = appendU8(dst, uint8(len(m.Latencies)))
+	for i := range m.Latencies {
+		dst = appendHistogram(dst, &m.Latencies[i])
 	}
 	return dst
 }
@@ -211,9 +222,51 @@ func (m *StatsOK) decodePayload(r *reader) {
 		&s.AbortLateRead, &s.AbortLateWrite, &s.AbortImportLimit, &s.AbortExportLimit,
 		&s.AbortWaitTimeout, &s.AbortMissingObject, &s.AbortExplicit, &s.AbortDeadlock, &s.AbortOther,
 		&s.ReadsExecuted, &s.WritesExecuted, &s.InconsistentReads, &s.InconsistentWrites,
-		&s.WastedOps, &s.Waits, &s.DirtySourceAborted, &m.ProperMisses,
+		&s.WastedOps, &s.Waits, &s.DirtySourceAborted, &m.ProperMisses, &m.Live,
 	} {
 		*p = r.i64("counter")
+	}
+	n := int(r.u8("histogram count"))
+	for i := 0; i < n && r.err == nil; i++ {
+		var h metrics.HistogramSnapshot
+		decodeHistogram(r, &h)
+		if i < len(m.Latencies) {
+			m.Latencies[i] = h
+		}
+	}
+}
+
+// appendHistogram sparse-encodes a histogram snapshot: sum, then the
+// number of nonzero buckets followed by (index, count) pairs. The total
+// count is reconstructed from the buckets on decode.
+func appendHistogram(dst []byte, h *metrics.HistogramSnapshot) []byte {
+	dst = appendI64(dst, h.Sum)
+	nonZero := 0
+	for _, c := range h.Counts {
+		if c != 0 {
+			nonZero++
+		}
+	}
+	dst = appendU16(dst, uint16(nonZero))
+	for i, c := range h.Counts {
+		if c != 0 {
+			dst = appendU16(dst, uint16(i))
+			dst = appendI64(dst, c)
+		}
+	}
+	return dst
+}
+
+func decodeHistogram(r *reader, h *metrics.HistogramSnapshot) {
+	h.Sum = r.i64("histogram sum")
+	n := int(r.u16("histogram bucket count"))
+	for i := 0; i < n && r.err == nil; i++ {
+		idx := int(r.u16("bucket index"))
+		c := r.i64("bucket count")
+		if idx < len(h.Counts) {
+			h.Counts[idx] = c
+			h.Count += c
+		}
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 //	offset  size  field
 //	0       2     magic 0xED 0x05
-//	2       1     protocol version (1)
+//	2       1     protocol version (2)
 //	3       1     message type
 //	4       4     payload length, big endian
 //	8       n     payload
@@ -25,8 +25,9 @@ import (
 // Magic identifies epsilondb frames.
 var Magic = [2]byte{0xED, 0x05}
 
-// Version is the protocol version this package speaks.
-const Version = 1
+// Version is the protocol version this package speaks. Version 2 added
+// the latency histograms and live-transaction gauge to StatsOK.
+const Version = 2
 
 // MaxPayload bounds frame payloads; larger frames are rejected to protect
 // the peer from corrupt length fields.

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/metrics"
+)
+
+// latSet builds a LatencySet with a few observations per path.
+func latSet() metrics.LatencySet {
+	c := &metrics.Collector{}
+	c.ObserveLatency(metrics.LatRead, 120*time.Microsecond)
+	c.ObserveLatency(metrics.LatRead, 350*time.Microsecond)
+	c.ObserveLatency(metrics.LatWrite, time.Millisecond)
+	c.ObserveLatency(metrics.LatCommit, 75*time.Microsecond)
+	c.ObserveLatency(metrics.LatWait, 9*time.Millisecond)
+	return c.LatencySnapshot()
+}
+
+func TestStatsOKRoundTripWithHistograms(t *testing.T) {
+	m := &StatsOK{
+		Snapshot: metrics.Snapshot{
+			Begins: 10, Commits: 7, AbortLateWrite: 2, Waits: 4, WastedOps: 9,
+		},
+		ProperMisses: 3,
+		Live:         2,
+		Latencies:    latSet(),
+	}
+	got := roundTrip(t, m).(*StatsOK)
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("StatsOK round trip mismatch:\n got %+v\nwant %+v", got.Latencies, m.Latencies)
+	}
+	// Percentiles survive the wire.
+	if p := got.Latencies[metrics.LatWait].Quantile(0.99); p < int64(9*time.Millisecond) {
+		t.Errorf("wait p99 after round trip = %d, want >= 9ms", p)
+	}
+	if got.Latencies.Ops().Count != 3 {
+		t.Errorf("ops count after round trip = %d, want 3", got.Latencies.Ops().Count)
+	}
+}
+
+func TestStatsOKEmptyHistogramsStaySmall(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteMessage(&StatsOK{}); err != nil {
+		t.Fatal(err)
+	}
+	// 8-byte header + 20 counters + histogram count byte + 4 empty
+	// histograms (sum + zero bucket count each). Sparse encoding keeps
+	// the idle frame under 100 bytes where dense bucket arrays would be
+	// ~16 KB.
+	if buf.Len() > 256 {
+		t.Errorf("idle StatsOK frame = %d bytes, want sparse encoding", buf.Len())
+	}
+	got, err := c.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, &StatsOK{}) {
+		t.Errorf("empty StatsOK round trip = %+v", got)
+	}
+}
+
+// TestReadMessageReusesBuffer pins the grow-only receive buffer: decoding
+// many messages through one conn must not allocate a fresh payload per
+// frame, and successive decodes must not alias each other's data.
+func TestReadMessageReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	first := &Error{Code: CodeGeneric, Message: "first message text"}
+	second := &Error{Code: CodeAbort, Reason: metrics.AbortLateRead, Message: "second"}
+	if err := w.WriteMessage(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteMessage(second); err != nil {
+		t.Fatal(err)
+	}
+	r := NewConn(&buf)
+	m1, err := r.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := r.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second decode reuses the first's backing array; the first
+	// message must still hold its own copy of the string.
+	if e1 := m1.(*Error); e1.Message != "first message text" {
+		t.Errorf("first message corrupted by buffer reuse: %q", e1.Message)
+	}
+	if e2 := m2.(*Error); e2.Message != "second" {
+		t.Errorf("second message = %q", e2.Message)
+	}
+}
+
+func TestReadMessageAllocsAmortized(t *testing.T) {
+	// Pre-encode N identical frames, then measure decode allocations.
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := w.WriteMessage(&Write{Txn: 1, Object: 2, Value: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := buf.Bytes()
+	allocs := testing.AllocsPerRun(5, func() {
+		r := NewConn(readWriter{bytes.NewReader(raw)})
+		for i := 0; i < n; i++ {
+			if _, err := r.ReadMessage(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	// One message struct and one payload reader per frame are inherent;
+	// the payload buffer itself must amortize to zero. The old
+	// make-per-frame path measures ~3 allocations per message.
+	if perMsg := allocs / n; perMsg > 2.5 {
+		t.Errorf("ReadMessage allocations per message = %.2f, want <= 2.5", perMsg)
+	}
+}
+
+// readWriter adapts a read-only stream to Conn's io.ReadWriter.
+type readWriter struct{ *bytes.Reader }
+
+func (readWriter) Write(p []byte) (int, error) { return len(p), nil }

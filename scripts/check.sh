@@ -1,0 +1,7 @@
+#!/bin/sh
+# Pre-merge check: vet plus the full test suite under the race detector.
+# Equivalent to `make check`, for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race ./...
