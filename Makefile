@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test lint staticcheck check bench
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,26 @@ build:
 test:
 	$(GO) test ./...
 
+# lint runs the repo's custom analyzer suite (DESIGN.md, "Static
+# invariants") in whole-program mode, so the cross-package checks
+# (wire<->server exhaustiveness) run too. The same binary works as a
+# vettool: go vet -vettool=$$(go env GOPATH)/bin/esr-lint ./...
+lint:
+	$(GO) run ./cmd/esr-lint ./...
+
+# staticcheck runs the external linters pinned by .golangci.yml when they
+# are installed; offline environments skip them instead of failing.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
+	@if command -v golangci-lint >/dev/null 2>&1; then golangci-lint run; \
+	else echo "golangci-lint not installed; skipping"; fi
+
 # check is the documented pre-merge gate.
 check:
 	$(GO) vet ./...
+	$(MAKE) lint
+	$(MAKE) staticcheck
 	$(GO) test -race ./...
 
 bench:

@@ -1,0 +1,123 @@
+// The go vet unit-at-a-time driver: cmd/go hands the tool a JSON .cfg
+// file describing one package (sources, import map, export-data files)
+// and expects diagnostics on stderr, an (empty, we keep no facts) .vetx
+// output file, and exit status 2 when anything is reported. This is a
+// stdlib-only re-implementation of the x/tools unitchecker contract.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"github.com/epsilondb/epsilondb/internal/analysis"
+)
+
+// vetConfig mirrors the JSON written by cmd/go for vet tools. Fields the
+// suite does not use (facts, fuzzing instrumentation, ...) are omitted:
+// unknown JSON keys are ignored on decode.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes the single package described by cfgFile.
+func unitcheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Fatalf("parsing %s: %v", cfgFile, err)
+	}
+
+	// cmd/go always expects the facts file to appear, even though this
+	// suite records none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	info := analysis.NewInfo()
+	tconf := types.Config{Importer: imp}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	prog := &analysis.Program{
+		Fset: fset,
+		Packages: []*analysis.Package{{
+			ImportPath: cfg.ImportPath,
+			Dir:        cfg.Dir,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		}},
+	}
+	diags, err := prog.Run(analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}

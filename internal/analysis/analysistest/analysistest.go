@@ -1,0 +1,158 @@
+// Package analysistest runs an analyzer over golden packages under a
+// testdata directory and checks its diagnostics against expectations
+// written in the source, mirroring the x/tools package of the same name.
+//
+// Expectations are trailing comments of the form
+//
+//	x.counter++ // want `accessed atomically elsewhere`
+//
+// where each back-quoted (or double-quoted) string is a regular
+// expression that must match the message of exactly one diagnostic
+// reported on that line. Lines without a want comment must produce no
+// diagnostics, and every want expectation must be matched — both
+// directions fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/analysis"
+)
+
+// expectation is one want pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the packages at testdata/src/<pkg> for each named pkg, runs
+// the analyzer over the resulting program, and compares diagnostics
+// against the // want comments in those packages.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	patterns := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		patterns[i] = "./src/" + p
+	}
+	prog, err := analysis.Load(testdata, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			wants = append(wants, parseWants(t, prog, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation matching d and reports
+// whether one was found.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the want expectations from one file's comments.
+func parseWants(t *testing.T, prog *analysis.Program, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := prog.Fset.Position(c.Pos())
+			patterns, err := splitPatterns(strings.TrimPrefix(text, "want "))
+			if err != nil {
+				t.Fatalf("%s: bad want comment: %v", pos, err)
+			}
+			for _, p := range patterns {
+				re, err := regexp.Compile(p)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a sequence of back-quoted or double-quoted
+// strings: `a` "b" ...
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated back-quoted pattern in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote, honoring escapes, then unquote.
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quoted pattern in %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package atomicmetrics enforces all-or-nothing atomicity on struct
+// fields: a field that is passed by address to any sync/atomic function
+// anywhere in the program must be accessed through sync/atomic
+// everywhere. Mixing atomic.AddInt64(&m.commits, 1) on the hot path with
+// a plain m.commits read in a snapshot is a data race the race detector
+// only catches when the schedule cooperates; this analyzer catches it
+// statically.
+//
+// The pass is program-level and runs in two phases: first it collects
+// every field that appears as &x.f in an argument to a function from
+// sync/atomic, then it reports every other access to one of those
+// fields. Fields are keyed by (package name, receiver type name, field
+// name); fields reached through embedding are keyed by the outer
+// receiver type, so promote-and-mix across embeddings is out of scope.
+//
+// Fields of type atomic.Int64 and friends need no checking (the type
+// system already forbids plain access) and are ignored here — the
+// analyzer is aimed at raw integer fields driven through the
+// atomic.AddInt64-style function API.
+package atomicmetrics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/epsilondb/epsilondb/internal/analysis"
+)
+
+// Analyzer is the atomicmetrics pass.
+var Analyzer = &analysis.Analyzer{
+	Name:         "atomicmetrics",
+	Doc:          "fields accessed with sync/atomic anywhere must be accessed with sync/atomic everywhere",
+	ProgramLevel: true,
+	Run:          run,
+}
+
+// fieldKey names a struct field across packages by name strings, so
+// source-typechecked and export-data views of the same type agree.
+type fieldKey struct {
+	pkg   string
+	typ   string
+	field string
+}
+
+func run(pass *analysis.Pass) error {
+	// Phase 1: find fields used atomically, remembering the selector
+	// nodes so phase 2 does not report the atomic sites themselves.
+	atomicSites := make(map[*ast.SelectorExpr]bool)
+	atomicFields := make(map[fieldKey]token.Pos)
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					key, ok := fieldOf(pkg, sel)
+					if !ok {
+						continue
+					}
+					atomicSites[sel] = true
+					if _, seen := atomicFields[key]; !seen {
+						atomicFields[key] = sel.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other access to one of those fields is a race.
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicSites[sel] {
+					return true
+				}
+				key, ok := fieldOf(pkg, sel)
+				if !ok {
+					return true
+				}
+				if first, hot := atomicFields[key]; hot {
+					firstPos := pass.Fset.Position(first)
+					pass.Reportf(sel.Pos(),
+						"field %s.%s.%s is accessed with sync/atomic (e.g. %s:%d) but non-atomically here",
+						key.pkg, key.typ, key.field, shortFile(firstPos.Filename), firstPos.Line)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a function from sync/atomic
+// (atomic.AddInt64, atomic.LoadUint32, ...).
+func isAtomicCall(pkg *analysis.Package, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// fieldOf resolves sel to a struct-field key if sel selects a field.
+func fieldOf(pkg *analysis.Package, sel *ast.SelectorExpr) (fieldKey, bool) {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return fieldKey{}, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return fieldKey{}, false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return fieldKey{}, false
+	}
+	return fieldKey{pkg: v.Pkg().Name(), typ: named.Obj().Name(), field: v.Name()}, true
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// shortFile trims the path to its final element for compact messages.
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package atomicmetrics_test
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/analysistest"
+	"github.com/epsilondb/epsilondb/internal/analysis/atomicmetrics"
+)
+
+func TestAtomicmetrics(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmetrics.Analyzer, "metrics")
+}

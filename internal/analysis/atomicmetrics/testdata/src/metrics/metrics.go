@@ -1,0 +1,36 @@
+// Package metrics exercises the atomicmetrics analyzer: commits and
+// aborts are driven through sync/atomic, so every plain access to them
+// is a race; name is never touched atomically and stays unflagged.
+package metrics
+
+import "sync/atomic"
+
+type Counters struct {
+	commits int64
+	aborts  int64
+	name    string
+}
+
+func (c *Counters) Commit() {
+	atomic.AddInt64(&c.commits, 1)
+}
+
+func (c *Counters) Abort() {
+	atomic.AddInt64(&c.aborts, 1)
+}
+
+// Snapshot loads commits correctly but reads aborts with a plain load.
+func (c *Counters) Snapshot() (int64, int64) {
+	return atomic.LoadInt64(&c.commits), c.aborts // want `field metrics\.Counters\.aborts is accessed with sync/atomic .* but non-atomically here`
+}
+
+// Reset mixes a plain store into an atomically-managed field.
+func (c *Counters) Reset() {
+	c.commits = 0 // want `field metrics\.Counters\.commits is accessed with sync/atomic .* but non-atomically here`
+	atomic.StoreInt64(&c.aborts, 0)
+}
+
+// Name touches only a field never used atomically: no diagnostic.
+func (c *Counters) Name() string {
+	return c.name
+}

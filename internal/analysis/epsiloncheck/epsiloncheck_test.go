@@ -1,0 +1,12 @@
+package epsiloncheck_test
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/analysistest"
+	"github.com/epsilondb/epsilondb/internal/analysis/epsiloncheck"
+)
+
+func TestEpsiloncheck(t *testing.T) {
+	analysistest.Run(t, "testdata", epsiloncheck.Analyzer, "core", "storage")
+}

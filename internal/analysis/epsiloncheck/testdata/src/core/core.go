@@ -1,0 +1,87 @@
+// Package core is the golden model of the real internal/core accounting
+// types for the epsiloncheck analyzer: same package name, type names, and
+// field names, so the analyzer's rules match without importing the real
+// package.
+package core
+
+// Distance mirrors core.Distance.
+type Distance = int64
+
+// Accumulator mirrors the hierarchical inconsistency accumulator.
+type Accumulator struct {
+	limits []Distance
+	used   []Distance
+	path   []int
+}
+
+// NewAccumulator is an allowed writer.
+func NewAccumulator(n int) *Accumulator {
+	a := &Accumulator{limits: make([]Distance, n), used: make([]Distance, n)}
+	a.limits[0] = 42
+	return a
+}
+
+// Admit is an allowed writer: the bounds-check accounting path.
+func (a *Accumulator) Admit(g int, d Distance) bool {
+	if a.used[g]+d > a.limits[g] {
+		return false
+	}
+	a.used[g] += d
+	return true
+}
+
+// Reset is an allowed writer.
+func (a *Accumulator) Reset() {
+	for i := range a.used {
+		a.used[i] = 0
+	}
+}
+
+// Total only reads accounting state: no diagnostic.
+func (a *Accumulator) Total() Distance { return a.used[0] }
+
+// ForceCharge bypasses the bounds check: every mutation is flagged.
+func (a *Accumulator) ForceCharge(g int, d Distance) {
+	a.used[g] += d  // want `accounting field core\.Accumulator\.used written outside`
+	a.limits[g] = 0 // want `accounting field core\.Accumulator\.limits written outside`
+}
+
+// Drain leaks a pointer to the accounting array, defeating the analyzer's
+// visibility: taking the address counts as a write.
+func (a *Accumulator) Drain() *Distance {
+	return &a.used[0] // want `accounting field core\.Accumulator\.used written outside`
+}
+
+// rebuild constructs an Accumulator outside the allowed writers.
+func rebuild() *Accumulator {
+	a := new(Accumulator)
+	a.used = nil // want `accounting field core\.Accumulator\.used written outside`
+	return a
+}
+
+// AggregateTracker mirrors the §5.3.2 aggregate envelope tracker.
+type AggregateTracker struct {
+	minmax map[int][2]int64
+	order  []int
+}
+
+// NewAggregateTracker is an allowed writer.
+func NewAggregateTracker() *AggregateTracker {
+	return &AggregateTracker{minmax: make(map[int][2]int64)}
+}
+
+// Observe is an allowed writer.
+func (t *AggregateTracker) Observe(obj int, v int64) {
+	if _, ok := t.minmax[obj]; !ok {
+		t.order = append(t.order, obj)
+	}
+	t.minmax[obj] = [2]int64{v, v}
+}
+
+// Forget drops one observation outside Reset: flagged, because a
+// selectively forgotten envelope under-reports result inconsistency.
+func (t *AggregateTracker) Forget(obj int) {
+	t.order = t.order[:0]                    // want `accounting field core\.AggregateTracker\.order written outside`
+	t.minmax = make(map[int][2]int64)        // want `accounting field core\.AggregateTracker\.minmax written outside`
+	_ = &AggregateTracker{order: []int{obj}} // want `accounting field core\.AggregateTracker\.order written outside`
+}

@@ -1,0 +1,51 @@
+// Package storage is the golden model of the real internal/storage
+// object for the epsiloncheck analyzer: OIL/OEL and the read-timestamp
+// maxima may only move through their accounting helpers.
+package storage
+
+// Object mirrors the fields epsiloncheck protects on storage.Object.
+type Object struct {
+	id  int
+	oil int64
+	oel int64
+
+	maxQueryReadTS  uint64
+	maxUpdateReadTS uint64
+}
+
+// NewObject is an allowed writer.
+func NewObject(id int, oil, oel int64) *Object {
+	return &Object{id: id, oil: oil, oel: oel}
+}
+
+// SetLimits is an allowed writer.
+func (o *Object) SetLimits(oil, oel int64) {
+	o.oil = oil
+	o.oel = oel
+}
+
+// RecordRead is an allowed writer.
+func (o *Object) RecordRead(ts uint64, fromQuery bool) {
+	if fromQuery {
+		if ts > o.maxQueryReadTS {
+			o.maxQueryReadTS = ts
+		}
+	} else if ts > o.maxUpdateReadTS {
+		o.maxUpdateReadTS = ts
+	}
+}
+
+// OIL only reads: no diagnostic.
+func (o *Object) OIL() int64 { return o.oil }
+
+// loosen widens the object's limits outside SetLimits: flagged.
+func (o *Object) loosen() {
+	o.oel++ // want `accounting field storage\.Object\.oel written outside`
+}
+
+// rewind moves a read-timestamp maximum backwards outside RecordRead:
+// flagged, because it would re-admit late writes as consistent.
+func (o *Object) rewind() {
+	o.maxQueryReadTS = 0 // want `accounting field storage\.Object\.maxQueryReadTS written outside`
+	o.id = 0             // unprotected field: no diagnostic
+}

@@ -1,0 +1,399 @@
+// Package locksafe flags control paths that leave a function while a
+// sync.Mutex or sync.RWMutex acquired in that function is still held and
+// no defer releases it. Early returns and panics under a held engine
+// mutex deadlock every later operation on the same shard, and the
+// compiler cannot see it; this analyzer can.
+//
+// The analysis is a forward walk over each function body tracking the set
+// of held locks, keyed by the receiver expression of the Lock call
+// ("e.mu", "s.mu.RLock" tracks "e.mu/R"):
+//
+//   - m.Lock() / m.RLock() adds the lock unless a defer already released
+//     it; defer m.Unlock() / defer func(){ ... m.Unlock() ... }() removes
+//     it permanently; m.Unlock() / m.RUnlock() removes it.
+//   - return and panic statements are reported if any lock is held.
+//   - branches (if/switch/select) are analyzed with copies of the held
+//     set; the fall-through state is the union of the non-
+//     terminating branches, so a path that releases before returning
+//     keeps the continuation precise.
+//   - loop bodies are analyzed against a copy (the unlock-wait-relock
+//     pattern of the engines stays precise inside the body); the state
+//     after the loop is the state before it.
+//
+// Functions named Lock/Unlock/RLock/RUnlock/TryLock are skipped: they are
+// the lock wrappers themselves (e.g. storage.Object.Lock) and hold by
+// design. Aliased mutexes (two expressions naming one lock) are not
+// tracked; the engine packages never alias their mutexes.
+package locksafe
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"github.com/epsilondb/epsilondb/internal/analysis"
+)
+
+// Analyzer is the locksafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "no return or panic may leave a function while a mutex it locked is held without a defer",
+	Run:  run,
+}
+
+// wrapperNames are functions that exist to acquire or release a lock.
+var wrapperNames = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true, "TryLock": true, "TryRLock": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && !wrapperNames[fn.Name.Name] {
+					newChecker(pass).checkBody(fn.Body)
+				}
+			case *ast.FuncLit:
+				// Function literals are independent scopes: locks held by
+				// the enclosing function are the literal's caller's
+				// problem, and vice versa.
+				newChecker(pass).checkBody(fn.Body)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockInfo records one held lock.
+type lockInfo struct {
+	pos  token.Pos // the Lock call
+	name string    // display name, e.g. "e.mu"
+}
+
+// held maps lock keys (receiver expression + R/W mode) to acquisitions.
+type held map[string]lockInfo
+
+func (h held) clone() held {
+	out := make(held, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+type checker struct {
+	pass *analysis.Pass
+	// deferred holds lock keys released by a defer: re-acquisitions of
+	// these are covered for the rest of the function.
+	deferred map[string]bool
+}
+
+func newChecker(pass *analysis.Pass) *checker {
+	return &checker{pass: pass, deferred: make(map[string]bool)}
+}
+
+// checkBody analyzes one function body from an empty lock state.
+func (c *checker) checkBody(body *ast.BlockStmt) {
+	c.stmts(body.List, make(held))
+}
+
+// stmts analyzes a statement list, mutating h, and reports whether the
+// list definitely terminates (ends control flow in this function).
+func (c *checker) stmts(list []ast.Stmt, h held) (terminated bool) {
+	for _, s := range list {
+		if c.stmt(s, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt analyzes one statement; the returned bool means control cannot
+// fall through to the next statement.
+func (c *checker) stmt(s ast.Stmt, h held) (terminated bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if c.isPanic(call) {
+				c.reportExit(call.Pos(), "panic", h)
+				return true
+			}
+			c.call(call, h)
+		}
+
+	case *ast.DeferStmt:
+		c.deferRelease(s.Call, h)
+
+	case *ast.ReturnStmt:
+		c.reportExit(s.Pos(), "return", h)
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the current block; treat as
+		// terminating this list without an exit check (the lock state at
+		// the jump target is not modeled).
+		return true
+
+	case *ast.BlockStmt:
+		return c.stmts(s.List, h)
+
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, h)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		branches := []held{}
+		thenState := h.clone()
+		if !c.stmts(s.Body.List, thenState) {
+			branches = append(branches, thenState)
+		}
+		elseTerm := false
+		if s.Else != nil {
+			elseState := h.clone()
+			elseTerm = c.stmt(s.Else, elseState)
+			if !elseTerm {
+				branches = append(branches, elseState)
+			}
+		} else {
+			branches = append(branches, h.clone())
+		}
+		if len(branches) == 0 {
+			return true
+		}
+		c.replace(h, merge(branches))
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		c.stmts(s.Body.List, h.clone())
+
+	case *ast.RangeStmt:
+		c.stmts(s.Body.List, h.clone())
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.branching(s, h)
+
+	case *ast.GoStmt:
+		// The goroutine body is analyzed independently as a FuncLit.
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		// No lock-relevant control flow; calls in these positions (e.g.
+		// v := m.TryLock()) are deliberately not tracked.
+	}
+	return false
+}
+
+// branching analyzes switch/type-switch/select: each clause gets a copy
+// of the state, and the continuation is the union of the clauses that
+// fall through (plus the incoming state unless a default clause makes
+// fall-past impossible — select without default blocks, so it always
+// enters a clause).
+func (c *checker) branching(s ast.Stmt, h held) (terminated bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, h)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		hasDefault = false
+	}
+	branches := []held{}
+	nClauses := 0
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		nClauses++
+		state := h.clone()
+		if !c.stmts(stmts, state) {
+			branches = append(branches, state)
+		}
+	}
+	if _, isSelect := s.(*ast.SelectStmt); isSelect && nClauses > 0 {
+		// A select with no default still blocks until one clause runs.
+		hasDefault = true
+	}
+	if !hasDefault {
+		branches = append(branches, h.clone())
+	}
+	if len(branches) == 0 {
+		return true
+	}
+	c.replace(h, merge(branches))
+	return false
+}
+
+// call updates h for a direct Lock/Unlock-style call on a tracked mutex.
+func (c *checker) call(call *ast.CallExpr, h held) {
+	key, name, method, ok := c.mutexCall(call)
+	if !ok {
+		return
+	}
+	switch method {
+	case "Lock", "RLock":
+		if !c.deferred[key] {
+			h[key] = lockInfo{pos: call.Pos(), name: name}
+		}
+	case "Unlock", "RUnlock":
+		delete(h, key)
+	}
+}
+
+// deferRelease handles defer statements: any Unlock reachable in the
+// deferred call (directly or inside a deferred func literal) releases
+// the lock for all exits.
+func (c *checker) deferRelease(call *ast.CallExpr, h held) {
+	mark := func(inner *ast.CallExpr) {
+		key, _, method, ok := c.mutexCall(inner)
+		if !ok {
+			return
+		}
+		if method == "Unlock" || method == "RUnlock" {
+			delete(h, key)
+			c.deferred[key] = true
+		}
+	}
+	mark(call)
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				mark(inner)
+			}
+			return true
+		})
+	}
+}
+
+// mutexCall decomposes a call of the form expr.Method() where expr has
+// type sync.Mutex or sync.RWMutex (possibly via pointer). The key
+// distinguishes reader and writer state on an RWMutex.
+func (c *checker) mutexCall(call *ast.CallExpr) (key, name, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", "", false
+	}
+	tv, found := c.pass.Pkg.Info.Types[sel.X]
+	if !found || !isSyncMutex(tv.Type) {
+		return "", "", "", false
+	}
+	name = exprString(sel.X)
+	key = name
+	if method == "RLock" || method == "RUnlock" {
+		key += "/R"
+	}
+	return key, name, method, true
+}
+
+// isPanic reports whether call is the builtin panic.
+func (c *checker) isPanic(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	obj := c.pass.Pkg.Info.Uses[id]
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// reportExit reports every lock still held at a function exit.
+func (c *checker) reportExit(pos token.Pos, kind string, h held) {
+	for _, info := range h {
+		lockPos := c.pass.Fset.Position(info.pos)
+		c.pass.Reportf(pos, "%s while %s is still locked (acquired at %s:%d with no defer unlock)",
+			kind, info.name, shortFile(lockPos.Filename), lockPos.Line)
+	}
+}
+
+// replace copies src into the caller's live map h.
+func (c *checker) replace(h held, src held) {
+	for k := range h {
+		delete(h, k)
+	}
+	for k, v := range src {
+		h[k] = v
+	}
+}
+
+// merge unions the branch states: a lock held on any path that can fall
+// through stays tracked, so a conditional acquire without a matching
+// conditional release is caught at the next exit.
+func merge(states []held) held {
+	out := states[0]
+	for _, s := range states[1:] {
+		for k, v := range s {
+			if _, ok := out[k]; !ok {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex, through
+// pointers.
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// exprString renders the receiver expression for keys and messages.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// shortFile trims the path to its final element for compact messages.
+func shortFile(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

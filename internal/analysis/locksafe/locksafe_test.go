@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/analysistest"
+	"github.com/epsilondb/epsilondb/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "a")
+}

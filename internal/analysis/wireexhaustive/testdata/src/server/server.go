@@ -1,0 +1,22 @@
+// Package server mimics the real server's dispatch: a type switch over
+// wire.Message. MsgRead's frame is deliberately not handled.
+package server
+
+import wire "github.com/epsilondb/epsilondb/internal/analysis/wireexhaustive/testdata/src/wire"
+
+type Server struct{}
+
+func (s *Server) dispatch(msg wire.Message) wire.Message {
+	switch m := msg.(type) {
+	case *wire.Begin:
+		_ = m
+		return &wire.BeginOK{Txn: 1}
+	case *wire.Commit:
+		return &wire.BeginOK{}
+	case *wire.Dup:
+		return &wire.BeginOK{}
+	}
+	return &wire.ErrorMsg{Text: "unhandled"}
+}
+
+var _ = (*Server).dispatch

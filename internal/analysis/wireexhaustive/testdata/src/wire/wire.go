@@ -1,0 +1,91 @@
+// Package wire mimics the shape of the real wire package: a MsgType
+// enum, a String method, per-message MsgType() methods, and a decode
+// factory. Deliberate gaps exercise each wireexhaustive check.
+package wire
+
+import "fmt"
+
+type MsgType uint8
+
+const (
+	MsgBegin   MsgType = 1
+	MsgRead    MsgType = 2 // want `request MsgRead is not handled by any wire\.Message type switch in the server package`
+	MsgCommit  MsgType = 3 // want `wire message MsgCommit has no case in the decode factory newMessage`
+	MsgDup     MsgType = 4 // want `wire message MsgDup is returned by 2 MsgType\(\) methods: frame types must be unique`
+	MsgGhost   MsgType = 5 // want `wire message MsgGhost is returned by no MsgType\(\) method: no message struct encodes it` `request MsgGhost is not handled by any wire\.Message type switch in the server package`
+	MsgBeginOK MsgType = 64
+	MsgError   MsgType = 65 // want `wire message MsgError has no case in MsgType\.String`
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgBegin:
+		return "Begin"
+	case MsgRead:
+		return "Read"
+	case MsgCommit:
+		return "Commit"
+	case MsgDup:
+		return "Dup"
+	case MsgGhost:
+		return "Ghost"
+	case MsgBeginOK:
+		return "BeginOK"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is the frame interface.
+type Message interface {
+	MsgType() MsgType
+}
+
+type Begin struct{}
+
+func (*Begin) MsgType() MsgType { return MsgBegin }
+
+type Read struct{ Key uint64 }
+
+func (*Read) MsgType() MsgType { return MsgRead }
+
+type Commit struct{}
+
+func (*Commit) MsgType() MsgType { return MsgCommit }
+
+type Dup struct{}
+
+func (*Dup) MsgType() MsgType { return MsgDup }
+
+// DupTwin wrongly claims the same frame tag as Dup.
+type DupTwin struct{}
+
+func (*DupTwin) MsgType() MsgType { return MsgDup }
+
+type BeginOK struct{ Txn uint64 }
+
+func (*BeginOK) MsgType() MsgType { return MsgBeginOK }
+
+type ErrorMsg struct{ Text string }
+
+func (*ErrorMsg) MsgType() MsgType { return MsgError }
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case MsgBegin:
+		return &Begin{}, nil
+	case MsgRead:
+		return &Read{}, nil
+	// MsgCommit deliberately missing.
+	case MsgDup:
+		return &Dup{}, nil
+	case MsgGhost:
+		return nil, fmt.Errorf("ghost has no frame")
+	case MsgBeginOK:
+		return &BeginOK{}, nil
+	case MsgError:
+		return &ErrorMsg{}, nil
+	}
+	return nil, fmt.Errorf("unknown message type %d", t)
+}
+
+var _ = newMessage

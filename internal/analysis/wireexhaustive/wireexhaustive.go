@@ -1,0 +1,296 @@
+// Package wireexhaustive enforces end-to-end plumbing of the wire
+// protocol: every message-type constant declared in the wire package must
+// be decodable, encodable, printable, and — for request types — handled
+// by the server. Adding a MsgFoo constant without the rest of the
+// plumbing fails `make lint` instead of failing at runtime with a
+// generic "unknown message" error.
+//
+// Checks, anchored at the constant's declaration:
+//
+//  1. a case in the decode factory (the function named newMessage);
+//  2. a case in MsgType.String (protocol observability);
+//  3. exactly one message struct whose MsgType() method returns it
+//     (the encode linkage: frames are typed by that method);
+//  4. for request constants (value < responseBase, i.e. 64), a case for
+//     the corresponding message struct in at least one type switch over
+//     wire.Message in the server package (the handler).
+//
+// The analyzer is program-level: checks 1–3 run whenever the program
+// contains a package named "wire" declaring a MsgType; check 4 runs only
+// when a package named "server" is loaded with it, so per-package vettool
+// runs degrade gracefully to the wire-local checks.
+package wireexhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"github.com/epsilondb/epsilondb/internal/analysis"
+)
+
+// responseBase is the first response MsgType value; constants below it
+// are requests the server must handle.
+const responseBase = 64
+
+// Analyzer is the wireexhaustive pass.
+var Analyzer = &analysis.Analyzer{
+	Name:         "wireexhaustive",
+	Doc:          "every wire message type must appear in decode, String, an encode method, and a server handler",
+	ProgramLevel: true,
+	Run:          run,
+}
+
+// msgConst is one MsgType constant.
+type msgConst struct {
+	name  string
+	value int64
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	wire := pass.Program.Package("wire")
+	if wire == nil {
+		return nil
+	}
+	consts := msgTypeConsts(wire)
+	if len(consts) == 0 {
+		return nil
+	}
+
+	decodeCases := switchCaseIdents(wire, funcBody(wire, "newMessage"))
+	stringCases := switchCaseIdents(wire, methodBody(wire, "MsgType", "String"))
+	encodeOwner := msgTypeMethodReturns(wire)
+
+	handled := map[string]bool{}
+	if server := pass.Program.Package("server"); server != nil {
+		handled = messageSwitchTypes(server)
+	}
+
+	for _, c := range consts {
+		if !decodeCases[c.name] {
+			pass.Reportf(c.pos, "wire message %s has no case in the decode factory newMessage", c.name)
+		}
+		if !stringCases[c.name] {
+			pass.Reportf(c.pos, "wire message %s has no case in MsgType.String", c.name)
+		}
+		owners := encodeOwner[c.name]
+		switch {
+		case len(owners) == 0:
+			pass.Reportf(c.pos, "wire message %s is returned by no MsgType() method: no message struct encodes it", c.name)
+		case len(owners) > 1:
+			pass.Reportf(c.pos, "wire message %s is returned by %d MsgType() methods: frame types must be unique", c.name, len(owners))
+		}
+		if c.value < responseBase && len(handled) > 0 {
+			covered := false
+			for _, owner := range owners {
+				if handled[owner] {
+					covered = true
+				}
+			}
+			if !covered {
+				pass.Reportf(c.pos, "request %s is not handled by any wire.Message type switch in the server package", c.name)
+			}
+		}
+	}
+	return nil
+}
+
+// msgTypeConsts collects the package-level constants of type MsgType.
+func msgTypeConsts(pkg *analysis.Package) []msgConst {
+	var out []msgConst
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		cn, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := cn.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "MsgType" {
+			continue
+		}
+		v, ok := constant.Int64Val(cn.Val())
+		if !ok {
+			continue
+		}
+		out = append(out, msgConst{name: name, value: v, pos: cn.Pos()})
+	}
+	return out
+}
+
+// funcBody finds the body of the package-level function with the given
+// name, or nil.
+func funcBody(pkg *analysis.Package, name string) *ast.BlockStmt {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if ok && fn.Recv == nil && fn.Name.Name == name {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+// methodBody finds the body of recv.name, or nil.
+func methodBody(pkg *analysis.Package, recv, name string) *ast.BlockStmt {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Name.Name != name || len(fn.Recv.List) == 0 {
+				continue
+			}
+			if recvTypeName(fn.Recv.List[0].Type) == recv {
+				return fn.Body
+			}
+		}
+	}
+	return nil
+}
+
+// switchCaseIdents collects the identifiers used as case expressions in
+// every switch inside body.
+func switchCaseIdents(pkg *analysis.Package, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			if id, ok := unparen(e).(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// msgTypeMethodReturns maps each returned MsgType constant name to the
+// receiver type names of the MsgType() methods returning it.
+func msgTypeMethodReturns(pkg *analysis.Package) map[string][]string {
+	out := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Name.Name != "MsgType" || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			owner := recvTypeName(fn.Recv.List[0].Type)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 1 {
+					return true
+				}
+				if id, ok := unparen(ret.Results[0]).(*ast.Ident); ok {
+					out[id.Name] = append(out[id.Name], owner)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// messageSwitchTypes collects, across all type switches in the package
+// whose subject is a named type Message from a package named wire, the
+// names of the case types (through pointers).
+func messageSwitchTypes(pkg *analysis.Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			if !isWireMessageSwitch(pkg, ts) {
+				return true
+			}
+			for _, clause := range ts.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					tv, ok := pkg.Info.Types[e]
+					if !ok {
+						continue
+					}
+					if name := namedTypeName(tv.Type, "wire"); name != "" {
+						out[name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isWireMessageSwitch reports whether the type switch asserts on a value
+// of type wire.Message.
+func isWireMessageSwitch(pkg *analysis.Package, ts *ast.TypeSwitchStmt) bool {
+	var assert *ast.TypeAssertExpr
+	switch s := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			assert, _ = s.Rhs[0].(*ast.TypeAssertExpr)
+		}
+	case *ast.ExprStmt:
+		assert, _ = s.X.(*ast.TypeAssertExpr)
+	}
+	if assert == nil {
+		return false
+	}
+	tv, ok := pkg.Info.Types[assert.X]
+	if !ok {
+		return false
+	}
+	return namedTypeName(tv.Type, "wire") == "Message"
+}
+
+// namedTypeName returns the name of the named type behind t (through one
+// pointer) if it is declared in a package with the given name, else "".
+func namedTypeName(t types.Type, pkgName string) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != pkgName {
+		return ""
+	}
+	return obj.Name()
+}
+
+// recvTypeName returns the base identifier of a receiver type.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.ParenExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package wireexhaustive_test
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/analysistest"
+	"github.com/epsilondb/epsilondb/internal/analysis/wireexhaustive"
+)
+
+func TestWireexhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata", wireexhaustive.Analyzer, "wire", "server")
+}

@@ -188,6 +188,12 @@ func (e *Engine) Read(txn core.TxnID, obj core.ObjectID) (core.Value, error) {
 			e.parker.Suspend()
 		}
 		<-w.ch
+		// The attempt may have been finished (explicitly aborted) while
+		// blocked; its cleanup and metrics ran there, so re-resolve it
+		// before touching any more shared state.
+		if _, err := e.lookup(txn); err != nil {
+			return 0, err
+		}
 		o.mu.Lock()
 	}
 }
@@ -258,6 +264,13 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, v core.Value, isDelta 
 	return newValue, nil
 }
 
+// Live reports the number of live transactions (begun, not yet finished).
+func (e *Engine) Live() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.txns)
+}
+
 // Commit marks the attempt's versions committed and wakes waiters.
 func (e *Engine) Commit(txn core.TxnID) error {
 	e.mu.Lock()
@@ -291,9 +304,14 @@ func (e *Engine) Abort(txn core.TxnID) error {
 
 func (e *Engine) abortNow(st *txnState, reason metrics.AbortReason, cause error) error {
 	e.mu.Lock()
+	_, registered := e.txns[st.id]
 	delete(e.txns, st.id)
 	e.mu.Unlock()
-	e.finishAbort(st, reason)
+	// Finish only if no other goroutine beat us to it: finishing twice
+	// would double-count the abort and re-resolve versions.
+	if registered {
+		e.finishAbort(st, reason)
+	}
 	return &AbortError{Txn: st.id, Reason: reason, Err: cause}
 }
 

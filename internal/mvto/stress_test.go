@@ -1,0 +1,140 @@
+package mvto
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+)
+
+// TestConcurrentAbortVsBlockedRead drives the abort-while-blocked race:
+// a reader waiting on an uncommitted visible version while another
+// goroutine aborts the reading attempt. When the writer resolves and the
+// reader wakes, it must observe its own transaction gone instead of
+// completing a read (and mutating metrics) for an aborted attempt.
+func TestConcurrentAbortVsBlockedRead(t *testing.T) {
+	e, col := newTestEngine(t, 1)
+	writer := begin(t, e, core.Update, 10)
+	if err := e.Write(writer, 1, 500); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	reader := begin(t, e, core.Query, 20)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Read(reader, 1)
+		done <- err
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Snapshot().Waits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("read never blocked on the uncommitted version")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := e.Abort(reader); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	// The reader stays parked until the version resolves; commit the
+	// writer to wake it.
+	if err := e.Commit(writer); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, tso.ErrUnknownTxn) {
+			t.Fatalf("blocked read returned %v, want ErrUnknownTxn", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked read never woke")
+	}
+
+	s := col.Snapshot()
+	if got := s.Aborts(); got != 1 {
+		t.Errorf("aborts = %d, want exactly 1 (no double count)", got)
+	}
+	if s.Commits != 1 {
+		t.Errorf("commits = %d, want 1", s.Commits)
+	}
+	if n := e.Live(); n != 0 {
+		t.Errorf("Live() = %d, want 0", n)
+	}
+}
+
+// TestAbortCommitStressRace runs conflicting updates and queries that
+// commit and abort concurrently (under -race via make check / CI). Every
+// attempt must finish exactly once and no reader may stay blocked.
+func TestAbortCommitStressRace(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 60
+		objects = 4
+		opsPer  = 4
+	)
+	e, col := newTestEngine(t, objects)
+	var ts atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				txn, err := e.Begin(core.Update, tsgen.Make(ts.Add(1), 0), core.SRSpec())
+				if err != nil {
+					t.Errorf("Begin: %v", err)
+					return
+				}
+				alive := true
+				for k := 0; k < opsPer && alive; k++ {
+					obj := core.ObjectID(1 + rng.Intn(objects))
+					if rng.Intn(2) == 0 {
+						_, err = e.Read(txn, obj)
+					} else {
+						err = e.Write(txn, obj, core.Value(rng.Intn(1000)))
+					}
+					// Late writes abort internally; stop driving the
+					// attempt once the engine finished it.
+					alive = err == nil
+				}
+				if alive {
+					if rng.Intn(4) == 0 {
+						e.Abort(txn)
+					} else {
+						e.Commit(txn)
+					}
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	if n := e.Live(); n != 0 {
+		t.Errorf("Live() = %d, want 0 after stress", n)
+	}
+	s := col.Snapshot()
+	if total := s.Commits + s.Aborts(); total != workers*iters {
+		t.Errorf("commits(%d) + aborts(%d) = %d, want %d: an attempt finished twice or never",
+			s.Commits, s.Aborts(), total, workers*iters)
+	}
+	// No uncommitted version may survive the stress: every writer
+	// resolved its versions on commit or abort.
+	for id, o := range e.objects {
+		o.mu.Lock()
+		for _, v := range o.versions {
+			if !v.committed {
+				t.Errorf("object %d retains uncommitted version by txn %d", id, v.writer)
+			}
+			if len(v.waiters) != 0 {
+				t.Errorf("object %d retains %d blocked readers", id, len(v.waiters))
+			}
+		}
+		o.mu.Unlock()
+	}
+}

@@ -111,6 +111,7 @@ func (s *Server) acceptLoop(l net.Listener) {
 		go func() {
 			defer s.wg.Done()
 			s.ServeConn(conn)
+			conn.Close()
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
@@ -157,6 +158,19 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 	for {
 		req, err := conn.ReadMessage()
 		if err != nil {
+			// An unknown message type is a protocol mismatch, not a broken
+			// stream (the frame was consumed whole): tell the client which
+			// tag we rejected before hanging up, so a newer client sees
+			// more than a dropped connection.
+			var unknown *wire.ErrUnknownMessage
+			if errors.As(err, &unknown) {
+				s.opts.Logf("server: %s: rejecting unknown message type %d", conn.RemoteAddr(), uint8(unknown.Tag))
+				resp := &wire.Error{Code: wire.CodeGeneric, Message: unknown.Error()}
+				if werr := conn.WriteMessage(resp); werr != nil {
+					s.opts.Logf("server: %s: %v", conn.RemoteAddr(), werr)
+				}
+				return
+			}
 			if err != io.EOF {
 				s.opts.Logf("server: %s: %v", conn.RemoteAddr(), err)
 			}

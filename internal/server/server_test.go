@@ -1,6 +1,7 @@
 package server
 
 import (
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -361,5 +362,34 @@ func TestServerSurvivesGarbageBytes(t *testing.T) {
 	c := dialLogical(t, addr, 3, clock)
 	if _, _, err := c.RunRetry(core.NewQuery(0, 1), 10); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestServerReportsUnknownMessageAndCloses(t *testing.T) {
+	// A frame with an unrecognized type byte must produce a protocol
+	// error naming the tag, then a clean close — not a silent hang or a
+	// dropped connection with no explanation.
+	clock := &tsgen.LogicalClock{}
+	addr, _ := startServer(t, 1, tso.Options{}, Options{Clock: clock, Logf: func(string, ...any) {}})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	frame := []byte{wire.Magic[0], wire.Magic[1], wire.Version, 42, 0, 0, 0, 0}
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewConn(nc)
+	resp, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatalf("reading error response: %v", err)
+	}
+	we, ok := resp.(*wire.Error)
+	if !ok || we.Code != wire.CodeGeneric || !strings.Contains(we.Message, "unknown message type 42") {
+		t.Errorf("resp = %#v, want generic error naming type 42", resp)
+	}
+	if _, err := conn.ReadMessage(); err != io.EOF {
+		t.Errorf("read after error response = %v, want io.EOF (server closed)", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tso"
 )
 
 // acquire takes obj in the requested mode for st, blocking behind
@@ -13,6 +14,13 @@ import (
 // the youngest transaction on the cycle.
 func (e *Engine) acquire(st *txnState, obj core.ObjectID, mode lockMode) error {
 	e.mu.Lock()
+	if e.txns[st.id] != st {
+		// The transaction was finished by another goroutine between the
+		// caller's lookup and this acquire; granting now would install a
+		// lock nothing will ever release.
+		e.mu.Unlock()
+		return tso.ErrUnknownTxn
+	}
 	entry := e.locks[obj]
 	if entry == nil {
 		entry = &lockEntry{obj: obj, holders: make(map[core.TxnID]lockMode)}
@@ -58,15 +66,28 @@ func (e *Engine) acquire(st *txnState, obj core.ObjectID, mode lockMode) error {
 	}
 	e.mu.Unlock()
 
+	e.col.Waited()
 	if req.parked {
 		e.parker.Suspend()
 	}
 	<-req.granted
+	if req.cancelled {
+		// Another goroutine finished this transaction (explicit Abort or
+		// Commit) while the request was queued; its cleanup and metrics
+		// already ran there, so this operation only reports it gone.
+		return tso.ErrUnknownTxn
+	}
 	if req.aborted {
 		e.mu.Lock()
+		_, registered := e.txns[st.id]
 		delete(e.txns, st.id)
 		e.mu.Unlock()
-		e.finishAbort(st, metrics.AbortDeadlock)
+		// An explicit Abort may have finished the transaction between the
+		// victim wakeup and this cleanup; finishing twice would double the
+		// abort counters and re-release locks.
+		if registered {
+			e.finishAbort(st, metrics.AbortDeadlock)
+		}
 		return &AbortError{Txn: st.id, Reason: metrics.AbortDeadlock,
 			Err: fmt.Errorf("twopl: chosen as deadlock victim on object %d", obj)}
 	}
@@ -127,8 +148,11 @@ func (e *Engine) grantQueueLocked(entry *lockEntry) []*request {
 		head := entry.queue[0]
 		holder := e.txns[head.txn]
 		if holder == nil {
-			// The requester vanished (aborted elsewhere); drop it.
+			// The requester vanished (aborted elsewhere); cancel it so a
+			// goroutine still blocked on the request is not stranded.
 			entry.queue = entry.queue[1:]
+			head.cancelled = true
+			wake = append(wake, head)
 			continue
 		}
 		compatible := true
@@ -148,6 +172,35 @@ func (e *Engine) grantQueueLocked(entry *lockEntry) []*request {
 		holder.locks[entry.obj] = head.mode
 		entry.queue = entry.queue[1:]
 		wake = append(wake, head)
+	}
+	return wake
+}
+
+// cancelRequestsLocked removes every queued request of txn from the lock
+// table, marking each cancelled, and grants whatever the removals
+// unblock. The caller wakes the returned requests after releasing the
+// engine lock; granted and cancelled waiters take the same wakeup path.
+func (e *Engine) cancelRequestsLocked(txn core.TxnID) []*request {
+	var wake []*request
+	for obj, entry := range e.locks {
+		removed := false
+		for i := 0; i < len(entry.queue); {
+			req := entry.queue[i]
+			if req.txn != txn {
+				i++
+				continue
+			}
+			entry.queue = append(entry.queue[:i], entry.queue[i+1:]...)
+			req.cancelled = true
+			wake = append(wake, req)
+			removed = true
+		}
+		if removed {
+			wake = append(wake, e.grantQueueLocked(entry)...)
+			if len(entry.holders) == 0 && len(entry.queue) == 0 {
+				delete(e.locks, obj)
+			}
+		}
 	}
 	return wake
 }

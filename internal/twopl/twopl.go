@@ -48,6 +48,10 @@ type request struct {
 	// aborted is set (under the engine lock) when the waiter was chosen
 	// as a deadlock victim; granted is closed as the wakeup.
 	aborted bool
+	// cancelled is set (under the engine lock) when the transaction was
+	// finished by another goroutine (explicit Abort or Commit) while this
+	// request was queued; the waiter's cleanup already ran elsewhere.
+	cancelled bool
 	// parked marks a waiter that suspended the timeline.
 	parked bool
 }
@@ -200,6 +204,13 @@ func (e *Engine) prepare(txn core.TxnID, obj core.ObjectID) (*txnState, *storage
 	return st, o, nil
 }
 
+// Live reports the number of live transactions (begun, not yet finished).
+func (e *Engine) Live() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.txns)
+}
+
 // Commit publishes writes and releases all locks.
 func (e *Engine) Commit(txn core.TxnID) error {
 	e.mu.Lock()
@@ -209,7 +220,9 @@ func (e *Engine) Commit(txn core.TxnID) error {
 		return tso.ErrUnknownTxn
 	}
 	delete(e.txns, txn)
+	wake := e.cancelRequestsLocked(txn)
 	e.mu.Unlock()
+	e.wakeCancelled(wake)
 	for _, o := range st.writes {
 		o.Lock()
 		o.CommitWrite(st.id)
@@ -229,18 +242,39 @@ func (e *Engine) Abort(txn core.TxnID) error {
 		return tso.ErrUnknownTxn
 	}
 	delete(e.txns, txn)
+	wake := e.cancelRequestsLocked(txn)
 	e.mu.Unlock()
+	e.wakeCancelled(wake)
 	e.finishAbort(st, metrics.AbortExplicit)
 	return nil
 }
 
 // abortNow aborts internally and builds the error the operation returns.
+// When another goroutine already finished the transaction, only the
+// error is built: finishing twice would double-count the abort and
+// re-release state.
 func (e *Engine) abortNow(st *txnState, reason metrics.AbortReason, cause error) error {
 	e.mu.Lock()
+	_, registered := e.txns[st.id]
 	delete(e.txns, st.id)
+	wake := e.cancelRequestsLocked(st.id)
 	e.mu.Unlock()
-	e.finishAbort(st, reason)
+	e.wakeCancelled(wake)
+	if registered {
+		e.finishAbort(st, reason)
+	}
 	return &AbortError{Txn: st.id, Reason: reason, Err: cause}
+}
+
+// wakeCancelled wakes requests removed by cancelRequestsLocked, crediting
+// parked waiters' timelines first, exactly like the grant path.
+func (e *Engine) wakeCancelled(wake []*request) {
+	for _, req := range wake {
+		if req.parked && e.parker != nil {
+			e.parker.Resume()
+		}
+		close(req.granted)
+	}
 }
 
 // finishAbort restores writes and releases locks.

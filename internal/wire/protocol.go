@@ -102,6 +102,19 @@ type Message interface {
 	decodePayload(src *reader)
 }
 
+// ErrUnknownMessage reports a frame whose type byte names no message in
+// this protocol version. The frame's payload has already been consumed
+// when it is returned, so the stream is still in sync: the receiver can
+// report the tag to the peer before closing, or even skip the frame.
+type ErrUnknownMessage struct {
+	// Tag is the offending type byte.
+	Tag MsgType
+}
+
+func (e *ErrUnknownMessage) Error() string {
+	return fmt.Sprintf("wire: unknown message type %d", uint8(e.Tag))
+}
+
 // newMessage constructs the empty message for a frame type.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
@@ -132,7 +145,7 @@ func newMessage(t MsgType) (Message, error) {
 	case MsgError:
 		return &Error{}, nil
 	default:
-		return nil, fmt.Errorf("wire: unknown message type %d", t)
+		return nil, &ErrUnknownMessage{Tag: t}
 	}
 }
 

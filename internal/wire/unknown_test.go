@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestUnknownMessageTypedError checks that an unknown frame type yields
+// the typed error with the offending tag, and that the frame's payload
+// is consumed so the stream stays usable.
+func TestUnknownMessageTypedError(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-crafted frame: unknown type 0x2A with a 3-byte payload,
+	// followed by a well-formed Stats request.
+	buf.Write([]byte{Magic[0], Magic[1], Version, 0x2A, 0, 0, 0, 3, 9, 9, 9})
+	c := NewConn(&buf)
+	if err := c.WriteMessage(&Stats{}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err := c.ReadMessage()
+	var unknown *ErrUnknownMessage
+	if !errors.As(err, &unknown) {
+		t.Fatalf("ReadMessage error = %v (%T), want *ErrUnknownMessage", err, err)
+	}
+	if unknown.Tag != 0x2A {
+		t.Errorf("Tag = %d, want 42", unknown.Tag)
+	}
+
+	// The unknown frame was consumed whole: the next read must decode
+	// the Stats frame, not resynchronize mid-garbage.
+	m, err := c.ReadMessage()
+	if err != nil {
+		t.Fatalf("ReadMessage after unknown frame: %v", err)
+	}
+	if m.MsgType() != MsgStats {
+		t.Errorf("next message = %v, want Stats", m.MsgType())
+	}
+}
