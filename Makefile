@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck check bench
+.PHONY: build test lint staticcheck check bench bench-all
 
 build:
 	$(GO) build ./...
@@ -30,5 +30,11 @@ check:
 	$(MAKE) staticcheck
 	$(GO) test -race ./...
 
+# bench runs the hot-path micro-benchmarks and emits BENCH_hotpath.json
+# (archived by CI). `make bench-all` runs every benchmark including the
+# figure sweeps.
 bench:
+	sh scripts/bench.sh
+
+bench-all:
 	$(GO) test -bench=. -benchmem

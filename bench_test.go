@@ -9,6 +9,7 @@ package epsilondb
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -316,29 +317,115 @@ func BenchmarkAccumulatorAdmitHierarchical(b *testing.B) {
 	}
 }
 
-// BenchmarkWireRoundTrip measures encoding and decoding one Begin
-// message with a hierarchical specification.
+// BenchmarkEngineHotPath measures the per-transaction engine cycle the
+// server loop drives — Begin, read, delta-write, Commit — serially and
+// with concurrent sites hammering the sharded transaction table.
+func BenchmarkEngineHotPath(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		e, gen := newBenchEngine(b)
+		spec := core.UnboundedSpec()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			txn, err := e.Begin(core.Update, gen.Next(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			obj := core.ObjectID(i % 1000)
+			if _, err := e.Read(txn, obj); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.WriteDelta(txn, obj, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := e.Commit(txn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		e, _ := newBenchEngine(b)
+		clock := &tsgen.LogicalClock{}
+		var site int32
+		spec := core.UnboundedSpec()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			s := int(atomic.AddInt32(&site, 1))
+			gen := tsgen.NewGenerator(s, clock)
+			// Disjoint object ranges per site: the benchmark targets
+			// transaction-table contention, not data conflicts.
+			base := core.ObjectID((s * 8) % 992)
+			i := 0
+			for pb.Next() {
+				txn, err := e.Begin(core.Update, gen.Next(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				obj := base + core.ObjectID(i%8)
+				if _, err := e.Read(txn, obj); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.WriteDelta(txn, obj, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.Commit(txn); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkWireRoundTrip measures encoding and decoding one message per
+// iteration: a Begin with a hierarchical specification (the allocating
+// worst case), and the recycled data-operation fast path the server loop
+// runs in steady state, which must not allocate at all.
 func BenchmarkWireRoundTrip(b *testing.B) {
-	msg := &wire.Begin{
-		Kind:      core.Query,
-		Timestamp: tsgen.Make(123456, 3),
-		Spec: core.BoundSpec{
-			Transaction: 100_000,
-			Groups:      map[string]core.Distance{"company": 4000, "personal": 3000},
-		},
-	}
-	var buf bytes.Buffer
-	conn := wire.NewConn(&buf)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		buf.Reset()
-		if err := conn.WriteMessage(msg); err != nil {
-			b.Fatal(err)
+	b.Run("begin", func(b *testing.B) {
+		msg := &wire.Begin{
+			Kind:      core.Query,
+			Timestamp: tsgen.Make(123456, 3),
+			Spec: core.BoundSpec{
+				Transaction: 100_000,
+				Groups:      map[string]core.Distance{"company": 4000, "personal": 3000},
+			},
 		}
-		if _, err := conn.ReadMessage(); err != nil {
-			b.Fatal(err)
+		var buf bytes.Buffer
+		conn := wire.NewConn(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := conn.WriteMessage(msg); err != nil {
+				b.Fatal(err)
+			}
+			m, err := conn.ReadMessage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.Recycle(m)
 		}
-	}
+	})
+	b.Run("fastpath", func(b *testing.B) {
+		msg := &wire.Write{Txn: 1, Object: 2, Delta: true, Value: 3}
+		var buf bytes.Buffer
+		conn := wire.NewConn(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := conn.WriteMessage(msg); err != nil {
+				b.Fatal(err)
+			}
+			m, err := conn.ReadMessage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.Recycle(m)
+		}
+	})
 }
 
 // BenchmarkStorageFindProper measures the proper-value lookup through a

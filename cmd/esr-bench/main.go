@@ -42,8 +42,26 @@ func main() {
 		reps       = flag.Int("reps", 3, "repetitions per cell (median reported)")
 		csvDir     = flag.String("csv", "", "directory to also write per-figure CSV files into")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
+		seq        = flag.Bool("seq", false, "run sweep cells sequentially (disable the parallel worker pool)")
+		workers    = flag.Int("workers", 0, "sweep cells to run concurrently; 0 means GOMAXPROCS")
 	)
 	flag.Parse()
+
+	switch {
+	case *seq:
+		experiment.SetSweepParallelism(1)
+	case *realTime || *paperScale:
+		// Wall-clock cells contend for real CPU time; running them
+		// concurrently would perturb the latencies being measured.
+		// Honour an explicit -workers, otherwise force sequential.
+		if *workers > 1 {
+			experiment.SetSweepParallelism(*workers)
+		} else {
+			experiment.SetSweepParallelism(1)
+		}
+	default:
+		experiment.SetSweepParallelism(*workers)
+	}
 
 	if *paperScale {
 		*opLatency = 6 * time.Millisecond

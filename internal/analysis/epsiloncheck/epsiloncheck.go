@@ -7,7 +7,7 @@
 //
 // The protected state and its writers:
 //
-//	core.Accumulator.used / .limits      — NewAccumulator, Admit, Reset
+//	core.Accumulator.used / .limits      — NewAccumulator, Init, Admit, Reset
 //	core.AggregateTracker.minmax / .order — NewAggregateTracker, Observe, Reset
 //	storage.Object.oil / .oel            — NewObject, SetLimits
 //	storage.Object.maxQueryReadTS / .maxUpdateReadTS — NewObject, RecordRead
@@ -44,7 +44,7 @@ type rule struct {
 }
 
 var rules = []rule{
-	{"core", "Accumulator", []string{"used", "limits"}, []string{"NewAccumulator", "Admit", "Reset"}},
+	{"core", "Accumulator", []string{"used", "limits"}, []string{"NewAccumulator", "Init", "Admit", "Reset"}},
 	{"core", "AggregateTracker", []string{"minmax", "order"}, []string{"NewAggregateTracker", "Observe", "Reset"}},
 	{"storage", "Object", []string{"oil", "oel"}, []string{"NewObject", "SetLimits"}},
 	{"storage", "Object", []string{"maxQueryReadTS", "maxUpdateReadTS"}, []string{"NewObject", "RecordRead"}},

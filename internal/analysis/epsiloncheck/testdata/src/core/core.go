@@ -21,6 +21,13 @@ func NewAccumulator(n int) *Accumulator {
 	return a
 }
 
+// Init is an allowed writer: the in-place (allocation-free) form of
+// NewAccumulator used by embedded accumulators.
+func (a *Accumulator) Init(n int) {
+	a.limits = make([]Distance, n)
+	a.used = make([]Distance, n)
+}
+
 // Admit is an allowed writer: the bounds-check accounting path.
 func (a *Accumulator) Admit(g int, d Distance) bool {
 	if a.used[g]+d > a.limits[g] {

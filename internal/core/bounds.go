@@ -68,7 +68,10 @@ func (b BoundSpec) WithObject(obj ObjectID, limit Distance) BoundSpec {
 type Accumulator struct {
 	schema *Schema
 	// limits[g] and used[g] are the bound and accumulated inconsistency
-	// of group g (index 0 is the root / transaction level).
+	// of group g (index 0 is the root / transaction level). On schemas
+	// with at most accInlineGroups groups they alias the inline arrays
+	// below, so compiling a spec against the paper's flat schema costs no
+	// heap allocations beyond the Accumulator itself.
 	limits []Distance
 	used   []Distance
 	// objects holds per-object overrides from the spec.
@@ -77,34 +80,73 @@ type Accumulator struct {
 	imports bool
 	// path is a reusable scratch buffer for PathToRoot.
 	path []GroupID
+	// inline backing stores for limits, used and path on small schemas.
+	inlineLimits [accInlineGroups]Distance
+	inlineUsed   [accInlineGroups]Distance
+	inlinePath   [accInlineGroups]GroupID
 }
+
+// accInlineGroups is the schema size up to which the per-group arrays
+// live inside the Accumulator. The flat two-level schema of the paper's
+// performance runs has one group; four covers modest hierarchies too.
+const accInlineGroups = 4
+
+// sharedFlatSchema backs every nil-schema Accumulator. Building a fresh
+// flat schema per transaction cost half the Begin path's allocations;
+// one shared instance is safe because all Accumulator accesses to a
+// Schema are reads, and this instance never escapes to code that could
+// extend it (FlatSchema still returns a fresh mutable schema).
+var sharedFlatSchema = FlatSchema()
 
 // NewAccumulator compiles a BoundSpec against a Schema. Group names in
 // the spec that do not exist in the schema are reported as an error —
 // a silently dropped limit would violate the application's intent.
 func NewAccumulator(schema *Schema, spec BoundSpec, imports bool) (*Accumulator, error) {
-	if schema == nil {
-		schema = FlatSchema()
+	a := &Accumulator{}
+	if err := a.Init(schema, spec, imports); err != nil {
+		return nil, err
 	}
-	a := &Accumulator{
-		schema:  schema,
-		limits:  make([]Distance, schema.NumGroups()),
-		used:    make([]Distance, schema.NumGroups()),
-		objects: spec.Objects,
-		imports: imports,
+	return a, nil
+}
+
+// Init compiles a BoundSpec into a (possibly embedded or reused)
+// Accumulator in place, the allocation-free form of NewAccumulator: the
+// transaction manager embeds the Accumulator in its per-attempt state,
+// so beginning a transaction does not heap-allocate the bounds machinery
+// separately. Any previously accumulated state is discarded. An
+// Accumulator must not be copied by value after Init: the group slices
+// may alias the inline arrays of the receiver.
+func (a *Accumulator) Init(schema *Schema, spec BoundSpec, imports bool) error {
+	if schema == nil {
+		schema = sharedFlatSchema
+	}
+	n := schema.NumGroups()
+	a.schema = schema
+	a.objects = spec.Objects
+	a.imports = imports
+	if n <= accInlineGroups {
+		a.limits = a.inlineLimits[:n]
+		a.used = a.inlineUsed[:n]
+	} else {
+		a.limits = make([]Distance, n)
+		a.used = make([]Distance, n)
+	}
+	if a.path == nil {
+		a.path = a.inlinePath[:0]
 	}
 	for i := range a.limits {
 		a.limits[i] = NoLimit
+		a.used[i] = 0
 	}
 	a.limits[RootGroup] = spec.Transaction
 	for name, limit := range spec.Groups {
 		g, ok := schema.Group(name)
 		if !ok {
-			return nil, fmt.Errorf("esr: LIMIT names unknown group %q", name)
+			return fmt.Errorf("esr: LIMIT names unknown group %q", name)
 		}
 		a.limits[g] = limit
 	}
-	return a, nil
+	return nil
 }
 
 // Admit checks, bottom-up, whether inconsistency d from object obj fits

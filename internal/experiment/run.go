@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -89,12 +90,57 @@ type cell struct {
 	cfg   Config
 }
 
+// runCell executes a single repetition of a cell. It is a variable so
+// orchestration tests can stub the (expensive, internally concurrent)
+// cell body and observe scheduling behaviour in isolation.
+var runCell = runOnce
+
+// sweepPar holds the sweep worker count; see SetSweepParallelism.
+var sweepPar struct {
+	mu sync.Mutex
+	n  int
+}
+
+// SetSweepParallelism sets how many sweep cells run concurrently and
+// returns the previous setting. n <= 0 restores the default, GOMAXPROCS;
+// n == 1 forces the sequential path (the esr-bench -seq escape hatch).
+// Cells are self-contained — each builds its own store, engine, virtual
+// timeline and RNGs from the cell seed — so concurrent cells share no
+// state and per-cell results are identical to a sequential run.
+func SetSweepParallelism(n int) int {
+	sweepPar.mu.Lock()
+	defer sweepPar.mu.Unlock()
+	prev := sweepPar.n
+	if n < 0 {
+		n = 0
+	}
+	sweepPar.n = n
+	return prev
+}
+
+// sweepParallelism reports the effective worker count.
+func sweepParallelism() int {
+	sweepPar.mu.Lock()
+	defer sweepPar.mu.Unlock()
+	if sweepPar.n > 0 {
+		return sweepPar.n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // runCellsInterleaved executes every cell once per repetition pass —
 // visiting all cells before repeating any — and reports the per-cell
 // median-throughput result. Interleaving matters on shared machines:
 // periodic background load would otherwise always hit the same cells,
 // biasing whole regions of a figure. The repetition count is taken from
 // the first cell's Reps (minimum 1).
+//
+// Up to SetSweepParallelism cells run concurrently. Parallelism does not
+// change the output: each (cell, rep) derives its seed from the cell
+// config and rep index alone, results land in a preassigned slot so the
+// median sees them in rep order, progress lines are buffered and emitted
+// in the sequential order, and on failure the error reported is the one
+// the sequential schedule would have hit first.
 func runCellsInterleaved(cells []cell, progress func(string)) ([]Result, error) {
 	if len(cells) == 0 {
 		return nil, nil
@@ -104,22 +150,89 @@ func runCellsInterleaved(cells []cell, progress func(string)) ([]Result, error) 
 		reps = 1
 	}
 	all := make([][]Result, len(cells))
-	for rep := 0; rep < reps; rep++ {
-		for i := range cells {
-			cfg := cells[i].cfg
-			cfg.Reps = 1
-			cfg.Seed += int64(rep) * 1_000_003
-			r, err := runOnce(cfg)
+	for i := range all {
+		all[i] = make([]Result, reps)
+	}
+	// Job j is rep j/len(cells) of cell j%len(cells): rep-major, the
+	// sequential interleaving order.
+	total := len(cells) * reps
+	run := func(j int) (Result, error) {
+		rep, i := j/len(cells), j%len(cells)
+		cfg := cells[i].cfg
+		cfg.Reps = 1
+		cfg.Seed += int64(rep) * 1_000_003
+		r, err := runCell(cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", cells[i].label, err)
+		}
+		r.Label = cells[i].label
+		return r, nil
+	}
+	line := func(j int, r Result) string {
+		rep, i := j/len(cells), j%len(cells)
+		return fmt.Sprintf("[rep %d/%d] %s %s", rep+1, reps, cells[i].label, r)
+	}
+
+	workers := sweepParallelism()
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for j := 0; j < total; j++ {
+			r, err := run(j)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", cells[i].label, err)
+				return nil, err
 			}
-			r.Label = cells[i].label
-			all[i] = append(all[i], r)
+			all[j%len(cells)][j/len(cells)] = r
 			if progress != nil {
-				progress(fmt.Sprintf("[rep %d/%d] %s %s", rep+1, reps, cells[i].label, r))
+				progress(line(j, r))
 			}
 		}
+	} else {
+		var (
+			mu       sync.Mutex
+			done     = make([]bool, total)
+			lines    = make([]string, total)
+			emitted  int
+			firstErr error
+			errJob   = total
+		)
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					r, err := run(j)
+					mu.Lock()
+					if err != nil {
+						if j < errJob {
+							firstErr, errJob = err, j
+						}
+					} else {
+						all[j%len(cells)][j/len(cells)] = r
+						lines[j] = line(j, r)
+						done[j] = true
+						for progress != nil && emitted < total && done[emitted] {
+							progress(lines[emitted])
+							emitted++
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for j := 0; j < total; j++ {
+			jobs <- j
+		}
+		close(jobs)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
 	}
+
 	out := make([]Result, len(cells))
 	for i := range cells {
 		out[i] = medianResult(all[i])

@@ -40,6 +40,7 @@ import (
 	"github.com/epsilondb/epsilondb/internal/storage"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/txnshard"
 )
 
 // AbortError mirrors tso.AbortError for the MVTO engine.
@@ -91,8 +92,9 @@ type Engine struct {
 	maxVersions int
 
 	nextTxn atomic.Uint64
-	mu      sync.RWMutex
-	txns    map[core.TxnID]*txnState
+	// txns is sharded by transaction id so Begin/lookup/remove from
+	// concurrent connections do not serialize on one engine-wide lock.
+	txns *txnshard.Map[*txnState]
 }
 
 // NewEngine builds an MVTO engine over the committed values of a store.
@@ -104,7 +106,7 @@ func NewEngine(store *storage.Store, col *metrics.Collector, parker tso.Parker) 
 		col:         col,
 		parker:      parker,
 		maxVersions: DefaultMaxVersions,
-		txns:        make(map[core.TxnID]*txnState),
+		txns:        txnshard.New[*txnState](),
 	}
 	for _, id := range store.IDs() {
 		o, err := store.Get(id)
@@ -128,18 +130,14 @@ func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, _ core.BoundSpec) (co
 		return 0, fmt.Errorf("mvto: invalid transaction kind %d", kind)
 	}
 	st := &txnState{id: core.TxnID(e.nextTxn.Add(1)), ts: ts, kind: kind}
-	e.mu.Lock()
-	e.txns[st.id] = st
-	e.mu.Unlock()
+	e.txns.Store(st.id, st)
 	e.col.Begin()
 	return st.id, nil
 }
 
 func (e *Engine) lookup(txn core.TxnID) (*txnState, error) {
-	e.mu.RLock()
-	st := e.txns[txn]
-	e.mu.RUnlock()
-	if st == nil {
+	st, ok := e.txns.Load(txn)
+	if !ok {
 		return nil, tso.ErrUnknownTxn
 	}
 	return st, nil
@@ -265,22 +263,15 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, v core.Value, isDelta 
 }
 
 // Live reports the number of live transactions (begun, not yet finished).
-func (e *Engine) Live() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.txns)
-}
+func (e *Engine) Live() int { return e.txns.Len() }
 
-// Commit marks the attempt's versions committed and wakes waiters.
+// Commit marks the attempt's versions committed and wakes waiters. The
+// shard's atomic check-and-delete is the double-finish guard.
 func (e *Engine) Commit(txn core.TxnID) error {
-	e.mu.Lock()
-	st := e.txns[txn]
-	if st == nil {
-		e.mu.Unlock()
+	st, ok := e.txns.Delete(txn)
+	if !ok {
 		return tso.ErrUnknownTxn
 	}
-	delete(e.txns, txn)
-	e.mu.Unlock()
 	for _, o := range st.writes {
 		e.resolveVersions(o, st.id, true)
 	}
@@ -290,23 +281,16 @@ func (e *Engine) Commit(txn core.TxnID) error {
 
 // Abort removes the attempt's versions and wakes waiters.
 func (e *Engine) Abort(txn core.TxnID) error {
-	e.mu.Lock()
-	st := e.txns[txn]
-	if st == nil {
-		e.mu.Unlock()
+	st, ok := e.txns.Delete(txn)
+	if !ok {
 		return tso.ErrUnknownTxn
 	}
-	delete(e.txns, txn)
-	e.mu.Unlock()
 	e.finishAbort(st, metrics.AbortExplicit)
 	return nil
 }
 
 func (e *Engine) abortNow(st *txnState, reason metrics.AbortReason, cause error) error {
-	e.mu.Lock()
-	_, registered := e.txns[st.id]
-	delete(e.txns, st.id)
-	e.mu.Unlock()
+	_, registered := e.txns.Delete(st.id)
 	// Finish only if no other goroutine beat us to it: finishing twice
 	// would double-count the abort and re-resolve versions.
 	if registered {

@@ -147,6 +147,11 @@ func (s *Server) Close() error {
 func (s *Server) ServeConn(rw io.ReadWriter) {
 	conn := wire.NewConn(rw)
 	open := make(map[core.TxnID]struct{})
+	// rb holds this connection's response structs. RPC is synchronous —
+	// one request in flight per connection — so the previous response is
+	// always fully written before dispatch builds the next one, and the
+	// loop reuses the same structs instead of allocating per reply.
+	var rb respBuf
 	defer func() {
 		for txn := range open {
 			// ErrUnknownTxn just means the engine finished it first.
@@ -176,9 +181,13 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 			}
 			return
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatch(req, &rb)
 		trackTxn(open, req, resp)
-		if err := conn.WriteMessage(resp); err != nil {
+		err = conn.WriteMessage(resp)
+		// The request was decoded from a pool; its fields are dead once
+		// the response is on the wire.
+		wire.Recycle(req)
+		if err != nil {
 			s.opts.Logf("server: %s: %v", conn.RemoteAddr(), err)
 			return
 		}
@@ -194,11 +203,17 @@ func trackTxn(open map[core.TxnID]struct{}, req, resp wire.Message) {
 			open[ok.Txn] = struct{}{}
 		}
 	case *wire.Read:
-		if e, isErr := resp.(*wire.Error); isErr && e.Code == wire.CodeAbort {
-			delete(open, m.Txn) // engine aborted it internally
+		// Any error response finishes the attempt as far as this
+		// connection is concerned: CodeAbort means the engine aborted it
+		// internally, CodeGeneric means the transaction was unknown or
+		// already finished. Keeping it in the open set would make the
+		// disconnect cleanup re-abort a transaction this client no longer
+		// owns.
+		if _, isErr := resp.(*wire.Error); isErr {
+			delete(open, m.Txn)
 		}
 	case *wire.Write:
-		if e, isErr := resp.(*wire.Error); isErr && e.Code == wire.CodeAbort {
+		if _, isErr := resp.(*wire.Error); isErr {
 			delete(open, m.Txn)
 		}
 	case *wire.Commit:
@@ -211,23 +226,48 @@ func trackTxn(open map[core.TxnID]struct{}, req, resp wire.Message) {
 	}
 }
 
-// dispatch executes one request and builds its response.
-func (s *Server) dispatch(req wire.Message) wire.Message {
+// respBuf holds one connection's reusable response structs; dispatch
+// fills the one matching the outcome and returns its address. With one
+// request in flight per connection the previous response is always dead
+// by the next dispatch, so the steady-state reply path allocates nothing.
+type respBuf struct {
+	beginOK wire.BeginOK
+	value   wire.Value
+	ok      wire.OK
+	syncOK  wire.SyncOK
+	statsOK wire.StatsOK
+	err     wire.Error
+}
+
+// wireError maps an engine error into the reused Error response.
+func (rb *respBuf) wireError(err error) *wire.Error {
+	if ae, ok := tso.IsAbort(err); ok {
+		rb.err = wire.Error{Code: wire.CodeAbort, Reason: ae.Reason, Message: ae.Error()}
+	} else {
+		rb.err = wire.Error{Code: wire.CodeGeneric, Message: err.Error()}
+	}
+	return &rb.err
+}
+
+// dispatch executes one request and builds its response in rb.
+func (s *Server) dispatch(req wire.Message, rb *respBuf) wire.Message {
 	switch m := req.(type) {
 	case *wire.Begin:
 		txn, err := s.engine.Begin(m.Kind, m.Timestamp, m.Spec)
 		if err != nil {
-			return toWireError(err)
+			return rb.wireError(err)
 		}
-		return &wire.BeginOK{Txn: txn}
+		rb.beginOK.Txn = txn
+		return &rb.beginOK
 
 	case *wire.Read:
 		s.simulateLatency()
 		v, err := s.engine.Read(m.Txn, m.Object)
 		if err != nil {
-			return toWireError(err)
+			return rb.wireError(err)
 		}
-		return &wire.Value{Value: v}
+		rb.value.Value = v
+		return &rb.value
 
 	case *wire.Write:
 		s.simulateLatency()
@@ -239,37 +279,41 @@ func (s *Server) dispatch(req wire.Message) wire.Message {
 			err = s.engine.Write(m.Txn, m.Object, m.Value)
 		}
 		if err != nil {
-			return toWireError(err)
+			return rb.wireError(err)
 		}
-		return &wire.Value{Value: v}
+		rb.value.Value = v
+		return &rb.value
 
 	case *wire.Commit:
 		if err := s.engine.Commit(m.Txn); err != nil {
-			return toWireError(err)
+			return rb.wireError(err)
 		}
-		return &wire.OK{}
+		return &rb.ok
 
 	case *wire.Abort:
 		if err := s.engine.Abort(m.Txn); err != nil {
-			return toWireError(err)
+			return rb.wireError(err)
 		}
-		return &wire.OK{}
+		return &rb.ok
 
 	case *wire.Sync:
-		return &wire.SyncOK{ServerTicks: s.opts.Clock.Now()}
+		rb.syncOK.ServerTicks = s.opts.Clock.Now()
+		return &rb.syncOK
 
 	case *wire.Stats:
 		// The engine may run without a collector; a nil collector
 		// snapshots as zeros.
-		return &wire.StatsOK{
+		rb.statsOK = wire.StatsOK{
 			Snapshot:     s.engine.MetricsSnapshot(),
 			ProperMisses: s.engine.Store().ProperMisses(),
 			Live:         int64(s.engine.Live()),
 			Latencies:    s.engine.LatencySnapshot(),
 		}
+		return &rb.statsOK
 
 	default:
-		return &wire.Error{Code: wire.CodeGeneric, Message: fmt.Sprintf("unexpected request %v", req.MsgType())}
+		rb.err = wire.Error{Code: wire.CodeGeneric, Message: fmt.Sprintf("unexpected request %v", req.MsgType())}
+		return &rb.err
 	}
 }
 
@@ -278,12 +322,4 @@ func (s *Server) simulateLatency() {
 	if s.opts.SimulatedLatency > 0 {
 		time.Sleep(s.opts.SimulatedLatency)
 	}
-}
-
-// toWireError maps engine errors to protocol errors.
-func toWireError(err error) *wire.Error {
-	if ae, ok := tso.IsAbort(err); ok {
-		return &wire.Error{Code: wire.CodeAbort, Reason: ae.Reason, Message: ae.Error()}
-	}
-	return &wire.Error{Code: wire.CodeGeneric, Message: err.Error()}
 }

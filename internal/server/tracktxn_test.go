@@ -1,0 +1,60 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// TestTrackTxnDropsTxnOnAnyDataOpError pins the open-set bookkeeping: a
+// data operation answered with an Error — CodeAbort (engine aborted the
+// attempt) or CodeGeneric (the transaction is unknown or was finished
+// through another connection) — leaves the transaction out of this
+// connection's open set, so the disconnect cleanup does not try to abort
+// a transaction the connection no longer owns.
+func TestTrackTxnDropsTxnOnAnyDataOpError(t *testing.T) {
+	cases := []struct {
+		name     string
+		req      wire.Message
+		resp     wire.Message
+		wantOpen bool
+	}{
+		{"read abort", &wire.Read{Txn: 5, Object: 1},
+			&wire.Error{Code: wire.CodeAbort, Reason: metrics.AbortLateRead}, false},
+		{"read generic", &wire.Read{Txn: 5, Object: 1},
+			&wire.Error{Code: wire.CodeGeneric, Message: "unknown txn"}, false},
+		{"write abort", &wire.Write{Txn: 5, Object: 1, Value: 2},
+			&wire.Error{Code: wire.CodeAbort, Reason: metrics.AbortLateWrite}, false},
+		{"write generic", &wire.Write{Txn: 5, Object: 1, Value: 2},
+			&wire.Error{Code: wire.CodeGeneric, Message: "unknown txn"}, false},
+		{"read ok stays open", &wire.Read{Txn: 5, Object: 1},
+			&wire.Value{Value: 7}, true},
+		{"write ok stays open", &wire.Write{Txn: 5, Object: 1, Value: 2},
+			&wire.Value{Value: 2}, true},
+		{"commit ok", &wire.Commit{Txn: 5}, &wire.OK{}, false},
+		{"commit generic", &wire.Commit{Txn: 5},
+			&wire.Error{Code: wire.CodeGeneric, Message: "unknown txn"}, false},
+		{"abort ok", &wire.Abort{Txn: 5}, &wire.OK{}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			open := map[core.TxnID]struct{}{5: {}}
+			trackTxn(open, tc.req, tc.resp)
+			if _, stillOpen := open[5]; stillOpen != tc.wantOpen {
+				t.Errorf("txn open after %s = %v, want %v", tc.name, stillOpen, tc.wantOpen)
+			}
+		})
+	}
+	// Begin enters the set only on BeginOK.
+	open := map[core.TxnID]struct{}{}
+	trackTxn(open, &wire.Begin{}, &wire.BeginOK{Txn: 9})
+	if _, ok := open[9]; !ok {
+		t.Error("BeginOK did not enter the open set")
+	}
+	trackTxn(open, &wire.Begin{}, &wire.Error{Code: wire.CodeGeneric})
+	if len(open) != 1 {
+		t.Errorf("failed Begin changed the open set: %v", open)
+	}
+}

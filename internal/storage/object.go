@@ -95,8 +95,12 @@ type Object struct {
 	readers map[core.TxnID]readerEntry
 
 	// changed is closed and replaced whenever the dirty state resolves,
-	// waking operations blocked by strict ordering.
-	changed chan struct{}
+	// waking operations blocked by strict ordering. observed records
+	// whether the current channel was handed to a waiter: broadcast only
+	// pays the close-and-replace when someone may be selecting on it, so
+	// uncontended commits do not allocate a channel per write.
+	changed  chan struct{}
+	observed bool
 
 	// parked counts waiters that suspended a virtual timeline before
 	// blocking on changed; waker credits them as runnable again, before
@@ -193,17 +197,25 @@ func (o *Object) MaxUpdateReadTS() tsgen.Timestamp { return o.maxUpdateReadTS }
 // uncommitted state resolves (commit or abort of the writer). Callers
 // capture the channel while holding the lock, release the lock, and then
 // select on the channel and their timeout.
-func (o *Object) Changed() <-chan struct{} { return o.changed }
+func (o *Object) Changed() <-chan struct{} {
+	o.observed = true
+	return o.changed
+}
 
 // broadcast wakes all waiters by closing and replacing the channel,
-// crediting parked timeline waiters first.
+// crediting parked timeline waiters first. The channel is replaced only
+// if it was ever observed; waiters fetch it under the same lock, so an
+// unobserved channel has no one selecting on it.
 func (o *Object) broadcast() {
 	if o.parked > 0 && o.waker != nil {
 		o.waker(o.parked)
 	}
 	o.parked = 0
-	close(o.changed)
-	o.changed = make(chan struct{})
+	if o.observed {
+		close(o.changed)
+		o.changed = make(chan struct{})
+		o.observed = false
+	}
 }
 
 // IncParked records that the caller suspended its timeline and is about

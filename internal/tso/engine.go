@@ -27,7 +27,6 @@ package tso
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +34,7 @@ import (
 	"github.com/epsilondb/epsilondb/internal/metrics"
 	"github.com/epsilondb/epsilondb/internal/storage"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/txnshard"
 )
 
 // DefaultWaitTimeout bounds strict-ordering waits. Timestamp ordering
@@ -91,12 +91,15 @@ type Engine struct {
 
 	nextTxn atomic.Uint64
 
-	mu   sync.RWMutex
-	txns map[core.TxnID]*txnState
+	// txns is the live-transaction table, sharded by transaction id so
+	// Begin/lookup/remove from concurrent connections do not serialize
+	// on one engine-wide lock (DESIGN.md §8).
+	txns *txnshard.Map[*txnState]
 	// dirtyReaders maps an update attempt to the number of query
 	// attempts that read its uncommitted data, to count the §5.1 corner
-	// where such an update later aborts.
-	dirtyReaders map[core.TxnID]int
+	// where such an update later aborts. Sharded alongside txns: the
+	// increment on every dirty read is hot-path work.
+	dirtyReaders *txnshard.Map[int]
 }
 
 // txnState is the transaction manager's record of one attempt. Fields are
@@ -105,7 +108,9 @@ type txnState struct {
 	id   core.TxnID
 	kind core.Kind
 	ts   tsgen.Timestamp
-	acc  *core.Accumulator
+	// acc is embedded by value (and initialized in place) so one
+	// allocation covers the attempt record and its bounds machinery.
+	acc core.Accumulator
 	// esr is true when the attempt may take ESR relaxation paths: a
 	// query with a nonzero import limit or an update with a nonzero
 	// export limit. Zero-limit attempts run the textbook strict-TO rules
@@ -133,8 +138,8 @@ func NewEngine(store *storage.Store, opts Options) *Engine {
 	return &Engine{
 		store:        store,
 		opts:         opts,
-		txns:         make(map[core.TxnID]*txnState),
-		dirtyReaders: make(map[core.TxnID]int),
+		txns:         txnshard.New[*txnState](),
+		dirtyReaders: txnshard.New[int](),
 	}
 }
 
@@ -157,11 +162,7 @@ func (e *Engine) Schema() *core.Schema { return e.opts.Schema }
 // Live returns the number of transaction attempts currently in the live
 // table — begun but neither committed nor aborted. A nonzero value at
 // quiescence indicates leaked transactions.
-func (e *Engine) Live() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return len(e.txns)
-}
+func (e *Engine) Live() int { return e.txns.Len() }
 
 // Begin starts a transaction attempt with the given kind, timestamp and
 // inconsistency specification, returning its id. Timestamps must be
@@ -174,20 +175,16 @@ func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, spec core.BoundSpec) 
 	if ts.IsNone() {
 		return 0, fmt.Errorf("tso: transaction timestamp must be non-zero")
 	}
-	acc, err := core.NewAccumulator(e.opts.Schema, spec, kind == core.Query)
-	if err != nil {
-		return 0, err
-	}
 	st := &txnState{
 		id:   core.TxnID(e.nextTxn.Add(1)),
 		kind: kind,
 		ts:   ts,
-		acc:  acc,
 		esr:  spec.Transaction > 0,
 	}
-	e.mu.Lock()
-	e.txns[st.id] = st
-	e.mu.Unlock()
+	if err := st.acc.Init(e.opts.Schema, spec, kind == core.Query); err != nil {
+		return 0, err
+	}
+	e.txns.Store(st.id, st)
 	e.opts.Collector.Begin()
 	e.trace(Event{Kind: EvBegin, Txn: st.id, TxnKind: kind, TS: ts})
 	return st.id, nil
@@ -195,26 +192,18 @@ func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, spec core.BoundSpec) 
 
 // lookup returns the live state for a transaction id.
 func (e *Engine) lookup(txn core.TxnID) (*txnState, error) {
-	e.mu.RLock()
-	st := e.txns[txn]
-	e.mu.RUnlock()
-	if st == nil {
+	st, ok := e.txns.Load(txn)
+	if !ok {
 		return nil, ErrUnknownTxn
 	}
 	return st, nil
 }
 
 // remove deletes the attempt from the live table; it returns false if the
-// attempt was already finished (double commit/abort).
+// attempt was already finished (double commit/abort). The shard's
+// atomic check-and-delete is the double-finish guard.
 func (e *Engine) remove(txn core.TxnID) (*txnState, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	st := e.txns[txn]
-	if st == nil {
-		return nil, false
-	}
-	delete(e.txns, txn)
-	return st, true
+	return e.txns.Delete(txn)
 }
 
 // Commit finishes an attempt successfully: pending writes are published
@@ -291,19 +280,14 @@ func (e *Engine) finishAbort(st *txnState, reason metrics.AbortReason, cause err
 
 // noteDirtyRead records that reader consumed writer's uncommitted data.
 func (e *Engine) noteDirtyRead(writer core.TxnID) {
-	e.mu.Lock()
-	e.dirtyReaders[writer]++
-	e.mu.Unlock()
+	e.dirtyReaders.Mutate(writer, func(n int, _ bool) (int, bool) { return n + 1, true })
 }
 
 // clearDirtyNote drops the dirty-read bookkeeping for a finished writer;
 // if the writer aborted while queries had read its uncommitted data, the
 // occurrences are counted (§5.1: the paper accepts this risk).
 func (e *Engine) clearDirtyNote(writer core.TxnID, aborted bool) {
-	e.mu.Lock()
-	n := e.dirtyReaders[writer]
-	delete(e.dirtyReaders, writer)
-	e.mu.Unlock()
+	n, _ := e.dirtyReaders.Delete(writer)
 	if aborted {
 		e.opts.Collector.AddDirtySourceAborted(int64(n))
 	}

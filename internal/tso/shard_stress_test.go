@@ -1,0 +1,119 @@
+package tso
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// TestShardedTxnTableChurn hammers the sharded transaction table from
+// many sites at once: concurrent Begin/Read/WriteDelta traffic, racing
+// Commit-vs-Abort finishes for every transaction, and Live() polling the
+// shards throughout. Under -race it is the table's integration canary;
+// the exactly-one-finisher count is the correctness assertion.
+func TestShardedTxnTableChurn(t *testing.T) {
+	col := &metrics.Collector{}
+	e := newTestEngine(t, 64, Options{Collector: col})
+	clock := &tsgen.LogicalClock{}
+	const sites = 8
+	const perSite = 200
+
+	var finished atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.Live()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < sites; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			gen := tsgen.NewGenerator(s, clock)
+			// Disjoint objects: the test targets the transaction table,
+			// not data conflicts.
+			obj := core.ObjectID(s*8 + 1)
+			for i := 0; i < perSite; i++ {
+				txn, err := e.Begin(core.Update, gen.Next(), core.UnboundedSpec())
+				if err != nil {
+					t.Errorf("site %d: Begin: %v", s, err)
+					return
+				}
+				if _, err := e.Read(txn, obj); err != nil {
+					continue // aborted by the engine: already finished
+				}
+				if _, err := e.WriteDelta(txn, obj, 1); err != nil {
+					continue
+				}
+				// Race two finishers for the same transaction; the shard's
+				// atomic check-and-delete must let exactly one through.
+				var inner sync.WaitGroup
+				inner.Add(2)
+				go func() {
+					defer inner.Done()
+					if e.Commit(txn) == nil {
+						finished.Add(1)
+					}
+				}()
+				go func() {
+					defer inner.Done()
+					if e.Abort(txn) == nil {
+						finished.Add(1)
+					}
+				}()
+				inner.Wait()
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(stop)
+
+	s := col.Snapshot()
+	if got := s.Commits + s.AbortExplicit; got != finished.Load() {
+		t.Errorf("commits+explicit aborts = %d, want %d (exactly one finisher per txn)",
+			got, finished.Load())
+	}
+	if e.Live() != 0 {
+		t.Errorf("Live = %d after churn, want 0", e.Live())
+	}
+}
+
+// TestEngineHotPathAllocBudget pins the Begin/Read/WriteDelta/Commit
+// allocation budget the PR's hot-path work established: one transaction
+// state (with the bounds accumulator embedded in it) plus one write
+// record. Regressing this silently re-taxes every transaction.
+func TestEngineHotPathAllocBudget(t *testing.T) {
+	e := newTestEngine(t, 8, Options{})
+	gen := tsgen.NewGenerator(0, &tsgen.LogicalClock{})
+	spec := core.UnboundedSpec()
+	run := func() {
+		txn, err := e.Begin(core.Update, gen.Next(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Read(txn, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.WriteDelta(txn, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Commit(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up maps and history
+	if allocs := testing.AllocsPerRun(100, run); allocs > 3 {
+		t.Errorf("hot-path cycle allocates %.1f objects, want <= 3", allocs)
+	}
+}

@@ -14,10 +14,14 @@ import (
 // the youngest transaction on the cycle.
 func (e *Engine) acquire(st *txnState, obj core.ObjectID, mode lockMode) error {
 	e.mu.Lock()
-	if e.txns[st.id] != st {
+	if cur, ok := e.txns.Load(st.id); !ok || cur != st {
 		// The transaction was finished by another goroutine between the
 		// caller's lookup and this acquire; granting now would install a
-		// lock nothing will ever release.
+		// lock nothing will ever release. Checking under mu is enough:
+		// every finish path removes the txn from the registry before it
+		// cancels queued requests under mu, so if the removal happens
+		// after this check, the cancellation necessarily runs after our
+		// enqueue below and sweeps the request.
 		e.mu.Unlock()
 		return tso.ErrUnknownTxn
 	}
@@ -53,9 +57,12 @@ func (e *Engine) acquire(st *txnState, obj core.ObjectID, mode lockMode) error {
 	if victim := e.findDeadlockVictimLocked(st.id); victim != 0 {
 		if victim == st.id {
 			e.removeRequestLocked(entry, req)
-			delete(e.txns, st.id)
 			e.mu.Unlock()
-			e.finishAbort(st, metrics.AbortDeadlock)
+			// An explicit Abort may race this self-abort; the registry's
+			// atomic delete picks the single finisher.
+			if _, registered := e.txns.Delete(st.id); registered {
+				e.finishAbort(st, metrics.AbortDeadlock)
+			}
 			return &AbortError{Txn: st.id, Reason: metrics.AbortDeadlock,
 				Err: fmt.Errorf("twopl: deadlock victim waiting for object %d", obj)}
 		}
@@ -78,10 +85,7 @@ func (e *Engine) acquire(st *txnState, obj core.ObjectID, mode lockMode) error {
 		return tso.ErrUnknownTxn
 	}
 	if req.aborted {
-		e.mu.Lock()
-		_, registered := e.txns[st.id]
-		delete(e.txns, st.id)
-		e.mu.Unlock()
+		_, registered := e.txns.Delete(st.id)
 		// An explicit Abort may have finished the transaction between the
 		// victim wakeup and this cleanup; finishing twice would double the
 		// abort counters and re-release locks.
@@ -146,7 +150,7 @@ func (e *Engine) grantQueueLocked(entry *lockEntry) []*request {
 	var wake []*request
 	for len(entry.queue) > 0 {
 		head := entry.queue[0]
-		holder := e.txns[head.txn]
+		holder, _ := e.txns.Load(head.txn)
 		if holder == nil {
 			// The requester vanished (aborted elsewhere); cancel it so a
 			// goroutine still blocked on the request is not stranded.
@@ -291,13 +295,14 @@ func (e *Engine) findDeadlockVictimLocked(start core.TxnID) core.TxnID {
 	}
 	// Victim: youngest timestamp on the cycle.
 	var victim core.TxnID
+	var victimState *txnState
 	for _, txn := range cycle {
-		st := e.txns[txn]
+		st, _ := e.txns.Load(txn)
 		if st == nil {
 			continue
 		}
-		if victim == 0 || st.ts.After(e.txns[victim].ts) {
-			victim = txn
+		if victimState == nil || st.ts.After(victimState.ts) {
+			victim, victimState = txn, st
 		}
 	}
 	return victim

@@ -192,3 +192,57 @@ func TestAbortCommitStressRace(t *testing.T) {
 			s.Commits, s.Aborts(), total, workers*iters)
 	}
 }
+
+// TestRacingFinishersExactlyOnce races Commit against Abort for every
+// transaction from two goroutines. The sharded registry's atomic
+// check-and-delete must let exactly one finisher through — a double
+// finish would double-count metrics and re-release locks; a lost finish
+// would strand locks forever.
+func TestRacingFinishersExactlyOnce(t *testing.T) {
+	const sites = 8
+	const perSite = 100
+	e, col := newTestEngine(t, sites)
+	var ts atomic.Int64
+	var finished atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < sites; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			obj := core.ObjectID(1 + s)
+			for i := 0; i < perSite; i++ {
+				txn, err := e.Begin(core.Update, tsgen.Make(ts.Add(1), 0), core.SRSpec())
+				if err != nil {
+					t.Errorf("Begin: %v", err)
+					return
+				}
+				if err := e.Write(txn, obj, core.Value(i)); err != nil {
+					continue
+				}
+				var inner sync.WaitGroup
+				inner.Add(2)
+				go func() {
+					defer inner.Done()
+					if e.Commit(txn) == nil {
+						finished.Add(1)
+					}
+				}()
+				go func() {
+					defer inner.Done()
+					if e.Abort(txn) == nil {
+						finished.Add(1)
+					}
+				}()
+				inner.Wait()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if n := e.Live(); n != 0 {
+		t.Errorf("Live() = %d, want 0", n)
+	}
+	s := col.Snapshot()
+	if got := s.Commits + s.AbortExplicit; got != finished.Load() {
+		t.Errorf("commits+explicit aborts = %d, want %d (one finisher per txn)", got, finished.Load())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"github.com/epsilondb/epsilondb/internal/storage"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/txnshard"
 )
 
 // lockMode is the requested access.
@@ -82,12 +83,21 @@ type Engine struct {
 
 	nextTxn atomic.Uint64
 
-	// mu guards the lock table and transaction registry. A single mutex
-	// keeps deadlock detection simple; the paper's prototype was a
-	// single server as well.
+	// mu guards the lock table. A single mutex keeps deadlock detection
+	// simple; the paper's prototype was a single server as well.
 	mu    sync.Mutex
 	locks map[core.ObjectID]*lockEntry
-	txns  map[core.TxnID]*txnState
+
+	// txns is the transaction registry, sharded by id so Begin/lookup
+	// from concurrent connections do not contend on the lock-table
+	// mutex. Lock order: mu may be held while touching a shard (the
+	// grant and deadlock paths resolve states under mu); no shard lock
+	// is ever held while acquiring mu — the Map's operations are self-
+	// contained. Liveness checks in acquire stay race-free because every
+	// finish path removes the txn from the registry first and only then
+	// cancels its queued requests under mu, so an acquirer that enqueues
+	// under mu either sees the removal or has its request cancelled.
+	txns *txnshard.Map[*txnState]
 }
 
 // NewEngine returns a 2PL engine over the store. The collector and
@@ -98,7 +108,7 @@ func NewEngine(store *storage.Store, col *metrics.Collector, parker tso.Parker) 
 		col:    col,
 		parker: parker,
 		locks:  make(map[core.ObjectID]*lockEntry),
-		txns:   make(map[core.TxnID]*txnState),
+		txns:   txnshard.New[*txnState](),
 	}
 }
 
@@ -114,9 +124,7 @@ func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, _ core.BoundSpec) (co
 		kind:  kind,
 		locks: make(map[core.ObjectID]lockMode),
 	}
-	e.mu.Lock()
-	e.txns[st.id] = st
-	e.mu.Unlock()
+	e.txns.Store(st.id, st)
 	e.col.Begin()
 	return st.id, nil
 }
@@ -191,10 +199,8 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, v core.Value, isDelta 
 
 // prepare resolves the attempt and object.
 func (e *Engine) prepare(txn core.TxnID, obj core.ObjectID) (*txnState, *storage.Object, error) {
-	e.mu.Lock()
-	st := e.txns[txn]
-	e.mu.Unlock()
-	if st == nil {
+	st, ok := e.txns.Load(txn)
+	if !ok {
 		return nil, nil, tso.ErrUnknownTxn
 	}
 	o, err := e.store.Get(obj)
@@ -205,21 +211,17 @@ func (e *Engine) prepare(txn core.TxnID, obj core.ObjectID) (*txnState, *storage
 }
 
 // Live reports the number of live transactions (begun, not yet finished).
-func (e *Engine) Live() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.txns)
-}
+func (e *Engine) Live() int { return e.txns.Len() }
 
-// Commit publishes writes and releases all locks.
+// Commit publishes writes and releases all locks. The registry's atomic
+// check-and-delete is the double-finish guard; requests the transaction
+// still has queued are cancelled before its footprint is released.
 func (e *Engine) Commit(txn core.TxnID) error {
-	e.mu.Lock()
-	st := e.txns[txn]
-	if st == nil {
-		e.mu.Unlock()
+	st, ok := e.txns.Delete(txn)
+	if !ok {
 		return tso.ErrUnknownTxn
 	}
-	delete(e.txns, txn)
+	e.mu.Lock()
 	wake := e.cancelRequestsLocked(txn)
 	e.mu.Unlock()
 	e.wakeCancelled(wake)
@@ -235,13 +237,11 @@ func (e *Engine) Commit(txn core.TxnID) error {
 
 // Abort discards writes and releases all locks.
 func (e *Engine) Abort(txn core.TxnID) error {
-	e.mu.Lock()
-	st := e.txns[txn]
-	if st == nil {
-		e.mu.Unlock()
+	st, ok := e.txns.Delete(txn)
+	if !ok {
 		return tso.ErrUnknownTxn
 	}
-	delete(e.txns, txn)
+	e.mu.Lock()
 	wake := e.cancelRequestsLocked(txn)
 	e.mu.Unlock()
 	e.wakeCancelled(wake)
@@ -254,9 +254,8 @@ func (e *Engine) Abort(txn core.TxnID) error {
 // error is built: finishing twice would double-count the abort and
 // re-release state.
 func (e *Engine) abortNow(st *txnState, reason metrics.AbortReason, cause error) error {
+	_, registered := e.txns.Delete(st.id)
 	e.mu.Lock()
-	_, registered := e.txns[st.id]
-	delete(e.txns, st.id)
 	wake := e.cancelRequestsLocked(st.id)
 	e.mu.Unlock()
 	e.wakeCancelled(wake)

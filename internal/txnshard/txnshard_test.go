@@ -1,0 +1,140 @@
+package txnshard
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+)
+
+func TestStoreLoadDelete(t *testing.T) {
+	m := New[string]()
+	if _, ok := m.Load(1); ok {
+		t.Error("empty map reported an entry")
+	}
+	m.Store(1, "a")
+	m.Store(NumShards+1, "b") // same shard as 1
+	m.Store(2, "c")
+	if v, ok := m.Load(1); !ok || v != "a" {
+		t.Errorf("Load(1) = %q, %v", v, ok)
+	}
+	if v, ok := m.Load(NumShards+1); !ok || v != "b" {
+		t.Errorf("Load(%d) = %q, %v", NumShards+1, v, ok)
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d, want 3", m.Len())
+	}
+	if v, ok := m.Delete(1); !ok || v != "a" {
+		t.Errorf("Delete(1) = %q, %v", v, ok)
+	}
+	if _, ok := m.Delete(1); ok {
+		t.Error("second Delete(1) reported ok")
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len after delete = %d, want 2", m.Len())
+	}
+}
+
+// TestDeleteIsDoubleFinishGuard is the property the engines rely on:
+// of N racing Delete calls for one id, exactly one observes ok=true.
+func TestDeleteIsDoubleFinishGuard(t *testing.T) {
+	m := New[int]()
+	for id := core.TxnID(1); id <= 100; id++ {
+		m.Store(id, int(id))
+	}
+	const racers = 8
+	wins := make([]int, racers)
+	var wg sync.WaitGroup
+	for r := 0; r < racers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for id := core.TxnID(1); id <= 100; id++ {
+				if _, ok := m.Delete(id); ok {
+					wins[r]++
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	total := 0
+	for _, w := range wins {
+		total += w
+	}
+	if total != 100 {
+		t.Errorf("%d total successful deletes, want exactly 100", total)
+	}
+}
+
+func TestMutate(t *testing.T) {
+	m := New[int]()
+	inc := func(v int, _ bool) (int, bool) { return v + 1, true }
+	m.Mutate(7, inc)
+	m.Mutate(7, inc)
+	if v, _ := m.Load(7); v != 2 {
+		t.Errorf("counter = %d, want 2", v)
+	}
+	// keep=false deletes.
+	m.Mutate(7, func(v int, ok bool) (int, bool) { return 0, false })
+	if _, ok := m.Load(7); ok {
+		t.Error("Mutate(keep=false) left the entry")
+	}
+	// keep=false on an absent entry is a no-op.
+	m.Mutate(8, func(v int, ok bool) (int, bool) {
+		if ok {
+			t.Error("absent entry reported present")
+		}
+		return 0, false
+	})
+	if m.Len() != 0 {
+		t.Errorf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New[int]()
+	for id := core.TxnID(1); id <= 200; id++ {
+		m.Store(id, 1)
+	}
+	sum := 0
+	m.Range(func(_ core.TxnID, v int) bool { sum += v; return true })
+	if sum != 200 {
+		t.Errorf("full Range visited %d entries, want 200", sum)
+	}
+	seen := 0
+	m.Range(func(_ core.TxnID, _ int) bool { seen++; return seen < 5 })
+	if seen != 5 {
+		t.Errorf("early-exit Range visited %d entries, want 5", seen)
+	}
+}
+
+// TestConcurrentChurn hammers all operations from many goroutines; run
+// under -race it is the package's data-race canary.
+func TestConcurrentChurn(t *testing.T) {
+	m := New[int]()
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := core.TxnID(w*perWorker + i)
+				m.Store(id, i)
+				m.Mutate(id, func(v int, ok bool) (int, bool) { return v + 1, true })
+				if v, ok := m.Load(id); !ok || v != i+1 {
+					t.Errorf("Load(%d) = %d, %v; want %d", id, v, ok, i+1)
+				}
+				_ = m.Len()
+				if _, ok := m.Delete(id); !ok {
+					t.Errorf("Delete(%d) missed own entry", id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 0 {
+		t.Errorf("Len = %d after churn, want 0", m.Len())
+	}
+}

@@ -18,13 +18,25 @@ type Conn struct {
 	bw  *bufio.Writer
 	buf []byte
 	// hdr and rbuf are the reused receive buffers: the frame header and
-	// the grow-only payload buffer ReadMessage decodes from, mirroring
-	// buf on the write side. Decoding copies everything it retains
-	// (strings, map entries), so reusing the backing array across
-	// messages is safe.
+	// the payload buffer ReadMessage decodes from, mirroring buf on the
+	// write side. Both payload buffers are capped at maxRetainedPayload;
+	// oversized frames use transient allocations instead of growing the
+	// retained buffers. Decoding copies everything it retains (strings,
+	// map entries), so reusing the backing array across messages is safe.
 	hdr  [8]byte
 	rbuf []byte
+	// rdr is the reused payload cursor. It lives on the Conn because the
+	// decodePayload call is dynamic dispatch, so a stack-local reader
+	// would escape and cost one allocation per frame.
+	rdr reader
 }
+
+// maxRetainedPayload caps how much buffer memory a Conn keeps between
+// frames. Frames up to this size reuse the retained buffers; larger
+// frames (possible up to MaxPayload) borrow a transient buffer that is
+// never retained, so one oversized Stats frame does not pin a megabyte
+// on every idle connection for its lifetime.
+const maxRetainedPayload = 64 << 10
 
 // NewConn wraps a byte stream (usually a net.Conn) in a message framer.
 func NewConn(rw io.ReadWriter) *Conn {
@@ -62,7 +74,11 @@ func (c *Conn) WriteMessage(m Message) error {
 		return fmt.Errorf("wire: %v payload of %d bytes exceeds limit", m.MsgType(), payloadLen)
 	}
 	binary.BigEndian.PutUint32(c.buf[4:8], uint32(payloadLen))
-	if _, err := c.bw.Write(c.buf); err != nil {
+	_, err := c.bw.Write(c.buf)
+	if cap(c.buf) > maxRetainedPayload+8 {
+		c.buf = nil
+	}
+	if err != nil {
 		return fmt.Errorf("wire: write %v: %w", m.MsgType(), err)
 	}
 	return c.bw.Flush()
@@ -92,10 +108,15 @@ func (c *Conn) ReadMessage() (Message, error) {
 	if n > MaxPayload {
 		return nil, fmt.Errorf("wire: %v payload of %d bytes exceeds limit", t, n)
 	}
-	if uint32(cap(c.rbuf)) < n {
-		c.rbuf = make([]byte, n)
+	var payload []byte
+	if n <= maxRetainedPayload {
+		if uint32(cap(c.rbuf)) < n {
+			c.rbuf = make([]byte, n)
+		}
+		payload = c.rbuf[:n]
+	} else {
+		payload = make([]byte, n)
 	}
-	payload := c.rbuf[:n]
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return nil, fmt.Errorf("wire: read %v payload: %w", t, err)
 	}
@@ -103,9 +124,10 @@ func (c *Conn) ReadMessage() (Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &reader{b: payload}
-	m.decodePayload(r)
-	if err := r.finish(t); err != nil {
+	c.rdr = reader{b: payload}
+	m.decodePayload(&c.rdr)
+	if err := c.rdr.finish(t); err != nil {
+		Recycle(m)
 		return nil, err
 	}
 	return m, nil

@@ -1,0 +1,80 @@
+package wire
+
+import "sync"
+
+// Message pooling: the server decodes one request and encodes one
+// response per round trip, and with synchronous RPC (§6) the previous
+// frame's structs are always dead by the time the next one arrives. The
+// decode factory therefore draws message structs from per-type pools and
+// Recycle returns them, so a steady-state request loop allocates nothing
+// for the messages themselves. Decoding copies everything it retains, so
+// a recycled struct never aliases connection buffers.
+//
+// Recycling is opt-in: code that stores a decoded message beyond the
+// round trip (clients keeping an *Error, tests inspecting responses)
+// simply never calls Recycle and the struct is garbage collected as
+// before. Recycle must not be called twice for the same message, and the
+// message must not be touched after it is recycled.
+
+// pools is indexed by MsgType. Entries without a constructor stay nil
+// and fall through to ErrUnknownMessage in the decode factory.
+var pools [MsgError + 1]*sync.Pool
+
+func init() {
+	mk := func(f func() Message) *sync.Pool {
+		return &sync.Pool{New: func() any { return f() }}
+	}
+	pools[MsgBegin] = mk(func() Message { return &Begin{} })
+	pools[MsgRead] = mk(func() Message { return &Read{} })
+	pools[MsgWrite] = mk(func() Message { return &Write{} })
+	pools[MsgCommit] = mk(func() Message { return &Commit{} })
+	pools[MsgAbort] = mk(func() Message { return &Abort{} })
+	pools[MsgSync] = mk(func() Message { return &Sync{} })
+	pools[MsgStats] = mk(func() Message { return &Stats{} })
+	pools[MsgBeginOK] = mk(func() Message { return &BeginOK{} })
+	pools[MsgValue] = mk(func() Message { return &Value{} })
+	pools[MsgOK] = mk(func() Message { return &OK{} })
+	pools[MsgSyncOK] = mk(func() Message { return &SyncOK{} })
+	pools[MsgStatsOK] = mk(func() Message { return &StatsOK{} })
+	pools[MsgError] = mk(func() Message { return &Error{} })
+}
+
+// Recycle resets a message to its zero value and returns it to the
+// decode pool. Safe for any message struct of this package, whether or
+// not it came from a pool; messages of unknown dynamic type are left to
+// the garbage collector.
+func Recycle(m Message) {
+	switch v := m.(type) {
+	case *Begin:
+		// Dropping the Spec maps is deliberate: decode allocates fresh
+		// maps per message, and Begin is off the per-operation hot path.
+		*v = Begin{}
+	case *Read:
+		*v = Read{}
+	case *Write:
+		*v = Write{}
+	case *Commit:
+		*v = Commit{}
+	case *Abort:
+		*v = Abort{}
+	case *Sync:
+		*v = Sync{}
+	case *Stats:
+		*v = Stats{}
+	case *BeginOK:
+		*v = BeginOK{}
+	case *Value:
+		*v = Value{}
+	case *OK:
+		*v = OK{}
+	case *SyncOK:
+		*v = SyncOK{}
+	case *StatsOK:
+		*v = StatsOK{}
+	case *Error:
+		*v = Error{}
+	default:
+		return
+	}
+	pools[m.MsgType()].Put(m)
+}

@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+)
+
+// TestRecycleResetsMessages pins the pooling contract: a recycled struct
+// handed out again by the decode factory must be indistinguishable from
+// a fresh one, field by field, including map and nested fields.
+func TestRecycleResetsMessages(t *testing.T) {
+	b := &Begin{Kind: core.Update, Timestamp: 42}
+	b.Spec = core.UnboundedSpec().WithGroup("g", 7).WithObject(3, 9)
+	Recycle(b)
+	if b.Kind != 0 || b.Timestamp != 0 || b.Spec.Transaction != 0 ||
+		b.Spec.Groups != nil || b.Spec.Objects != nil {
+		t.Errorf("recycled Begin not zeroed: %+v", *b)
+	}
+	w := &Write{Txn: 1, Object: 2, Delta: true, Value: 3}
+	Recycle(w)
+	if *w != (Write{}) {
+		t.Errorf("recycled Write not zeroed: %+v", *w)
+	}
+	e := &Error{Code: CodeAbort, Reason: metrics.AbortLateRead, Message: "boom"}
+	Recycle(e)
+	if *e != (Error{}) {
+		t.Errorf("recycled Error not zeroed: %+v", *e)
+	}
+	s := &StatsOK{Live: 5}
+	s.Snapshot.Begins = 9
+	s.Latencies[0].Sum = 1
+	Recycle(s)
+	if *s != (StatsOK{}) {
+		t.Errorf("recycled StatsOK not zeroed")
+	}
+}
+
+// TestDecodeSteadyStateAllocFree is the fast-path guarantee the server
+// loop relies on: with messages recycled after use, decoding allocates
+// nothing per frame in steady state.
+func TestDecodeSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; alloc counts are meaningless")
+	}
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := w.WriteMessage(&Write{Txn: 1, Object: 2, Value: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := buf.Bytes()
+	r := NewConn(readWriter{bytes.NewReader(raw)})
+	// Warm the conn buffer and the message pool outside the measurement.
+	m, err := r.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Recycle(m)
+	allocs := testing.AllocsPerRun(10, func() {
+		r.rw.(readWriter).Reader.Seek(0, 0)
+		r.br.Reset(r.rw)
+		for i := 0; i < n; i++ {
+			m, err := r.ReadMessage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			Recycle(m)
+		}
+	})
+	if perMsg := allocs / n; perMsg > 0 {
+		t.Errorf("steady-state decode allocates %.2f per message, want 0", perMsg)
+	}
+}
+
+// TestConnRetainedBuffersCapped pins the fix for the unbounded rbuf
+// growth: a frame larger than maxRetainedPayload must decode correctly
+// yet leave neither conn holding a buffer above the cap.
+func TestConnRetainedBuffersCapped(t *testing.T) {
+	// appendStr caps strings at 64KiB-1, which together with the code and
+	// reason bytes pushes the payload just past maxRetainedPayload.
+	big := &Error{Code: CodeGeneric, Message: strings.Repeat("x", 1<<16)}
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	if err := w.WriteMessage(big); err != nil {
+		t.Fatal(err)
+	}
+	if cap(w.buf) > maxRetainedPayload+8 {
+		t.Errorf("write side retains %d bytes after oversized frame, cap is %d",
+			cap(w.buf), maxRetainedPayload+8)
+	}
+	r := NewConn(&buf)
+	m, err := r.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.(*Error).Message; got != big.Message[:0xFFFF] {
+		t.Errorf("oversized frame corrupted: got %d bytes", len(got))
+	}
+	if cap(r.rbuf) > maxRetainedPayload {
+		t.Errorf("read side retains %d bytes after oversized frame, cap is %d",
+			cap(r.rbuf), maxRetainedPayload)
+	}
+	// The conn still works for ordinary frames afterwards.
+	if err := w.WriteMessage(&OK{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadMessage(); err != nil {
+		t.Fatal(err)
+	}
+}

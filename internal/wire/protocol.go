@@ -115,35 +115,16 @@ func (e *ErrUnknownMessage) Error() string {
 	return fmt.Sprintf("wire: unknown message type %d", uint8(e.Tag))
 }
 
-// newMessage constructs the empty message for a frame type.
+// newMessage constructs the empty message for a frame type, drawing
+// from the per-type pools (see pool.go). The switch enumerates every
+// frame type so the wireexhaustive analyzer can anchor its decode check
+// here; recycled structs are zeroed on Recycle, so a pooled message is
+// indistinguishable from a fresh one.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
-	case MsgBegin:
-		return &Begin{}, nil
-	case MsgRead:
-		return &Read{}, nil
-	case MsgWrite:
-		return &Write{}, nil
-	case MsgCommit:
-		return &Commit{}, nil
-	case MsgAbort:
-		return &Abort{}, nil
-	case MsgSync:
-		return &Sync{}, nil
-	case MsgStats:
-		return &Stats{}, nil
-	case MsgBeginOK:
-		return &BeginOK{}, nil
-	case MsgValue:
-		return &Value{}, nil
-	case MsgOK:
-		return &OK{}, nil
-	case MsgSyncOK:
-		return &SyncOK{}, nil
-	case MsgStatsOK:
-		return &StatsOK{}, nil
-	case MsgError:
-		return &Error{}, nil
+	case MsgBegin, MsgRead, MsgWrite, MsgCommit, MsgAbort, MsgSync, MsgStats,
+		MsgBeginOK, MsgValue, MsgOK, MsgSyncOK, MsgStatsOK, MsgError:
+		return pools[t].Get().(Message), nil
 	default:
 		return nil, &ErrUnknownMessage{Tag: t}
 	}

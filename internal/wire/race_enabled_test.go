@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is active. The detector
+// makes sync.Pool drop items at random to widen interleavings, so
+// alloc-count assertions that depend on pool hits are skipped under it.
+const raceEnabled = true

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh runs the hot-path micro-benchmarks and writes the results as
+# BENCH_hotpath.json, the machine-readable artifact CI archives so
+# per-commit ns/op and allocs/op are comparable across runs.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+out="${1:-BENCH_hotpath.json}"
+cd "$(dirname "$0")/.."
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'EngineHotPath|WireRoundTrip' -benchmem -benchtime=1s . | tee "$raw"
+
+# Standard benchmark lines look like:
+#   BenchmarkEngineHotPath/serial-8  123456  987.6 ns/op  296 B/op  2 allocs/op
+awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"ns_per_op\": %s", name, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"
