@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck check bench bench-all
+.PHONY: build test lint staticcheck check bench bench-all soak
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,14 @@ check:
 	$(MAKE) lint
 	$(MAKE) staticcheck
 	$(GO) test -race ./...
+
+# soak runs the fault-injection soak (DESIGN.md §9) under the race
+# detector: the banking workload over real TCP through drops, latency,
+# partial reads/writes and mid-frame resets, asserting zero leaked
+# goroutines/transactions and a conserved total balance. Short mode is
+# the CI gate; drop -short for the heavier schedules.
+soak:
+	$(GO) test -race -short -count=1 ./internal/soak/ ./internal/faultnet/
 
 # bench runs the hot-path micro-benchmarks and emits BENCH_hotpath.json
 # (archived by CI). `make bench-all` runs every benchmark including the

@@ -8,11 +8,18 @@
 //	esr-bench -fig 7 -duration 2s      # throughput vs MPL, longer cells
 //	esr-bench -fig 12 -csv out/        # OIL sweep, also write CSV
 //	esr-bench -paper-scale             # the prototype's wall-clock RPC regime
+//	esr-bench -soak                    # banking soak through a faulty network
 //
 // By default cells run on a deterministic virtual timeline (noise-free
 // and fast regardless of -duration); -paper-scale switches to the wall
 // clock with the prototype's 11 ms network + 6 ms service per operation,
 // reproducing the absolute tens-of-transactions-per-second regime.
+//
+// -soak runs the robustness soak instead of a figure: a zero-sum banking
+// workload over real TCP connections wrapped with the -fault-* schedule
+// (see internal/faultnet), ending in a graceful server shutdown and an
+// invariant check (no leaked transactions, conserved total balance).
+// With no -fault-* flags set it uses the default mixed-fault schedule.
 package main
 
 import (
@@ -25,6 +32,8 @@ import (
 
 	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/experiment"
+	"github.com/epsilondb/epsilondb/internal/faultnet"
+	"github.com/epsilondb/epsilondb/internal/soak"
 	"github.com/epsilondb/epsilondb/internal/workload"
 )
 
@@ -44,8 +53,21 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress lines")
 		seq        = flag.Bool("seq", false, "run sweep cells sequentially (disable the parallel worker pool)")
 		workers    = flag.Int("workers", 0, "sweep cells to run concurrently; 0 means GOMAXPROCS")
+
+		soakMode    = flag.Bool("soak", false, "run the fault-injection banking soak instead of a figure")
+		soakClients = flag.Int("soak-clients", 0, "soak: concurrent clients (0 means default)")
+		soakTxns    = flag.Int("soak-txns", 0, "soak: committed programs per client (0 means default)")
 	)
+	faultCfg := faultnet.RegisterFlags(flag.CommandLine, "fault")
 	flag.Parse()
+
+	if *soakMode {
+		if err := runSoak(*faultCfg, *soakClients, *soakTxns, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "esr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	switch {
 	case *seq:
@@ -108,6 +130,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "esr-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSoak drives the shared soak harness (internal/soak) from the
+// command line: the same schedule a test asserts on can be rerun — and
+// scaled up — against a binary.
+func runSoak(faults faultnet.Config, clients, txns int, seed int64) error {
+	if err := faults.Validate(); err != nil {
+		return err
+	}
+	cfg := soak.DefaultConfig()
+	cfg.Seed = seed
+	if faults.Enabled() {
+		cfg.Faults = faults
+	}
+	if clients > 0 {
+		cfg.Clients = clients
+	}
+	if txns > 0 {
+		cfg.TxnsPerClient = txns
+	}
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+	}
+	report, err := soak.Run(cfg)
+	if report != nil {
+		fmt.Println(report.String())
+	}
+	if err != nil {
+		return err
+	}
+	return report.Err()
 }
 
 type runner struct {

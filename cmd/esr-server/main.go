@@ -15,9 +15,19 @@
 // the abort-reason breakdown and per-path latency percentiles; -trace
 // appends every engine event to a JSONL file; -flight keeps a ring of the
 // last N events and dumps it to stderr when aborts cluster.
+//
+// Robustness: -idle-timeout drops connections whose client goes silent
+// mid-transaction (aborting their open transactions), -write-timeout
+// bounds response writes, and -shutdown-grace is how long SIGINT/SIGTERM
+// waits for in-flight requests to drain before cutting connections. The
+// -fault-* flags (see internal/faultnet) wrap every accepted connection
+// with a deterministic fault schedule — drops, added latency, partial
+// reads/writes, mid-frame resets — for robustness testing against a
+// live server.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/faultnet"
 	"github.com/epsilondb/epsilondb/internal/metrics"
 	"github.com/epsilondb/epsilondb/internal/server"
 	"github.com/epsilondb/epsilondb/internal/storage"
@@ -54,8 +65,17 @@ func main() {
 		debugAddr = flag.String("debug-addr", "", "serve expvar, pprof and /debug/esr on this address (empty disables)")
 		traceFile = flag.String("trace", "", "append engine trace events to this JSONL file")
 		flightN   = flag.Int("flight", 0, "keep the last N trace events in a flight recorder, dumped on abort storms")
+
+		idleTimeout   = flag.Duration("idle-timeout", 0, "drop connections idle this long, aborting their open txns (0 disables)")
+		writeTimeout  = flag.Duration("write-timeout", 0, "bound each response write (0 disables)")
+		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests to drain")
 	)
+	faultCfg := faultnet.RegisterFlags(flag.CommandLine, "fault")
 	flag.Parse()
+
+	if err := faultCfg.Validate(); err != nil {
+		log.Fatalf("esr-server: %v", err)
+	}
 
 	oilMin, oilMax, err := parseRange(*oilRange)
 	if err != nil {
@@ -108,7 +128,11 @@ func main() {
 	}
 
 	engine := tso.NewEngine(store, opts)
-	srv := server.New(engine, server.Options{SimulatedLatency: *latency})
+	srv := server.New(engine, server.Options{
+		SimulatedLatency: *latency,
+		IdleTimeout:      *idleTimeout,
+		WriteTimeout:     *writeTimeout,
+	})
 
 	if *debugAddr != "" {
 		dl, err := net.Listen("tcp", *debugAddr)
@@ -123,11 +147,21 @@ func main() {
 		}()
 	}
 
-	bound, err := srv.Listen(*addr)
+	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("esr-server: %v", err)
 	}
-	log.Printf("esr-server: %d objects loaded, listening on %s", store.Len(), bound)
+	var faultStats *faultnet.Stats
+	if faultCfg.Enabled() {
+		fl := faultnet.WrapListener(l, *faultCfg, nil)
+		faultStats = fl.Stats()
+		l = fl
+		log.Printf("esr-server: fault injection armed (seed %d)", faultCfg.Seed)
+	}
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("esr-server: %v", err)
+	}
+	log.Printf("esr-server: %d objects loaded, listening on %s", store.Len(), l.Addr())
 
 	if *stats > 0 {
 		go func() {
@@ -145,13 +179,20 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("esr-server: shutting down")
-	if err := srv.Close(); err != nil {
-		log.Printf("esr-server: close: %v", err)
+	log.Printf("esr-server: shutting down (grace %v)", *shutdownGrace)
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("esr-server: shutdown: %v", err)
 	}
 	s := col.Snapshot()
 	fmt.Printf("total: %d commits, %d aborts, %d ops, %d inconsistent ops\n",
 		s.Commits, s.Aborts(), s.TotalOps(), s.InconsistentOps())
+	if faultStats != nil {
+		fmt.Printf("faults injected: %d delays, %d drops, %d partials, %d resets\n",
+			faultStats.Delays.Load(), faultStats.Drops.Load(),
+			faultStats.Partials.Load(), faultStats.Resets.Load())
+	}
 }
 
 // parseRange parses "min:max", a single number, or "unlimited".

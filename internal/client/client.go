@@ -8,13 +8,27 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"sync/atomic"
+	"time"
 
 	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/metrics"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 	"github.com/epsilondb/epsilondb/internal/wire"
 )
+
+// ErrClientClosed is returned by every call on a Client after Close: a
+// closed client must fail with one recognizable error, not whatever raw
+// io.EOF or poll error the dead connection happens to produce.
+var ErrClientClosed = errors.New("client: closed")
+
+// ErrTxnFinished is returned by operations on a transaction attempt that
+// already committed or aborted. The client short-circuits these locally:
+// round-tripping to the server just to learn the transaction is gone
+// wastes an RPC and, under simulated per-operation latency, real time.
+var ErrTxnFinished = errors.New("client: transaction already finished")
 
 // AbortError is the client-side view of a server abort; the retry loop
 // catches it and resubmits.
@@ -49,21 +63,93 @@ type Options struct {
 	// SyncSamples is the number of round trips used to estimate the
 	// clock correction factor; zero means 4.
 	SyncSamples int
+	// CallTimeout bounds each synchronous RPC round trip (including the
+	// sync handshake probes). Zero means no deadline — the seed
+	// behavior, where a dropped response frame hangs the client forever.
+	// It only takes effect when the underlying stream supports
+	// deadlines (net.Conn does; in-process test pipes may not).
+	CallTimeout time.Duration
+	// Dialer overrides how Dial opens the connection; nil means
+	// net.Dial("tcp", addr). Fault-injection harnesses use this to
+	// interpose faultnet wrappers.
+	Dialer func(addr string) (net.Conn, error)
+	// Backoff bounds the retry delays of RunRetry; nil means
+	// DefaultBackoff(). An explicit &Backoff{} (zero Base) disables
+	// backoff entirely.
+	Backoff *Backoff
+}
+
+// Backoff is a bounded exponential backoff schedule with jitter. After
+// the n-th consecutive abort RunRetry sleeps for Base·2ⁿ⁻¹ capped at
+// Max, with the final delay drawn uniformly from [(1−Jitter)·d, d].
+// Without it, abort storms in the low-epsilon regime (the paper's
+// Figure 9 shows aborts climbing steeply as epsilon shrinks) degenerate
+// into livelock: every client resubmits instantly with a fresh — and
+// instantly late — timestamp.
+type Backoff struct {
+	// Base is the first delay; zero disables backoff.
+	Base time.Duration
+	// Max caps the delay; zero means no cap.
+	Max time.Duration
+	// Jitter is the fraction of each delay randomized away, in [0, 1].
+	// Jitter decorrelates clients that aborted on the same conflict, so
+	// they do not retry in lockstep and collide again.
+	Jitter float64
+}
+
+// DefaultBackoff is the schedule used when Options.Backoff is nil:
+// sub-millisecond first retry, capped well below the paper's RPC
+// latency scale so throughput experiments stay comparable.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 250 * time.Microsecond, Max: 25 * time.Millisecond, Jitter: 0.5}
+}
+
+// Delay returns the sleep before retry attempt n (1-based: n is the
+// number of aborts seen so far). rng may be nil for a jitter-free
+// schedule.
+func (b Backoff) Delay(n int, rng *rand.Rand) time.Duration {
+	if b.Base <= 0 || n <= 0 {
+		return 0
+	}
+	d := b.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 && rng != nil {
+		lo := float64(d) * (1 - b.Jitter)
+		d = time.Duration(lo + rng.Float64()*(float64(d)-lo))
+	}
+	return d
 }
 
 // Client is one transaction client: a connection plus a synchronized
 // timestamp generator. It is not safe for concurrent use — the
 // prototype's clients are single-threaded and its RPC synchronous.
 type Client struct {
-	conn *wire.Conn
-	gen  *tsgen.Generator
-	site int
+	conn        *wire.Conn
+	gen         *tsgen.Generator
+	site        int
+	callTimeout time.Duration
+	backoff     Backoff
+	rng         *rand.Rand // jitter source, seeded by site for determinism
+	closed      atomic.Bool
 }
 
 // Dial connects to a server, performs the clock-synchronization
 // handshake, and returns a ready client.
 func Dial(addr string, opts Options) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	dial := opts.Dialer
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	nc, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
@@ -86,7 +172,18 @@ func newClient(conn *wire.Conn, opts Options) (*Client, error) {
 	if clock == nil {
 		clock = tsgen.WallClock{}
 	}
-	c := &Client{conn: conn, gen: tsgen.NewGenerator(opts.Site, clock), site: opts.Site}
+	backoff := DefaultBackoff()
+	if opts.Backoff != nil {
+		backoff = *opts.Backoff
+	}
+	c := &Client{
+		conn:        conn,
+		gen:         tsgen.NewGenerator(opts.Site, clock),
+		site:        opts.Site,
+		callTimeout: opts.CallTimeout,
+		backoff:     backoff,
+		rng:         rand.New(rand.NewSource(int64(opts.Site)*104729 + 1)),
+	}
 	samples := opts.SyncSamples
 	if samples <= 0 {
 		samples = 4
@@ -96,7 +193,7 @@ func newClient(conn *wire.Conn, opts Options) (*Client, error) {
 	var total int64
 	for i := 0; i < samples; i++ {
 		local := clock.Now()
-		resp, err := c.conn.Call(&wire.Sync{ClientTicks: local})
+		resp, err := c.callWire(&wire.Sync{ClientTicks: local})
 		if err != nil {
 			return nil, fmt.Errorf("client: clock sync: %w", err)
 		}
@@ -110,8 +207,15 @@ func newClient(conn *wire.Conn, opts Options) (*Client, error) {
 	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. It is idempotent: the first call closes
+// and reports any close error, later calls return nil. Calls issued
+// after (or racing with) Close fail with ErrClientClosed.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return c.conn.Close()
+}
 
 // Site returns the client's site id.
 func (c *Client) Site() int { return c.site }
@@ -119,9 +223,34 @@ func (c *Client) Site() int { return c.site }
 // Correction returns the installed clock correction factor.
 func (c *Client) Correction() int64 { return c.gen.Correction() }
 
+// callWire performs one deadline-bounded round trip on the wire without
+// error classification (the sync handshake runs before call's abort
+// mapping is meaningful).
+func (c *Client) callWire(req wire.Message) (wire.Message, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if c.callTimeout > 0 {
+		if c.conn.SetDeadline(time.Now().Add(c.callTimeout)) {
+			defer c.conn.SetDeadline(time.Time{})
+		}
+	}
+	resp, err := c.conn.Call(req)
+	if err != nil && c.closed.Load() {
+		// A concurrent Close tore the connection under this call; the
+		// raw read/write error (io.EOF, "use of closed network
+		// connection") is an artifact of the teardown, not the fault.
+		var we *wire.Error
+		if !errors.As(err, &we) {
+			return nil, ErrClientClosed
+		}
+	}
+	return resp, err
+}
+
 // call sends a request and converts abort responses to AbortError.
 func (c *Client) call(req wire.Message) (wire.Message, error) {
-	resp, err := c.conn.Call(req)
+	resp, err := c.callWire(req)
 	if err == nil {
 		return resp, nil
 	}
@@ -155,6 +284,9 @@ func (c *Client) Begin(kind core.Kind, spec core.BoundSpec) (*Txn, error) {
 
 // Read reads one object.
 func (t *Txn) Read(obj core.ObjectID) (core.Value, error) {
+	if t.done {
+		return 0, ErrTxnFinished
+	}
 	resp, err := t.c.call(&wire.Read{Txn: t.id, Object: obj})
 	if err != nil {
 		t.noteIfAbort(err)
@@ -179,6 +311,9 @@ func (t *Txn) WriteDelta(obj core.ObjectID, delta core.Value) (core.Value, error
 }
 
 func (t *Txn) writeMsg(m *wire.Write) (core.Value, error) {
+	if t.done {
+		return 0, ErrTxnFinished
+	}
 	resp, err := t.c.call(m)
 	if err != nil {
 		t.noteIfAbort(err)
@@ -194,7 +329,7 @@ func (t *Txn) writeMsg(m *wire.Write) (core.Value, error) {
 // Commit finishes the attempt.
 func (t *Txn) Commit() error {
 	if t.done {
-		return errors.New("client: transaction already finished")
+		return ErrTxnFinished
 	}
 	_, err := t.c.call(&wire.Commit{Txn: t.id})
 	if err == nil {
@@ -283,6 +418,11 @@ func runOps(t *Txn, p *core.Program) (*Result, error) {
 // abort with a fresh timestamp — the client loop of §6. maxAttempts caps
 // retries; zero means unlimited. It returns the result and the number of
 // attempts made.
+//
+// Between attempts it sleeps per the client's Backoff schedule. The seed
+// prototype retried immediately; at low epsilon that turns the Figure 9
+// abort climb into a hot loop where every client's resubmission is
+// instantly late again.
 func (c *Client) RunRetry(p *core.Program, maxAttempts int) (*Result, int, error) {
 	attempts := 0
 	for {
@@ -296,6 +436,9 @@ func (c *Client) RunRetry(p *core.Program, maxAttempts int) (*Result, int, error
 		}
 		if maxAttempts > 0 && attempts >= maxAttempts {
 			return nil, attempts, err
+		}
+		if d := c.backoff.Delay(attempts, c.rng); d > 0 {
+			time.Sleep(d)
 		}
 	}
 }

@@ -1,0 +1,367 @@
+// Package faultnet injects network faults into a net.Conn: added
+// latency, partial reads and writes, silently dropped frames, and
+// mid-frame connection resets. The paper's prototype (and the seed of
+// this reproduction) assumes a well-behaved client–server network; the
+// robustness layer earns its guarantees only under adversarial
+// schedules, so this package makes the failure modes reproducible.
+//
+// All randomness comes from a seeded generator: the same Config (same
+// Seed) over the same traffic injects the same fault sequence, which is
+// what lets the soak tests assert exact outcomes and lets a flaky run be
+// replayed. Wrappers derive one sub-generator per connection (seed +
+// connection index), so per-connection schedules stay deterministic even
+// when connections are accepted or dialed concurrently.
+//
+// Faults are configured per direction — a read-side stall and a
+// write-side drop are different failures — and per call count, which for
+// this repo's wire protocol is per message: one WriteMessage is one
+// buffered flush, i.e. one Write on the wrapped conn, and frames are
+// small enough that the bufio layers never split them.
+package faultnet
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand"
+)
+
+// Config describes the fault schedule for one connection (or, via
+// WrapListener/Dialer, for every connection of an endpoint).
+// The zero value injects nothing.
+type Config struct {
+	// Seed feeds the deterministic fault generator. Connections wrapped
+	// through WrapListener or Dialer use Seed+i for the i-th connection.
+	Seed int64
+
+	// ReadLatency and WriteLatency are added before each read or write
+	// on the wrapped conn. Latency simulates a slow or congested path;
+	// it is the fault that read/write deadlines exist to bound.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	// LatencyJitter randomizes each injected delay uniformly within
+	// ±(jitter × latency); 0 means fixed delays, 1 means anywhere in
+	// [0, 2×latency].
+	LatencyJitter float64
+
+	// DropEveryWrite silently discards every Nth write: the caller sees
+	// success, the peer sees nothing. With a synchronous RPC protocol a
+	// dropped request (or response) strands the peer mid-call — the
+	// fault client call deadlines exist to bound. Zero disables.
+	DropEveryWrite int
+	// DropProb drops each write independently with this probability.
+	DropProb float64
+
+	// PartialReadMax caps the bytes returned by one read; the peer's
+	// frames arrive fragmented, exercising every io.ReadFull resume
+	// path. Zero disables.
+	PartialReadMax int
+	// PartialWriteMax splits writes into chunks of at most this many
+	// bytes (each chunk its own write on the wrapped conn, so chunks
+	// interleave with injected latency). Zero disables.
+	PartialWriteMax int
+
+	// ResetAfterWrites hard-closes the connection in the middle of the
+	// Nth write: half the buffer is written, then the conn is torn down
+	// and the write fails. The peer sees a truncated frame — the
+	// "mid-frame reset" the wire layer must survive. Zero disables.
+	ResetAfterWrites int
+	// ResetAfterReads hard-closes the connection on the Nth read before
+	// any bytes are returned. Zero disables.
+	ResetAfterReads int
+	// ResetProb resets each write independently with this probability.
+	ResetProb float64
+
+	// CountOffset advances the connection's read/write counters before
+	// the first call, shifting the phase of every count-based trigger.
+	// WrapListener and Dialer derive it per connection (connection
+	// index modulo the smallest configured count): without the stagger,
+	// a client that reconnects and replays the same frames hits the
+	// same deterministic reset at the same frame every time — a
+	// livelock no retry policy can escape.
+	CountOffset int
+}
+
+// Enabled reports whether the config injects any fault at all.
+func (c Config) Enabled() bool {
+	return c.ReadLatency > 0 || c.WriteLatency > 0 ||
+		c.DropEveryWrite > 0 || c.DropProb > 0 ||
+		c.PartialReadMax > 0 || c.PartialWriteMax > 0 ||
+		c.ResetAfterWrites > 0 || c.ResetAfterReads > 0 || c.ResetProb > 0
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.LatencyJitter < 0 || c.LatencyJitter > 1:
+		return fmt.Errorf("faultnet: LatencyJitter %g outside [0, 1]", c.LatencyJitter)
+	case c.DropProb < 0 || c.DropProb > 1:
+		return fmt.Errorf("faultnet: DropProb %g outside [0, 1]", c.DropProb)
+	case c.ResetProb < 0 || c.ResetProb > 1:
+		return fmt.Errorf("faultnet: ResetProb %g outside [0, 1]", c.ResetProb)
+	case c.ReadLatency < 0 || c.WriteLatency < 0:
+		return fmt.Errorf("faultnet: negative latency")
+	case c.DropEveryWrite < 0 || c.PartialReadMax < 0 || c.PartialWriteMax < 0 ||
+		c.ResetAfterWrites < 0 || c.ResetAfterReads < 0:
+		return fmt.Errorf("faultnet: negative fault count")
+	}
+	return nil
+}
+
+// Stats counts the faults a wrapper (or a family of wrappers sharing it)
+// actually injected. Tests use it to prove the schedule fired.
+type Stats struct {
+	Delays   atomic.Int64 // latency injections
+	Drops    atomic.Int64 // silently discarded writes
+	Partials atomic.Int64 // reads/writes split or truncated
+	Resets   atomic.Int64 // connections torn down mid-frame
+}
+
+// Total returns the number of injected faults of every kind.
+func (s *Stats) Total() int64 {
+	return s.Delays.Load() + s.Drops.Load() + s.Partials.Load() + s.Resets.Load()
+}
+
+// ErrInjectedReset is returned from reads and writes that failed because
+// the fault schedule reset the connection.
+var ErrInjectedReset = &net.OpError{Op: "faultnet", Err: errReset{}}
+
+type errReset struct{}
+
+func (errReset) Error() string   { return "injected connection reset" }
+func (errReset) Timeout() bool   { return false }
+func (errReset) Temporary() bool { return false }
+
+// Conn wraps a net.Conn with a fault schedule. It forwards deadlines and
+// addresses, so the wrapped conn is a drop-in net.Conn for the server's
+// and client's timeout machinery. Reads and writes may be concurrent
+// with each other (as on any net.Conn); the fault generator is locked.
+type Conn struct {
+	nc    net.Conn
+	cfg   Config
+	stats *Stats
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	reads  int
+	writes int
+}
+
+// Wrap returns nc with the fault schedule applied. stats may be nil.
+func Wrap(nc net.Conn, cfg Config, stats *Stats) *Conn {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Conn{
+		nc:     nc,
+		cfg:    cfg,
+		stats:  stats,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		reads:  cfg.CountOffset,
+		writes: cfg.CountOffset,
+	}
+}
+
+// minCount returns the smallest positive count-based trigger — the
+// stagger modulus. Offsets stay below every configured trigger so a
+// staggered connection can never start past one and skip it.
+func (c Config) minCount() int {
+	m := 0
+	for _, v := range [...]int{c.DropEveryWrite, c.ResetAfterWrites, c.ResetAfterReads} {
+		if v > 0 && (m == 0 || v < m) {
+			m = v
+		}
+	}
+	return m
+}
+
+// derive specializes the endpoint config for its i-th connection: a
+// distinct generator seed and a staggered counter phase.
+func (c Config) derive(i int64) Config {
+	c.Seed += i
+	if m := c.minCount(); m > 0 {
+		c.CountOffset += int(i % int64(m))
+	}
+	return c
+}
+
+// Stats returns the fault counters this conn reports into.
+func (c *Conn) Stats() *Stats { return c.stats }
+
+// delay sleeps for the configured injected latency, jittered by the
+// seeded generator. Generator draws happen under the lock so concurrent
+// reads and writes cannot interleave them mid-decision.
+func (c *Conn) delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.cfg.LatencyJitter > 0 {
+		c.mu.Lock()
+		f := 1 + c.cfg.LatencyJitter*(2*c.rng.Float64()-1)
+		c.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	c.stats.Delays.Add(1)
+	time.Sleep(d)
+}
+
+// Read implements net.Conn with read-side faults: latency, mid-frame
+// resets, and partial reads.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	c.reads++
+	reset := c.cfg.ResetAfterReads > 0 && c.reads == c.cfg.ResetAfterReads
+	c.mu.Unlock()
+	c.delay(c.cfg.ReadLatency)
+	if reset {
+		c.stats.Resets.Add(1)
+		c.nc.Close()
+		return 0, ErrInjectedReset
+	}
+	if max := c.cfg.PartialReadMax; max > 0 && len(p) > max {
+		c.stats.Partials.Add(1)
+		p = p[:max]
+	}
+	return c.nc.Read(p)
+}
+
+// Write implements net.Conn with write-side faults: latency, silent
+// drops, mid-frame resets, and chunked writes.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	drop := c.cfg.DropEveryWrite > 0 && c.writes%c.cfg.DropEveryWrite == 0
+	if !drop && c.cfg.DropProb > 0 {
+		drop = c.rng.Float64() < c.cfg.DropProb
+	}
+	reset := c.cfg.ResetAfterWrites > 0 && c.writes == c.cfg.ResetAfterWrites
+	if !reset && c.cfg.ResetProb > 0 {
+		reset = c.rng.Float64() < c.cfg.ResetProb
+	}
+	c.mu.Unlock()
+
+	c.delay(c.cfg.WriteLatency)
+	switch {
+	case drop:
+		// The caller believes the bytes left; the peer never sees them.
+		c.stats.Drops.Add(1)
+		return len(p), nil
+	case reset:
+		// Tear the frame: half the payload reaches the peer, then the
+		// conn dies under the writer.
+		c.stats.Resets.Add(1)
+		if n := len(p) / 2; n > 0 {
+			c.nc.Write(p[:n]) //nolint:errcheck // best-effort torn prefix
+		}
+		c.nc.Close()
+		return 0, ErrInjectedReset
+	}
+	if max := c.cfg.PartialWriteMax; max > 0 && len(p) > max {
+		c.stats.Partials.Add(1)
+		var total int
+		for len(p) > 0 {
+			chunk := p
+			if len(chunk) > max {
+				chunk = chunk[:max]
+			}
+			n, err := c.nc.Write(chunk)
+			total += n
+			if err != nil {
+				return total, err
+			}
+			p = p[n:]
+		}
+		return total, nil
+	}
+	return c.nc.Write(p)
+}
+
+// Close closes the wrapped conn.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// LocalAddr returns the wrapped conn's local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr returns the wrapped conn's remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetDeadline forwards to the wrapped conn.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// SetReadDeadline forwards to the wrapped conn.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// SetWriteDeadline forwards to the wrapped conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }
+
+// Listener wraps every accepted connection with the fault schedule,
+// deriving per-connection seeds so accept order does not perturb any
+// one connection's schedule.
+type Listener struct {
+	net.Listener
+	cfg   Config
+	stats *Stats
+	n     atomic.Int64
+}
+
+// WrapListener returns l with every accepted conn fault-wrapped. A nil
+// stats allocates a fresh counter set shared by all accepted conns.
+func WrapListener(l net.Listener, cfg Config, stats *Stats) *Listener {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Listener{Listener: l, cfg: cfg, stats: stats}
+}
+
+// Stats returns the shared fault counters of all accepted conns.
+func (l *Listener) Stats() *Stats { return l.stats }
+
+// Accept wraps the next accepted connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(nc, l.cfg.derive(l.n.Add(1)-1), l.stats), nil
+}
+
+// Dialer returns a dial function that fault-wraps every connection it
+// opens, deriving per-connection seeds. It matches the client package's
+// Options.Dialer signature. A nil stats allocates a fresh shared set.
+func Dialer(cfg Config, stats *Stats) func(addr string) (net.Conn, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	var n atomic.Int64
+	return func(addr string) (net.Conn, error) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(nc, cfg.derive(n.Add(1)-1), stats), nil
+	}
+}
+
+// RegisterFlags registers the -<prefix>-* fault-injection flags on fs
+// and returns the Config they populate. The esr-server and esr-bench
+// binaries share this set so a schedule reproduced in one is expressible
+// in the other.
+func RegisterFlags(fs *flag.FlagSet, prefix string) *Config {
+	cfg := &Config{}
+	fs.Int64Var(&cfg.Seed, prefix+"-seed", 1, "fault schedule seed")
+	fs.DurationVar(&cfg.ReadLatency, prefix+"-read-latency", 0, "injected latency before each read")
+	fs.DurationVar(&cfg.WriteLatency, prefix+"-write-latency", 0, "injected latency before each write")
+	fs.Float64Var(&cfg.LatencyJitter, prefix+"-jitter", 0, "latency jitter fraction in [0,1]")
+	fs.IntVar(&cfg.DropEveryWrite, prefix+"-drop-every", 0, "silently drop every Nth write (0 disables)")
+	fs.Float64Var(&cfg.DropProb, prefix+"-drop-prob", 0, "probability of silently dropping each write")
+	fs.IntVar(&cfg.PartialReadMax, prefix+"-partial-read", 0, "max bytes returned per read (0 disables)")
+	fs.IntVar(&cfg.PartialWriteMax, prefix+"-partial-write", 0, "max bytes written per chunk (0 disables)")
+	fs.IntVar(&cfg.ResetAfterWrites, prefix+"-reset-after-writes", 0, "reset the conn mid-frame on the Nth write (0 disables)")
+	fs.IntVar(&cfg.ResetAfterReads, prefix+"-reset-after-reads", 0, "reset the conn on the Nth read (0 disables)")
+	fs.Float64Var(&cfg.ResetProb, prefix+"-reset-prob", 0, "probability of resetting the conn on each write")
+	return cfg
+}

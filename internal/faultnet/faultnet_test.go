@@ -1,0 +1,320 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns both ends of an in-memory duplex conn, the a-side wrapped
+// with cfg.
+func pipe(t *testing.T, cfg Config) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return Wrap(a, cfg, nil), b
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero Config reports Enabled")
+	}
+	fc, peer := pipe(t, Config{})
+	go func() {
+		fc.Write([]byte("hello"))
+	}()
+	buf := make([]byte, 16)
+	n, err := peer.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("Read = %q, %v", buf[:n], err)
+	}
+	if fc.Stats().Total() != 0 {
+		t.Errorf("faults injected by zero config: %+v", fc.Stats())
+	}
+}
+
+func TestDropEveryWriteIsSilent(t *testing.T) {
+	fc, peer := pipe(t, Config{DropEveryWrite: 2})
+	got := make(chan string, 4)
+	go func() {
+		buf := make([]byte, 16)
+		for {
+			n, err := peer.Read(buf)
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- string(buf[:n])
+		}
+	}()
+	for _, msg := range []string{"one", "two", "three", "four"} {
+		n, err := fc.Write([]byte(msg))
+		if err != nil || n != len(msg) {
+			t.Fatalf("Write(%q) = %d, %v — drops must look like success", msg, n, err)
+		}
+	}
+	fc.Close()
+	var delivered []string
+	for s := range got {
+		delivered = append(delivered, s)
+	}
+	if len(delivered) != 2 || delivered[0] != "one" || delivered[1] != "three" {
+		t.Errorf("delivered = %v, want [one three]", delivered)
+	}
+	if d := fc.Stats().Drops.Load(); d != 2 {
+		t.Errorf("Drops = %d, want 2", d)
+	}
+}
+
+func TestPartialReadsFragmentButDeliver(t *testing.T) {
+	fc, peer := pipe(t, Config{PartialReadMax: 3})
+	payload := []byte("abcdefghij")
+	go func() {
+		peer.Write(payload)
+		peer.Close()
+	}()
+	var gotBuf bytes.Buffer
+	buf := make([]byte, 64)
+	reads := 0
+	for {
+		n, err := fc.Read(buf)
+		gotBuf.Write(buf[:n])
+		if err != nil {
+			break
+		}
+		reads++
+		if n > 3 {
+			t.Fatalf("single read returned %d bytes, cap is 3", n)
+		}
+	}
+	if !bytes.Equal(gotBuf.Bytes(), payload) {
+		t.Errorf("reassembled %q, want %q", gotBuf.Bytes(), payload)
+	}
+	if reads < 4 {
+		t.Errorf("payload of 10 arrived in %d reads, want ≥4 fragments", reads)
+	}
+}
+
+func TestPartialWritesChunkButDeliver(t *testing.T) {
+	fc, peer := pipe(t, Config{PartialWriteMax: 4})
+	payload := []byte("0123456789abcdef")
+	go func() {
+		n, err := fc.Write(payload)
+		if err != nil || n != len(payload) {
+			t.Errorf("Write = %d, %v", n, err)
+		}
+		fc.Close()
+	}()
+	got, err := io.ReadAll(peer)
+	if err != nil && err != io.EOF && !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("peer saw %q, want %q", got, payload)
+	}
+	if p := fc.Stats().Partials.Load(); p == 0 {
+		t.Error("no partial faults counted")
+	}
+}
+
+func TestResetAfterWritesTearsMidFrame(t *testing.T) {
+	fc, peer := pipe(t, Config{ResetAfterWrites: 2})
+	got := make(chan []byte, 1)
+	go func() {
+		b, _ := io.ReadAll(peer)
+		got <- b
+	}()
+	if _, err := fc.Write([]byte("intact")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fc.Write([]byte("torn-apart"))
+	if err == nil {
+		t.Fatal("reset write succeeded")
+	}
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("err = %v, want ErrInjectedReset", err)
+	}
+	if n != 0 {
+		t.Errorf("reset write reported %d bytes", n)
+	}
+	// The peer saw the first message plus a strict prefix of the second.
+	b := <-got
+	if !bytes.HasPrefix(b, []byte("intact")) {
+		t.Errorf("peer saw %q, want prefix \"intact\"", b)
+	}
+	if rest := b[len("intact"):]; len(rest) == 0 || len(rest) >= len("torn-apart") {
+		t.Errorf("torn frame delivered %q (%d bytes), want non-empty strict prefix", rest, len(rest))
+	}
+	// The conn is dead: further writes fail.
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Error("write after reset succeeded")
+	}
+}
+
+func TestResetAfterReads(t *testing.T) {
+	fc, peer := pipe(t, Config{ResetAfterReads: 1})
+	go peer.Write([]byte("never seen"))
+	_, err := fc.Read(make([]byte, 16))
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("Read err = %v, want ErrInjectedReset", err)
+	}
+	if r := fc.Stats().Resets.Load(); r != 1 {
+		t.Errorf("Resets = %d, want 1", r)
+	}
+}
+
+func TestLatencyDelaysAndCounts(t *testing.T) {
+	fc, peer := pipe(t, Config{WriteLatency: 20 * time.Millisecond})
+	done := make(chan struct{})
+	go func() {
+		io.ReadAll(peer)
+		close(done)
+	}()
+	start := time.Now()
+	if _, err := fc.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("write took %v, want ≥20ms injected latency", elapsed)
+	}
+	fc.Close()
+	<-done
+	if d := fc.Stats().Delays.Load(); d != 1 {
+		t.Errorf("Delays = %d, want 1", d)
+	}
+}
+
+// TestSeededDeterminism pins that two conns with the same seed make the
+// same probabilistic drop decisions over the same traffic.
+func TestSeededDeterminism(t *testing.T) {
+	run := func(seed int64) []bool {
+		a, b := net.Pipe()
+		defer a.Close()
+		go io.Copy(io.Discard, b) //nolint:errcheck
+		fc := Wrap(a, Config{Seed: seed, DropProb: 0.5}, nil)
+		pattern := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			before := fc.Stats().Drops.Load()
+			fc.Write([]byte("m"))
+			pattern = append(pattern, fc.Stats().Drops.Load() > before)
+		}
+		return pattern
+	}
+	p1, p2 := run(7), run(7)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("same seed diverged at write %d", i)
+		}
+	}
+	diff := run(8)
+	same := true
+	for i := range p1 {
+		if p1[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 64-write drop patterns")
+	}
+}
+
+func TestListenerDerivesPerConnSeeds(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := WrapListener(base, Config{Seed: 1, DropProb: 0.3}, nil)
+	defer l.Close()
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		nc, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+	}
+	c1 := (<-accepted).(*Conn)
+	c2 := (<-accepted).(*Conn)
+	defer c1.Close()
+	defer c2.Close()
+	if c1.cfg.Seed == c2.cfg.Seed {
+		t.Errorf("both accepted conns share seed %d", c1.cfg.Seed)
+	}
+	if c1.Stats() != c2.Stats() {
+		t.Error("accepted conns do not share the listener's stats")
+	}
+}
+
+// TestDerivedConnsStaggerCountTriggers pins the anti-livelock property:
+// consecutive connections from one endpoint hit their count-based reset
+// at different points, so a client that reconnects and replays the same
+// frames cannot die at the same frame on every attempt.
+func TestDerivedConnsStaggerCountTriggers(t *testing.T) {
+	cfg := Config{Seed: 1, ResetAfterWrites: 8}
+	d0, d1 := cfg.derive(0), cfg.derive(1)
+	if d0.CountOffset == d1.CountOffset {
+		t.Fatalf("consecutive derived conns share count offset %d", d0.CountOffset)
+	}
+	resetAt := func(c Config) int {
+		a, b := net.Pipe()
+		defer a.Close()
+		go io.Copy(io.Discard, b) //nolint:errcheck
+		fc := Wrap(a, c, nil)
+		for i := 1; i <= c.ResetAfterWrites; i++ {
+			if _, err := fc.Write([]byte("m")); err != nil {
+				return i
+			}
+		}
+		t.Fatalf("offset %d: no reset within %d writes", c.CountOffset, c.ResetAfterWrites)
+		return 0
+	}
+	if r0, r1 := resetAt(d0), resetAt(d1); r0 == r1 {
+		t.Errorf("derived conns both reset on write %d", r0)
+	}
+	// The offset never reaches the trigger, so every conn still resets.
+	if d7 := cfg.derive(7); d7.CountOffset >= cfg.ResetAfterWrites {
+		t.Errorf("derive(7) offset %d ≥ trigger %d — reset would never fire", d7.CountOffset, cfg.ResetAfterWrites)
+	}
+}
+
+func TestRegisterFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterFlags(fs, "fault")
+	err := fs.Parse([]string{
+		"-fault-seed", "9",
+		"-fault-read-latency", "5ms",
+		"-fault-drop-every", "3",
+		"-fault-reset-after-writes", "11",
+		"-fault-jitter", "0.25",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.ReadLatency != 5*time.Millisecond ||
+		cfg.DropEveryWrite != 3 || cfg.ResetAfterWrites != 11 || cfg.LatencyJitter != 0.25 {
+		t.Errorf("parsed config = %+v", cfg)
+	}
+	if !cfg.Enabled() {
+		t.Error("parsed config reports disabled")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := (Config{DropProb: 1.5}).Validate(); err == nil {
+		t.Error("Validate accepted DropProb 1.5")
+	}
+}

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,6 +42,22 @@ type Options struct {
 	Clock tsgen.Clock
 	// Logf receives connection-level diagnostics; nil uses log.Printf.
 	Logf func(format string, args ...any)
+	// IdleTimeout bounds the wait for the next request on a connection.
+	// A client that dies mid-transaction without breaking the TCP
+	// stream (network partition, frozen process, a dropped request
+	// frame) would otherwise pin its open transactions — and every
+	// conflicting operation behind their pending writes — forever. On
+	// expiry the connection is dropped and its open transactions
+	// aborted. Zero disables (the seed behavior).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response; a peer that stops
+	// reading cannot wedge the connection goroutine once the kernel
+	// buffer fills. Zero disables.
+	WriteTimeout time.Duration
+	// WrapConn, when non-nil, wraps every accepted connection before it
+	// is served — the hook the fault-injection harness uses. The
+	// wrapper must forward deadlines and Close.
+	WrapConn func(net.Conn) net.Conn
 }
 
 // Server accepts client connections and serves the five basic operations
@@ -48,6 +65,10 @@ type Options struct {
 type Server struct {
 	engine *tso.Engine
 	opts   Options
+
+	// drain is closed when shutdown begins: connection goroutines stop
+	// picking up new requests, the accept loop stops backoff waits.
+	drain chan struct{}
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -64,7 +85,12 @@ func New(engine *tso.Engine, opts Options) *Server {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
-	return &Server{engine: engine, opts: opts, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		engine: engine,
+		opts:   opts,
+		conns:  make(map[net.Conn]struct{}),
+		drain:  make(chan struct{}),
+	}
 }
 
 // Engine exposes the underlying engine (used by embedded deployments and
@@ -78,26 +104,66 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.Serve(l); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return l.Addr(), nil
+}
+
+// Serve starts accepting on an existing listener (Listen with a caller-
+// built listener — fault-injecting wrappers, systemd sockets, tests).
+// It returns immediately; the accept loop runs until Shutdown or Close.
+func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		l.Close()
-		return nil, errors.New("server: already closed")
+		return errors.New("server: already closed")
 	}
 	s.listener = l
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(l)
-	return l.Addr(), nil
+	return nil
 }
 
-// acceptLoop accepts connections until the listener closes.
+// acceptBackoffMax caps the accept-loop retry delay.
+const acceptBackoffMax = time.Second
+
+// acceptLoop accepts connections until the listener closes. A failed
+// Accept is fatal only when it means the listener is gone (net.ErrClosed
+// on shutdown); anything else — EMFILE under fd exhaustion,
+// ECONNABORTED from a peer that gave up in the backlog — is transient,
+// and treating it as fatal (or retrying it hot) would let one overload
+// spike take the whole endpoint down. Transient errors are logged and
+// retried under exponential backoff that resets on the next success.
 func (s *Server) acceptLoop(l net.Listener) {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			s.opts.Logf("server: accept: %v (retrying in %v)", err, backoff)
+			timer := time.NewTimer(backoff)
+			select {
+			case <-s.drain:
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+			continue
+		}
+		backoff = 0
+		if s.opts.WrapConn != nil {
+			conn = s.opts.WrapConn(conn)
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -119,31 +185,100 @@ func (s *Server) acceptLoop(l net.Listener) {
 	}
 }
 
-// Close stops the listener and closes all connections, waiting for the
-// connection goroutines to drain.
-func (s *Server) Close() error {
+// Shutdown stops the server gracefully: it stops accepting, lets every
+// request already executing finish and its response reach the wire,
+// aborts transactions still open on their connections (releasing engine
+// state so nothing stays blocked behind their pending writes), and only
+// then closes the connections. Connections idle in a read wait are
+// nudged out via an immediate read deadline rather than a hard close, so
+// no response is ever truncated.
+//
+// If ctx expires before the drain completes, the remaining connections
+// are hard-closed (their open transactions are still aborted by the
+// connection goroutines' cleanup on the way out). The returned error is
+// the listener's close error, if any.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
+	first := !s.closed
 	s.closed = true
 	l := s.listener
-	for c := range s.conns {
-		c.Close()
-	}
+	s.listener = nil
 	s.mu.Unlock()
+	if first {
+		close(s.drain)
+	}
 	var err error
 	if l != nil {
 		err = l.Close()
 	}
-	s.wg.Wait()
-	return err
+	// Unblock connections waiting for a request; their serve loops see
+	// the drain signal and exit through the open-transaction cleanup.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now()) //nolint:errcheck // best-effort nudge
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	// Re-nudge periodically: a connection goroutine that was between its
+	// drain check and its next read when the first nudge landed may have
+	// re-armed its own (longer) deadline over it.
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return err
+		case <-ticker.C:
+			s.mu.Lock()
+			for c := range s.conns {
+				c.SetReadDeadline(time.Now()) //nolint:errcheck
+			}
+			s.mu.Unlock()
+		case <-ctx.Done():
+			s.mu.Lock()
+			for c := range s.conns {
+				c.Close()
+			}
+			s.mu.Unlock()
+			<-done
+			return err
+		}
+	}
 }
 
-// ServeConn serves one client connection until EOF or error. It may be
-// called directly with an in-process pipe for embedded deployments.
+// Close is Shutdown with zero grace: in-flight requests are cut off by
+// closing their connections, though open transactions are still aborted
+// and engine state released before Close returns.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return s.Shutdown(ctx)
+}
+
+// draining reports whether shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// ServeConn serves one client connection until EOF, error, idle timeout
+// or server shutdown. It may be called directly with an in-process pipe
+// for embedded deployments (deadlines and shutdown nudges then apply
+// only if the pipe implements them).
 //
 // The server tracks the transactions each connection has open and aborts
-// any still live when the connection ends: a client that dies (or whose
-// wire breaks) mid-transaction must not strand pending writes that block
-// every later conflicting operation.
+// any still live when the connection ends — whatever the exit path: a
+// client that dies (or whose wire breaks, or that goes silent past the
+// idle timeout) mid-transaction must not strand pending writes that
+// block every later conflicting operation.
 func (s *Server) ServeConn(rw io.ReadWriter) {
 	conn := wire.NewConn(rw)
 	open := make(map[core.TxnID]struct{})
@@ -161,6 +296,16 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 		}
 	}()
 	for {
+		// Arm the idle deadline before checking for shutdown: the
+		// shutdown nudge (an immediate read deadline) can then never be
+		// lost under a later-armed longer deadline without the drain
+		// check seeing the signal first.
+		if s.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		if s.draining() {
+			return
+		}
 		req, err := conn.ReadMessage()
 		if err != nil {
 			// An unknown message type is a protocol mismatch, not a broken
@@ -176,10 +321,18 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 				}
 				return
 			}
-			if err != io.EOF {
+			switch {
+			case s.draining():
+				// The shutdown nudge, not a real fault; exit quietly.
+			case isTimeout(err):
+				s.opts.Logf("server: %s: idle timeout, dropping connection (%d open txns)", conn.RemoteAddr(), len(open))
+			case err != io.EOF:
 				s.opts.Logf("server: %s: %v", conn.RemoteAddr(), err)
 			}
 			return
+		}
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
 		resp := s.dispatch(req, &rb)
 		trackTxn(open, req, resp)
@@ -192,6 +345,12 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // trackTxn maintains the connection's open-transaction set from one

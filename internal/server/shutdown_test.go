@@ -1,0 +1,261 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+)
+
+// grace returns a context with the given shutdown grace period.
+func grace(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestShutdownAbortsOpenTxnsExactlyOnce pins the drain contract: open
+// transactions on connected clients are aborted exactly once, the engine
+// transaction table ends empty, and the counters stay consistent
+// (begins = commits + aborts).
+func TestShutdownAbortsOpenTxnsExactlyOnce(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, srv := startServer(t, 3, tso.Options{Collector: col}, Options{Clock: clock})
+	c := dialLogical(t, addr, 1, clock)
+
+	// One committed transaction, two left open (one with a pending
+	// write, one read-only).
+	if _, _, err := c.RunRetry(core.NewUpdate(0).WriteDelta(1, 5), 10); err != nil {
+		t.Fatal(err)
+	}
+	t1, err := c.Begin(core.Update, core.UnboundedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Write(2, 999); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Begin(core.Query, core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Read(3); err != nil {
+		t.Fatal(err)
+	}
+	if live := srv.Engine().Live(); live != 2 {
+		t.Fatalf("Live before shutdown = %d, want 2", live)
+	}
+
+	if err := srv.Shutdown(grace(t, 5*time.Second)); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if live := srv.Engine().Live(); live != 0 {
+		t.Errorf("Live after shutdown = %d, want 0", live)
+	}
+	snap := col.Snapshot()
+	if snap.Begins != 3 || snap.Commits != 1 || snap.Aborts() != 2 {
+		t.Errorf("begins=%d commits=%d aborts=%d, want 3/1/2 (each open txn aborted exactly once)",
+			snap.Begins, snap.Commits, snap.Aborts())
+	}
+	// The pending write must have been rolled back, not published.
+	if v := srv.Engine().Store().TotalValue(); v != 100+200+300+5 {
+		t.Errorf("total value after shutdown = %d, want 605 (pending write rolled back)", v)
+	}
+	// Calls after shutdown fail rather than hang.
+	if _, err := t1.Read(1); err == nil {
+		t.Error("operation on shut-down server succeeded")
+	}
+}
+
+// TestShutdownDrainsInFlightRequest pins graceful drain: a request that
+// is executing when Shutdown begins completes and its response reaches
+// the client, rather than being cut off mid-operation.
+func TestShutdownDrainsInFlightRequest(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, srv := startServer(t, 1, tso.Options{Collector: col},
+		Options{Clock: clock, SimulatedLatency: 150 * time.Millisecond})
+	c := dialLogical(t, addr, 1, clock)
+
+	txn, err := c.Begin(core.Query, core.SRSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type readResult struct {
+		v   core.Value
+		err error
+	}
+	res := make(chan readResult, 1)
+	go func() {
+		v, err := txn.Read(1)
+		res <- readResult{v, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // the Read is now inside dispatch
+	if err := srv.Shutdown(grace(t, 5*time.Second)); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-res
+	if r.err != nil {
+		t.Errorf("in-flight Read during graceful shutdown failed: %v", r.err)
+	} else if r.v != 100 {
+		t.Errorf("in-flight Read = %d, want 100", r.v)
+	}
+	if live := srv.Engine().Live(); live != 0 {
+		t.Errorf("Live after shutdown = %d, want 0", live)
+	}
+	snap := col.Snapshot()
+	if snap.Begins != snap.Commits+snap.Aborts() {
+		t.Errorf("begins=%d != commits+aborts=%d", snap.Begins, snap.Commits+snap.Aborts())
+	}
+}
+
+// TestCloseZeroGraceStillReleasesEngineState pins that the hard path
+// (Close = zero grace) may cut connections mid-request but never leaks
+// transactions or double-aborts.
+func TestCloseZeroGraceStillReleasesEngineState(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, srv := startServer(t, 2, tso.Options{Collector: col},
+		Options{Clock: clock, SimulatedLatency: 100 * time.Millisecond})
+	c := dialLogical(t, addr, 1, clock)
+
+	txn, err := c.Begin(core.Update, core.UnboundedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		txn.Write(1, 5) //nolint:errcheck // may fail: conn cut mid-request
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	<-done
+	if live := srv.Engine().Live(); live != 0 {
+		t.Errorf("Live after Close = %d, want 0", live)
+	}
+	snap := col.Snapshot()
+	if snap.Begins != snap.Commits+snap.Aborts() {
+		t.Errorf("begins=%d != commits+aborts=%d", snap.Begins, snap.Commits+snap.Aborts())
+	}
+}
+
+// TestShutdownIdempotent pins that a second Shutdown/Close is a no-op.
+func TestShutdownIdempotent(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	_, srv := startServer(t, 1, tso.Options{}, Options{Clock: clock})
+	if err := srv.Shutdown(grace(t, time.Second)); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := srv.Shutdown(grace(t, time.Second)); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after Shutdown: %v", err)
+	}
+}
+
+// TestIdleTimeoutAbortsOrphanedTxns pins the idle-connection reaper: a
+// client that goes silent mid-transaction is dropped after IdleTimeout
+// and its transactions aborted, unblocking conflicting operations.
+func TestIdleTimeoutAbortsOrphanedTxns(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	col := &metrics.Collector{}
+	addr, srv := startServer(t, 1, tso.Options{Collector: col},
+		Options{Clock: clock, IdleTimeout: 100 * time.Millisecond})
+
+	silent := dialLogical(t, addr, 1, clock)
+	txn, err := silent.Begin(core.Update, core.UnboundedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Write(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	// ... and now the client says nothing more. The server must reap the
+	// connection and release the pending write.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Engine().Live() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if live := srv.Engine().Live(); live != 0 {
+		t.Fatalf("Live = %d after idle timeout, want 0", live)
+	}
+	if aborts := col.Snapshot().Aborts(); aborts != 1 {
+		t.Errorf("aborts = %d, want 1", aborts)
+	}
+	// A fresh client can now write the object the orphan had pending.
+	c2 := dialLogical(t, addr, 2, clock)
+	if _, _, err := c2.RunRetry(core.NewUpdate(0).WriteDelta(1, 1), 10); err != nil {
+		t.Errorf("write after orphan reaped: %v", err)
+	}
+}
+
+// flakyListener fails the first n Accepts with a transient error, then
+// delegates to the real listener.
+type flakyListener struct {
+	net.Listener
+	remaining atomic.Int64
+}
+
+var errTransient = errors.New("accept: resource temporarily unavailable")
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.remaining.Add(-1) >= 0 {
+		return nil, errTransient
+	}
+	return l.Listener.Accept()
+}
+
+// TestAcceptLoopSurvivesTransientErrors pins the satellite fix: a
+// transient Accept failure (EMFILE, ECONNABORTED) must not kill — or
+// hot-spin — the accept loop; net.ErrClosed on shutdown must still end
+// it cleanly (Close would hang otherwise).
+func TestAcceptLoopSurvivesTransientErrors(t *testing.T) {
+	clock := &tsgen.LogicalClock{}
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	if _, err := st.Create(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	var logged atomic.Int64
+	srv := New(tso.NewEngine(st, tso.Options{}), Options{Clock: clock, Logf: func(format string, args ...any) {
+		logged.Add(1)
+	}})
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: base}
+	fl.remaining.Store(3)
+	if err := srv.Serve(fl); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	// The loop must ride out the 3 injected failures and then serve this
+	// client normally.
+	c := dialLogical(t, base.Addr().String(), 1, clock)
+	if _, _, err := c.RunRetry(core.NewQuery(0, 1), 10); err != nil {
+		t.Fatalf("query after transient accept errors: %v", err)
+	}
+	if logged.Load() < 3 {
+		t.Errorf("transient accept errors logged %d times, want ≥3", logged.Load())
+	}
+	// Close must end the accept loop via net.ErrClosed, not treat it as
+	// one more transient error; a hang here fails the test by timeout.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

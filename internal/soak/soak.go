@@ -1,0 +1,374 @@
+// Package soak drives the banking workload end to end — real TCP, real
+// clients, real server — through a fault-injecting network and checks
+// that the robustness layer holds: no leaked transactions, no stranded
+// engine state, money conserved, and a clean graceful shutdown at the
+// end. It is the adversarial-schedule counterpart of the experiment
+// package's well-behaved sweeps: the paper's prototype assumed a polite
+// network; this harness assumes the opposite.
+//
+// The workload is the Figure 1 banking scenario reduced to its invariant
+// core: tellers move money between accounts with zero-sum transfers
+// while auditors run bounded-inconsistency sum queries. Zero-sum
+// transfers make the conservation check robust to at-least-once
+// delivery — when a commit response is swallowed by the network, the
+// client cannot know whether the commit landed and may resubmit, but a
+// double-applied transfer still conserves the total.
+//
+// Both the soak test (internal/soak) and esr-bench -soak run through
+// Run, so a schedule that fails in CI is reproducible from the command
+// line with the same flags.
+package soak
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/client"
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/faultnet"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/server"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+)
+
+// Config parameterizes one soak run. The zero value is not runnable; use
+// DefaultConfig.
+type Config struct {
+	// Clients is the number of concurrent banking clients (the MPL).
+	Clients int
+	// TxnsPerClient is how many programs each client must drive to
+	// completion.
+	TxnsPerClient int
+	// Accounts is the database size; balances start at InitialBalance.
+	Accounts       int
+	InitialBalance core.Value
+	// QueryFraction is the probability a program is an audit query
+	// (sum over a random account subset, bounded by TIL) instead of a
+	// zero-sum transfer.
+	QueryFraction float64
+	// TIL bounds audit queries; TEL bounds transfers.
+	TIL core.Distance
+	TEL core.Distance
+	// Seed drives the workload generators (per-client sub-seeds) — the
+	// fault schedule has its own seed inside Faults.
+	Seed int64
+
+	// Faults is the client-side fault schedule; every dialed connection
+	// gets a derived deterministic schedule.
+	Faults faultnet.Config
+
+	// CallTimeout bounds each client RPC (needed to survive silent
+	// drops), IdleTimeout reaps silent connections server-side, and
+	// ShutdownGrace bounds the final drain.
+	CallTimeout   time.Duration
+	IdleTimeout   time.Duration
+	WriteTimeout  time.Duration
+	ShutdownGrace time.Duration
+
+	// MaxDuration aborts the whole run if the workload has not finished
+	// in time (a pathological fault schedule can starve all progress).
+	// Zero means no bound.
+	MaxDuration time.Duration
+
+	// Logf receives run diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a short adversarial run: drops, added latency
+// and periodic mid-frame resets, with timeouts tight enough to keep the
+// run fast.
+func DefaultConfig() Config {
+	return Config{
+		Clients:        4,
+		TxnsPerClient:  25,
+		Accounts:       32,
+		InitialBalance: 5_000,
+		QueryFraction:  0.3,
+		TIL:            10_000,
+		TEL:            core.NoLimit,
+		Seed:           1,
+		Faults: faultnet.Config{
+			Seed:             1,
+			WriteLatency:     200 * time.Microsecond,
+			LatencyJitter:    0.5,
+			DropProb:         0.01,
+			PartialReadMax:   7,
+			ResetAfterWrites: 40,
+		},
+		CallTimeout:   150 * time.Millisecond,
+		IdleTimeout:   250 * time.Millisecond,
+		WriteTimeout:  250 * time.Millisecond,
+		ShutdownGrace: 5 * time.Second,
+		MaxDuration:   2 * time.Minute,
+	}
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Committed counts programs driven to a successful commit;
+	// Transfers and Queries split it by kind.
+	Committed, Transfers, Queries int64
+	// Attempts counts transaction attempts, committed or aborted.
+	Attempts int64
+	// Reconnects counts connections abandoned for a fresh dial after a
+	// network-level failure.
+	Reconnects int64
+	// Faults is the shared counter set of every injected fault.
+	Faults *faultnet.Stats
+	// LiveAfterShutdown is the engine's live-transaction gauge after
+	// the graceful shutdown — nonzero means leaked transactions.
+	LiveAfterShutdown int
+	// TotalBefore/TotalAfter are the bank's total balance before and
+	// after; transfers are zero-sum, so inequality means lost money.
+	TotalBefore, TotalAfter core.Value
+	// Snapshot is the server's final counter state.
+	Snapshot metrics.Snapshot
+	// Elapsed is the wall-clock run time.
+	Elapsed time.Duration
+}
+
+// String renders the report for the command line.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"soak: %d committed (%d transfers, %d queries) in %v; %d attempts, %d reconnects\n"+
+			"faults injected: %d delays, %d drops, %d partials, %d resets\n"+
+			"after shutdown: %d live txns, total balance %d (start %d), %d commits / %d aborts server-side",
+		r.Committed, r.Transfers, r.Queries, r.Elapsed.Round(time.Millisecond),
+		r.Attempts, r.Reconnects,
+		r.Faults.Delays.Load(), r.Faults.Drops.Load(), r.Faults.Partials.Load(), r.Faults.Resets.Load(),
+		r.LiveAfterShutdown, r.TotalAfter, r.TotalBefore,
+		r.Snapshot.Commits, r.Snapshot.Aborts())
+}
+
+// Err returns a non-nil error when the run violated an invariant the
+// robustness layer must hold even under faults.
+func (r *Report) Err() error {
+	switch {
+	case r.LiveAfterShutdown != 0:
+		return fmt.Errorf("soak: %d transactions still live after shutdown", r.LiveAfterShutdown)
+	case r.TotalAfter != r.TotalBefore:
+		return fmt.Errorf("soak: conservation violated: total %d -> %d", r.TotalBefore, r.TotalAfter)
+	case r.Snapshot.Begins != r.Snapshot.Commits+r.Snapshot.Aborts():
+		return fmt.Errorf("soak: counter drift: %d begins != %d commits + %d aborts",
+			r.Snapshot.Begins, r.Snapshot.Commits, r.Snapshot.Aborts())
+	}
+	return nil
+}
+
+// Run executes the soak: server up, clients hammering through faults,
+// graceful shutdown, invariants measured. The returned error covers
+// infrastructure failures (bind, populate, deadline exceeded); invariant
+// verdicts live in Report.Err so callers can print the report either way.
+func Run(cfg Config) (*Report, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Clients <= 0 || cfg.TxnsPerClient <= 0 || cfg.Accounts < 2 {
+		return nil, fmt.Errorf("soak: need ≥1 client, ≥1 txn, ≥2 accounts; got %+v", cfg)
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for i := 1; i <= cfg.Accounts; i++ {
+		if _, err := st.Create(core.ObjectID(i), cfg.InitialBalance); err != nil {
+			return nil, err
+		}
+	}
+	col := &metrics.Collector{}
+	engine := tso.NewEngine(st, tso.Options{Collector: col})
+	clock := &tsgen.LogicalClock{}
+	srv := server.New(engine, server.Options{
+		Clock:        clock,
+		Logf:         logf,
+		IdleTimeout:  cfg.IdleTimeout,
+		WriteTimeout: cfg.WriteTimeout,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	if cfg.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.MaxDuration)
+		defer cancel()
+	}
+
+	stats := &faultnet.Stats{}
+	counts := &counters{}
+	dial := faultnet.Dialer(cfg.Faults, stats)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	var workerErr atomic.Value // first fatal worker error
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			w := &worker{
+				cfg:    cfg,
+				addr:   addr.String(),
+				site:   site,
+				clock:  clock,
+				dial:   dial,
+				rng:    rand.New(rand.NewSource(cfg.Seed + int64(site)*7919)),
+				counts: counts,
+				logf:   logf,
+			}
+			if err := w.run(ctx); err != nil {
+				workerErr.CompareAndSwap(nil, err)
+			}
+		}(i + 1)
+	}
+	wg.Wait()
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return nil, fmt.Errorf("soak: shutdown: %w", err)
+	}
+	report := &Report{
+		Committed:         counts.committed.Load(),
+		Transfers:         counts.transfers.Load(),
+		Queries:           counts.queries.Load(),
+		Attempts:          counts.attempts.Load(),
+		Reconnects:        counts.reconnects.Load(),
+		Faults:            stats,
+		TotalBefore:       core.Value(cfg.Accounts) * cfg.InitialBalance,
+		Elapsed:           time.Since(start),
+		LiveAfterShutdown: engine.Live(),
+		TotalAfter:        st.TotalValue(),
+		Snapshot:          col.Snapshot(),
+	}
+	if err, ok := workerErr.Load().(error); ok && err != nil {
+		return report, err
+	}
+	return report, nil
+}
+
+// counters is the workers' shared tally.
+type counters struct {
+	committed, transfers, queries, attempts, reconnects atomic.Int64
+}
+
+// worker drives one client site to completion, reconnecting through
+// network faults.
+type worker struct {
+	cfg    Config
+	addr   string
+	site   int
+	clock  *tsgen.LogicalClock
+	dial   func(string) (net.Conn, error)
+	rng    *rand.Rand
+	counts *counters
+	logf   func(string, ...any)
+}
+
+// maxConsecutiveFailures is the livelock valve: a fault schedule that
+// never lets a program through (every write dropped, say) must fail the
+// run loudly instead of spinning until MaxDuration.
+const maxConsecutiveFailures = 200
+
+func (w *worker) run(ctx context.Context) error {
+	var c *client.Client
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	for done := 0; done < w.cfg.TxnsPerClient; done++ {
+		p, isQuery := w.nextProgram()
+		failures := 0
+		for {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("soak: site %d timed out after %d/%d txns: %w",
+					w.site, done, w.cfg.TxnsPerClient, err)
+			}
+			if c == nil {
+				var err error
+				c, err = w.connect()
+				if err != nil {
+					if failures++; failures > maxConsecutiveFailures {
+						return fmt.Errorf("soak: site %d cannot reconnect: %w", w.site, err)
+					}
+					w.counts.reconnects.Add(1)
+					continue
+				}
+			}
+			_, attempts, err := c.RunRetry(p, 0)
+			w.counts.attempts.Add(int64(attempts))
+			if err == nil {
+				w.counts.committed.Add(1)
+				if isQuery {
+					w.counts.queries.Add(1)
+				} else {
+					w.counts.transfers.Add(1)
+				}
+				break
+			}
+			// RunRetry only returns non-abort errors: a network-level
+			// failure (timeout, injected reset, torn frame, desynced
+			// stream) or a server-side generic error after the engine
+			// reaped our transaction. Either way the connection's state
+			// is suspect — drop it and redial. Transfers are zero-sum,
+			// so resubmitting a possibly-committed program cannot break
+			// conservation.
+			if failures++; failures > maxConsecutiveFailures {
+				return fmt.Errorf("soak: site %d stuck on program after %d failures: %w",
+					w.site, failures, err)
+			}
+			c.Close()
+			c = nil
+			w.counts.reconnects.Add(1)
+		}
+	}
+	return nil
+}
+
+// connect dials through the fault-injecting dialer. The sync handshake
+// itself runs over the faulty wire, so a connection can be dead on
+// arrival — the caller retries.
+func (w *worker) connect() (*client.Client, error) {
+	return client.Dial(w.addr, client.Options{
+		Site:        w.site,
+		Clock:       w.clock,
+		CallTimeout: w.cfg.CallTimeout,
+		Dialer:      w.dial,
+		// One sync probe: every connection shares the logical clock, and
+		// the default four probes eat into the write budget of conns
+		// whose fault schedule resets them after N frames.
+		SyncSamples: 1,
+	})
+}
+
+// nextProgram generates a transfer or an audit query.
+func (w *worker) nextProgram() (*core.Program, bool) {
+	if w.rng.Float64() < w.cfg.QueryFraction {
+		// Audit: sum a random clutch of accounts under TIL.
+		n := 3 + w.rng.Intn(5)
+		objs := make([]core.ObjectID, 0, n)
+		for i := 0; i < n; i++ {
+			objs = append(objs, core.ObjectID(1+w.rng.Intn(w.cfg.Accounts)))
+		}
+		return core.NewQuery(w.cfg.TIL, objs...), true
+	}
+	// Teller: move a random amount between two distinct accounts.
+	from := core.ObjectID(1 + w.rng.Intn(w.cfg.Accounts))
+	to := from
+	for to == from {
+		to = core.ObjectID(1 + w.rng.Intn(w.cfg.Accounts))
+	}
+	amount := core.Value(1 + w.rng.Intn(200))
+	return core.NewUpdate(w.cfg.TEL).WriteDelta(from, -amount).WriteDelta(to, amount), false
+}

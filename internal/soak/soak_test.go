@@ -1,0 +1,114 @@
+package soak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/faultnet"
+)
+
+// checkGoroutines asserts the goroutine count settles back to the
+// pre-run baseline: a robustness layer that survives faults by leaking
+// a blocked goroutine per fault has not survived them.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Errorf("goroutines: %d before run, %d still alive 5s after; stacks:\n%s", baseline, n, buf)
+}
+
+// run executes a soak config and applies the full invariant battery.
+func run(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	cfg.Logf = t.Logf
+	report, err := Run(cfg)
+	if report != nil {
+		t.Log(report.String())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Err(); err != nil {
+		t.Error(err)
+	}
+	if report.Committed != int64(cfg.Clients*cfg.TxnsPerClient) {
+		t.Errorf("committed %d programs, want %d", report.Committed, cfg.Clients*cfg.TxnsPerClient)
+	}
+	checkGoroutines(t, baseline)
+	return report
+}
+
+// TestSoakBankingUnderFaults is the acceptance soak: the banking
+// workload through drops, added latency, fragmented reads and periodic
+// mid-frame resets, ending in a graceful shutdown with zero leaked
+// goroutines and zero live transactions.
+func TestSoakBankingUnderFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	if testing.Short() {
+		cfg.Clients = 3
+		cfg.TxnsPerClient = 10
+	}
+	report := run(t, cfg)
+	// The schedule must actually have bitten: a soak that injected no
+	// faults proves nothing.
+	if report.Faults.Total() == 0 {
+		t.Error("no faults injected — schedule did not engage")
+	}
+	if report.Faults.Resets.Load() == 0 {
+		t.Error("no mid-frame resets injected")
+	}
+	if report.Faults.Drops.Load() == 0 {
+		t.Error("no frames dropped")
+	}
+	if report.Reconnects == 0 {
+		t.Error("no reconnects — clients never exercised the recovery path")
+	}
+}
+
+// TestSoakCleanNetworkBaseline pins that the harness itself is quiet:
+// with no faults configured, no reconnects happen and every program
+// commits on the wire it started on.
+func TestSoakCleanNetworkBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 2
+	cfg.TxnsPerClient = 15
+	cfg.Faults = faultnet.Config{}
+	report := run(t, cfg)
+	if report.Reconnects != 0 {
+		t.Errorf("clean network produced %d reconnects", report.Reconnects)
+	}
+	if report.Faults.Total() != 0 {
+		t.Errorf("clean network injected %d faults", report.Faults.Total())
+	}
+}
+
+// TestSoakHeavyResets leans on the reset path: every connection dies
+// mid-frame after a few messages, so every client lives through many
+// reconnects — and the engine still ends clean.
+func TestSoakHeavyResets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy-reset soak skipped in -short")
+	}
+	cfg := DefaultConfig()
+	cfg.Clients = 3
+	cfg.TxnsPerClient = 8
+	cfg.Faults = faultnet.Config{
+		Seed:             3,
+		ResetAfterWrites: 12,
+	}
+	report := run(t, cfg)
+	if report.Reconnects < int64(cfg.Clients) {
+		t.Errorf("reconnects = %d, want ≥ %d under per-conn resets", report.Reconnects, cfg.Clients)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
 
 // Conn frames messages over a byte stream. It is not safe for concurrent
@@ -61,6 +62,39 @@ func (c *Conn) RemoteAddr() string {
 		return nc.RemoteAddr().String()
 	}
 	return "pipe"
+}
+
+// readDeadliner and writeDeadliner are the deadline slices of net.Conn;
+// asserting them separately keeps in-process pipes (io.Pipe wrappers,
+// test fakes) usable without deadlines.
+type readDeadliner interface{ SetReadDeadline(t time.Time) error }
+type writeDeadliner interface{ SetWriteDeadline(t time.Time) error }
+
+// SetReadDeadline bounds blocking reads on the underlying stream. It
+// reports false when the stream has no deadline support (then callers
+// must bound waits some other way, or accept unbounded blocking).
+func (c *Conn) SetReadDeadline(t time.Time) bool {
+	if d, ok := c.rw.(readDeadliner); ok {
+		return d.SetReadDeadline(t) == nil
+	}
+	return false
+}
+
+// SetWriteDeadline bounds blocking writes on the underlying stream,
+// reporting false when unsupported.
+func (c *Conn) SetWriteDeadline(t time.Time) bool {
+	if d, ok := c.rw.(writeDeadliner); ok {
+		return d.SetWriteDeadline(t) == nil
+	}
+	return false
+}
+
+// SetDeadline bounds both directions at once, reporting false when the
+// stream supports neither.
+func (c *Conn) SetDeadline(t time.Time) bool {
+	r := c.SetReadDeadline(t)
+	w := c.SetWriteDeadline(t)
+	return r || w
 }
 
 // WriteMessage frames and sends one message.
