@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck check bench bench-all soak
+.PHONY: build test lint staticcheck check bench bench-all soak crash-soak
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ check:
 # the CI gate; drop -short for the heavier schedules.
 soak:
 	$(GO) test -race -short -count=1 ./internal/soak/ ./internal/faultnet/
+
+# crash-soak runs the kill-and-restart durability soak (DESIGN.md §10)
+# under the race detector: alternating clean and dirty kills over the
+# write-ahead log with torn tails sheared at random crash points,
+# asserting conservation, epsilon bounds and replay idempotency at every
+# recovery. Short mode is the CI gate; drop -short for the seed sweep.
+crash-soak:
+	$(GO) test -race -short -count=1 -run 'TestCrashSoak' ./internal/soak/
 
 # bench runs the hot-path micro-benchmarks and emits BENCH_hotpath.json
 # (archived by CI). `make bench-all` runs every benchmark including the

@@ -47,6 +47,7 @@ import (
 	"github.com/epsilondb/epsilondb/internal/server"
 	"github.com/epsilondb/epsilondb/internal/storage"
 	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/wal"
 )
 
 func main() {
@@ -69,6 +70,10 @@ func main() {
 		idleTimeout   = flag.Duration("idle-timeout", 0, "drop connections idle this long, aborting their open txns (0 disables)")
 		writeTimeout  = flag.Duration("write-timeout", 0, "bound each response write (0 disables)")
 		shutdownGrace = flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown waits for in-flight requests to drain")
+
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory; enables durability and crash recovery (empty disables)")
+		walSync   = flag.Duration("wal-sync-interval", wal.DefaultSyncInterval, "group-commit fsync interval; negative fsyncs every commit")
+		snapEvery = flag.Int("snapshot-every", 0, "snapshot the store and truncate the log every N logged commits (0 disables)")
 	)
 	faultCfg := faultnet.RegisterFlags(flag.CommandLine, "fault")
 	flag.Parse()
@@ -86,12 +91,38 @@ func main() {
 		log.Fatalf("esr-server: -oel: %v", err)
 	}
 
-	store := storage.NewStore(storage.Config{HistoryDepth: *history})
-	rng := rand.New(rand.NewSource(*seed))
-	if err := store.Populate(*objects, *valueMin, *valueMax, oilMin, oilMax, oelMin, oelMax, rng); err != nil {
-		log.Fatalf("esr-server: populate: %v", err)
-	}
 	col := &metrics.Collector{}
+	var store *storage.Store
+	var walLog *wal.Log
+	if *walDir != "" {
+		fs, err := wal.NewDirFS(*walDir)
+		if err != nil {
+			log.Fatalf("esr-server: -wal-dir: %v", err)
+		}
+		var info wal.RecoveryInfo
+		store, walLog, info, err = wal.Recover(fs, storage.Config{HistoryDepth: *history}, wal.Options{
+			SyncInterval:  *walSync,
+			SnapshotEvery: *snapEvery,
+			Collector:     col,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("esr-server: wal recovery: %v", err)
+		}
+		if info.Records > 0 || info.SnapshotLSN > 0 {
+			log.Printf("esr-server: recovered %d objects from wal (snapshot lsn %d, %d records replayed, torn tail: %v)",
+				store.Len(), info.SnapshotLSN, info.Records, info.TornTail)
+		}
+	} else {
+		store = storage.NewStore(storage.Config{HistoryDepth: *history})
+	}
+	// A recovered store is already populated; only seed a fresh one.
+	if store.Len() == 0 {
+		rng := rand.New(rand.NewSource(*seed))
+		if err := store.Populate(*objects, *valueMin, *valueMax, oilMin, oilMax, oelMin, oelMax, rng); err != nil {
+			log.Fatalf("esr-server: populate: %v", err)
+		}
+	}
 
 	var tracers tso.MultiTracer
 	var sink *tso.JSONLSink
@@ -121,6 +152,9 @@ func main() {
 		tracers = append(tracers, rec)
 	}
 	opts := tso.Options{Collector: col}
+	if walLog != nil {
+		opts.Durability = walLog
+	}
 	if len(tracers) == 1 {
 		opts.Tracer = tracers[0]
 	} else if len(tracers) > 1 {
@@ -184,6 +218,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("esr-server: shutdown: %v", err)
+	}
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			log.Printf("esr-server: wal close: %v", err)
+		}
 	}
 	s := col.Snapshot()
 	fmt.Printf("total: %d commits, %d aborts, %d ops, %d inconsistent ops\n",

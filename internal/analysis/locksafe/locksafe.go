@@ -24,6 +24,13 @@
 // the lock wrappers themselves (e.g. storage.Object.Lock) and hold by
 // design. Aliased mutexes (two expressions naming one lock) are not
 // tracked; the engine packages never alias their mutexes.
+//
+// The pass also enforces the wal package's single-committer discipline:
+// in packages named "wal", any .Sync() or .SyncDir() call outside the
+// committer goroutine's call chain (run, flushOnce, writeSnapshot,
+// rollSegment, openSegment) or the sync wrappers themselves is flagged —
+// an fsync from an appender would race the committer's exclusive
+// ownership of the segment files.
 package locksafe
 
 import (
@@ -49,7 +56,11 @@ var wrapperNames = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
+	isWAL := pass.Pkg.Types.Name() == "wal"
 	for _, file := range pass.Pkg.Files {
+		if isWAL {
+			checkWALFsync(pass, file)
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch fn := n.(type) {
 			case *ast.FuncDecl:
@@ -67,6 +78,43 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// walFsyncAllowed are the wal functions that may touch the disk-sync
+// surface: the committer goroutine's call chain plus the wrappers that
+// ARE the sync surface (Log.Sync barrier, FS SyncDir, File Sync).
+var walFsyncAllowed = map[string]bool{
+	"run": true, "flushOnce": true, "writeSnapshot": true,
+	"writeBatchSynced": true, "writeEachSynced": true,
+	"rollSegment": true, "openSegment": true,
+	"Sync": true, "SyncDir": true,
+}
+
+// checkWALFsync flags Sync/SyncDir calls outside the committer's call
+// chain in packages named "wal".
+func checkWALFsync(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || walFsyncAllowed[fn.Name.Name] {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name := sel.Sel.Name; name == "Sync" || name == "SyncDir" {
+				pass.Reportf(call.Pos(),
+					"%s called in %s, outside the committer goroutine's call chain: only the committer may fsync",
+					name, fn.Name.Name)
+			}
+			return true
+		})
+	}
 }
 
 // lockInfo records one held lock.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestLocksafe(t *testing.T) {
-	analysistest.Run(t, "testdata", locksafe.Analyzer, "a")
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "a", "wal")
 }

@@ -174,8 +174,12 @@ const (
 	LatCommit
 	// LatWait is one strict-ordering wait, block to wake.
 	LatWait
+	// LatFsync is one WAL group-commit flush: write plus fsync of the
+	// pending batch, observed by the committer goroutine.
+	LatFsync
 
-	// NumLatencyKinds sizes per-kind arrays.
+	// NumLatencyKinds sizes per-kind arrays. The wire encoding length-
+	// prefixes the latency set, so appending kinds stays compatible.
 	NumLatencyKinds
 )
 
@@ -190,6 +194,8 @@ func (k LatencyKind) String() string {
 		return "commit"
 	case LatWait:
 		return "wait"
+	case LatFsync:
+		return "fsync"
 	default:
 		return fmt.Sprintf("latency(%d)", uint8(k))
 	}

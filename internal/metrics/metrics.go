@@ -42,6 +42,10 @@ type Collector struct {
 	dirtySourceAborted atomic.Int64
 
 	lat [NumLatencyKinds]Histogram
+
+	// walBatch is the distribution of group-commit batch sizes: how many
+	// records each WAL fsync covered.
+	walBatch Histogram
 }
 
 // AbortReason classifies why the engine aborted a transaction attempt.
@@ -191,6 +195,23 @@ func (c *Collector) ObserveLatency(k LatencyKind, d time.Duration) {
 	if c != nil && k < NumLatencyKinds {
 		c.lat[k].ObserveDuration(d)
 	}
+}
+
+// ObserveWALBatch records the number of records one WAL fsync covered —
+// the group-commit batch size.
+func (c *Collector) ObserveWALBatch(records int64) {
+	if c != nil {
+		c.walBatch.Observe(records)
+	}
+}
+
+// WALBatchSnapshot copies the group-commit batch-size histogram. A nil
+// Collector snapshots as empty.
+func (c *Collector) WALBatchSnapshot() HistogramSnapshot {
+	if c == nil {
+		return HistogramSnapshot{}
+	}
+	return c.walBatch.Snapshot()
 }
 
 // LatencySnapshot copies the per-path latency histograms. A nil Collector

@@ -69,6 +69,7 @@ type waiter struct {
 
 // object is the multi-version state of one object.
 type object struct {
+	id core.ObjectID
 	mu sync.Mutex
 	// versions are sorted by ascending write timestamp.
 	versions []*version
@@ -95,7 +96,16 @@ type Engine struct {
 	// txns is sharded by transaction id so Begin/lookup/remove from
 	// concurrent connections do not serialize on one engine-wide lock.
 	txns *txnshard.Map[*txnState]
+
+	// store and dur support durable commits: the engine's private version
+	// chains are the read path, but logged commits are also applied to
+	// the backing store so WAL snapshots and recovery see them.
+	store *storage.Store
+	dur   storage.Durability
 }
+
+// SetDurability routes commits through d. Call before serving traffic.
+func (e *Engine) SetDurability(d storage.Durability) { e.dur = d }
 
 // NewEngine builds an MVTO engine over the committed values of a store.
 // The store is only read at construction; the engine keeps its own
@@ -107,6 +117,7 @@ func NewEngine(store *storage.Store, col *metrics.Collector, parker tso.Parker) 
 		parker:      parker,
 		maxVersions: DefaultMaxVersions,
 		txns:        txnshard.New[*txnState](),
+		store:       store,
 	}
 	for _, id := range store.IDs() {
 		o, err := store.Get(id)
@@ -116,7 +127,7 @@ func NewEngine(store *storage.Store, col *metrics.Collector, parker tso.Parker) 
 		o.Lock()
 		initial := o.CommittedValue()
 		o.Unlock()
-		e.objects[id] = &object{versions: []*version{{
+		e.objects[id] = &object{id: id, versions: []*version{{
 			wts: tsgen.None, value: initial, committed: true,
 		}}}
 	}
@@ -267,15 +278,60 @@ func (e *Engine) Live() int { return e.txns.Len() }
 
 // Commit marks the attempt's versions committed and wakes waiters. The
 // shard's atomic check-and-delete is the double-finish guard.
+//
+// With durability set, the write set is captured from the attempt's
+// uncommitted versions and logged; the publish callback resolves the
+// version chains and mirrors the writes into the backing store (the
+// store is MVTO's durable image — its private chains are rebuilt from
+// it on recovery).
 func (e *Engine) Commit(txn core.TxnID) error {
 	st, ok := e.txns.Delete(txn)
 	if !ok {
 		return tso.ErrUnknownTxn
 	}
-	for _, o := range st.writes {
-		e.resolveVersions(o, st.id, true)
+	if e.dur == nil {
+		for _, o := range st.writes {
+			e.resolveVersions(o, st.id, true)
+		}
+		e.col.Commit()
+		return nil
+	}
+	rec := &storage.TxnCommit{Txn: st.id, Kind: st.kind, TS: st.ts}
+	if len(st.writes) > 0 {
+		rec.Writes = make([]storage.CommittedWrite, 0, len(st.writes))
+		for _, o := range st.writes {
+			o.mu.Lock()
+			for _, v := range o.versions {
+				if v.writer == st.id && !v.committed {
+					rec.Writes = append(rec.Writes, storage.CommittedWrite{
+						Object: o.id, Value: v.value, TS: v.wts,
+					})
+				}
+			}
+			o.mu.Unlock()
+		}
+	}
+	publish := func() {
+		for _, o := range st.writes {
+			e.resolveVersions(o, st.id, true)
+		}
+		for _, w := range rec.Writes {
+			// Best-effort mirror: the store object can be missing when the
+			// engine was seeded from a different store generation.
+			_ = e.store.ApplyCommitted(w.Object, w.Value, w.TS)
+		}
+	}
+	durAck, durErr := e.dur.LogCommit(rec, publish)
+	if durErr != nil {
+		publish()
 	}
 	e.col.Commit()
+	if durErr == nil && durAck != nil {
+		durErr = durAck.Wait()
+	}
+	if durErr != nil {
+		return &tso.DurabilityError{Txn: st.id, Err: durErr}
+	}
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -166,8 +168,10 @@ func TestDrawRangeEdgeCases(t *testing.T) {
 	if got := drawRange(core.NoLimit, core.NoLimit, rng); got != core.NoLimit {
 		t.Errorf("NoLimit lo = %d", got)
 	}
-	if got := drawRange(5, core.NoLimit, rng); got != core.NoLimit {
-		t.Errorf("NoLimit hi = %d", got)
+	// Half-NoLimit ranges are rejected by validateRange before drawRange
+	// runs; drawRange itself only ever sees validated ranges.
+	if err := validateRange("OIL", 5, core.NoLimit); err == nil {
+		t.Error("validateRange accepted a half-NoLimit range")
 	}
 }
 
@@ -222,5 +226,101 @@ func TestHistoryProperLookupProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPopulateRejectsBadRanges is the regression test for the silent
+// drawRange collapse: inverted and half-NoLimit OIL/OEL ranges must be
+// typed errors, not silently clamped draws.
+func TestPopulateRejectsBadRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name         string
+		oilLo, oilHi core.Distance
+		oelLo, oelHi core.Distance
+		wantErr      bool
+		wantWhich    string
+	}{
+		{"both unlimited", core.NoLimit, core.NoLimit, core.NoLimit, core.NoLimit, false, ""},
+		{"finite ranges", 10, 20, 5, 5, false, ""},
+		{"inverted OIL", 20, 10, 1, 2, true, "OIL"},
+		{"inverted OEL", 1, 2, 20, 10, true, "OEL"},
+		{"half NoLimit OIL hi", 10, core.NoLimit, 1, 2, true, "OIL"},
+		{"half NoLimit OIL lo", core.NoLimit, 10, 1, 2, true, "OIL"},
+		{"half NoLimit OEL hi", 1, 2, 10, core.NoLimit, true, "OEL"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewStore(Config{})
+			err := s.Populate(4, 100, 200, tc.oilLo, tc.oilHi, tc.oelLo, tc.oelHi, rng)
+			if !tc.wantErr {
+				if err != nil {
+					t.Fatalf("Populate: unexpected error %v", err)
+				}
+				if s.Len() != 4 {
+					t.Fatalf("populated %d objects, want 4", s.Len())
+				}
+				return
+			}
+			var re *RangeError
+			if !errors.As(err, &re) {
+				t.Fatalf("Populate error %v (%T), want *RangeError", err, err)
+			}
+			if re.Which != tc.wantWhich {
+				t.Fatalf("RangeError.Which = %q, want %q", re.Which, tc.wantWhich)
+			}
+			if s.Len() != 0 {
+				t.Fatalf("failed Populate left %d objects behind", s.Len())
+			}
+		})
+	}
+}
+
+// TestTotalValueAndSetAllLimitsSnapshot pins the documented consistency
+// contract: both walk a point-in-time snapshot of the object set taken
+// under the store lock, then visit objects under their own locks, so
+// concurrent creates cannot deadlock or corrupt the walk.
+func TestTotalValueAndSetAllLimitsSnapshot(t *testing.T) {
+	s := NewStore(Config{})
+	for i := core.ObjectID(1); i <= 64; i++ {
+		if _, err := s.CreateWithLimits(i, core.Value(i), core.NoLimit, core.NoLimit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := core.ObjectID(1000)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = s.CreateWithLimits(next, 1, core.NoLimit, core.NoLimit)
+			next++
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if got := s.TotalValue(); got < 64*65/2 {
+			t.Errorf("TotalValue %d lost committed value", got)
+			break
+		}
+		s.SetAllLimits(core.Distance(i), core.Distance(i))
+	}
+	close(stop)
+	wg.Wait()
+	// Every object present before the last sweep carries its limits.
+	o, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Lock()
+	oil, oel := o.OIL(), o.OEL()
+	o.Unlock()
+	if oil != 199 || oel != 199 {
+		t.Fatalf("object 1 limits %d/%d after sweeps, want 199/199", oil, oel)
 	}
 }

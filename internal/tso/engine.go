@@ -72,6 +72,12 @@ type Options struct {
 	// deterministic harnesses pass the vclock timeline's Now so virtual
 	// runs still yield real latency distributions.
 	Now func() time.Duration
+	// Durability, when set, logs every commit (write set + final
+	// inconsistency) through the write-ahead log before Commit returns;
+	// the record append and the publication of the writes happen
+	// atomically so log order matches dependency order. Nil keeps the
+	// purely in-memory, allocation-free commit path.
+	Durability storage.Durability
 }
 
 // Parker marks a goroutine as blocked/runnable on an external timeline;
@@ -209,16 +215,49 @@ func (e *Engine) remove(txn core.TxnID) (*txnState, bool) {
 // Commit finishes an attempt successfully: pending writes are published
 // into the committed history, reader entries are withdrawn, and waiters
 // are woken.
+//
+// With durability enabled the commit record (write set + the attempt's
+// final imported/exported inconsistency) is appended to the log and the
+// writes published under the log's mutex, then Commit waits for the
+// group-commit fsync after all object locks are released. A log append
+// failure still publishes — in-memory waiters must not strand — but the
+// caller gets a *DurabilityError: committed, not durable.
 func (e *Engine) Commit(txn core.TxnID) error {
 	start := e.opts.Now()
 	st, ok := e.remove(txn)
 	if !ok {
 		return ErrUnknownTxn
 	}
-	for _, o := range st.writes {
-		o.Lock()
-		o.CommitWrite(st.id)
-		o.Unlock()
+	var imported, exported core.Distance
+	if total := st.acc.Total(); total != 0 {
+		if st.kind == core.Query {
+			imported = total
+		} else {
+			exported = total
+		}
+	}
+	var durAck storage.Ack
+	var durErr error
+	if d := e.opts.Durability; d != nil {
+		rec := &storage.TxnCommit{Txn: st.id, Kind: st.kind, TS: st.ts, Imported: imported, Exported: exported}
+		if len(st.writes) > 0 {
+			rec.Writes = make([]storage.CommittedWrite, 0, len(st.writes))
+			for _, o := range st.writes {
+				o.Lock()
+				if owner, dirty := o.Dirty(); dirty && owner == st.id {
+					rec.Writes = append(rec.Writes, storage.CommittedWrite{
+						Object: o.ID(), Value: o.Value(), TS: o.WriteTS(),
+					})
+				}
+				o.Unlock()
+			}
+		}
+		durAck, durErr = d.LogCommit(rec, func() { e.publishCommit(st, imported, exported) })
+		if durErr != nil {
+			e.publishCommit(st, imported, exported)
+		}
+	} else {
+		e.publishCommit(st, imported, exported)
 	}
 	for _, o := range st.reads {
 		o.Lock()
@@ -229,7 +268,26 @@ func (e *Engine) Commit(txn core.TxnID) error {
 	e.opts.Collector.Commit()
 	e.opts.Collector.ObserveLatency(metrics.LatCommit, e.opts.Now()-start)
 	e.trace(Event{Kind: EvCommit, Txn: st.id, TxnKind: st.kind, TS: st.ts})
+	if durErr == nil && durAck != nil {
+		durErr = durAck.Wait()
+	}
+	if durErr != nil {
+		return &DurabilityError{Txn: st.id, Err: durErr}
+	}
 	return nil
+}
+
+// publishCommit makes the attempt's writes visible and folds its final
+// inconsistency into the store's accumulated totals. With durability on
+// it runs inside the log's append mutex (see Durability), so snapshots
+// capture totals prefix-consistent with the log.
+func (e *Engine) publishCommit(st *txnState, imported, exported core.Distance) {
+	for _, o := range st.writes {
+		o.Lock()
+		o.CommitWrite(st.id)
+		o.Unlock()
+	}
+	e.store.AddCommittedInconsistency(imported, exported)
 }
 
 // Abort finishes an attempt unsuccessfully at the client's request:

@@ -41,6 +41,26 @@ func IsAbort(err error) (*AbortError, bool) {
 	return nil, false
 }
 
+// DurabilityError reports that a transaction committed in memory but
+// its log record could not be made durable (the log is closed, killed,
+// or poisoned by an I/O failure). The writes ARE visible to later
+// transactions; after a crash they may or may not be recovered. Clients
+// treat it like a lost commit response: outcome unknown.
+type DurabilityError struct {
+	// Txn is the committed attempt.
+	Txn core.TxnID
+	// Err is the log's failure.
+	Err error
+}
+
+// Error implements error.
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("tso: txn %d committed but not durable: %v", e.Txn, e.Err)
+}
+
+// Unwrap exposes the log failure to errors.As / errors.Is.
+func (e *DurabilityError) Unwrap() error { return e.Err }
+
 // ErrUnknownTxn is returned for operations on transactions the engine
 // does not know (never begun, or already committed/aborted).
 var ErrUnknownTxn = errors.New("tso: unknown or finished transaction")

@@ -98,7 +98,13 @@ type Engine struct {
 	// cancels its queued requests under mu, so an acquirer that enqueues
 	// under mu either sees the removal or has its request cancelled.
 	txns *txnshard.Map[*txnState]
+
+	// dur, when set, makes commits durable through the write-ahead log.
+	dur storage.Durability
 }
+
+// SetDurability routes commits through d. Call before serving traffic.
+func (e *Engine) SetDurability(d storage.Durability) { e.dur = d }
 
 // NewEngine returns a 2PL engine over the store. The collector and
 // parker may be nil.
@@ -216,6 +222,11 @@ func (e *Engine) Live() int { return e.txns.Len() }
 // Commit publishes writes and releases all locks. The registry's atomic
 // check-and-delete is the double-finish guard; requests the transaction
 // still has queued are cancelled before its footprint is released.
+//
+// With durability set, the commit record is logged and the writes
+// published under the log mutex, then the locks are released BEFORE
+// waiting on the group-commit fsync — holding 2PL locks across an fsync
+// would serialize the whole lock footprint on disk latency.
 func (e *Engine) Commit(txn core.TxnID) error {
 	st, ok := e.txns.Delete(txn)
 	if !ok {
@@ -225,13 +236,44 @@ func (e *Engine) Commit(txn core.TxnID) error {
 	wake := e.cancelRequestsLocked(txn)
 	e.mu.Unlock()
 	e.wakeCancelled(wake)
-	for _, o := range st.writes {
-		o.Lock()
-		o.CommitWrite(st.id)
-		o.Unlock()
+	publish := func() {
+		for _, o := range st.writes {
+			o.Lock()
+			o.CommitWrite(st.id)
+			o.Unlock()
+		}
+	}
+	var durAck storage.Ack
+	var durErr error
+	if e.dur != nil {
+		rec := &storage.TxnCommit{Txn: st.id, Kind: st.kind, TS: st.ts}
+		if len(st.writes) > 0 {
+			rec.Writes = make([]storage.CommittedWrite, 0, len(st.writes))
+			for _, o := range st.writes {
+				o.Lock()
+				if owner, dirty := o.Dirty(); dirty && owner == st.id {
+					rec.Writes = append(rec.Writes, storage.CommittedWrite{
+						Object: o.ID(), Value: o.Value(), TS: o.WriteTS(),
+					})
+				}
+				o.Unlock()
+			}
+		}
+		durAck, durErr = e.dur.LogCommit(rec, publish)
+		if durErr != nil {
+			publish()
+		}
+	} else {
+		publish()
 	}
 	e.releaseAll(st)
 	e.col.Commit()
+	if durErr == nil && durAck != nil {
+		durErr = durAck.Wait()
+	}
+	if durErr != nil {
+		return &tso.DurabilityError{Txn: st.id, Err: durErr}
+	}
 	return nil
 }
 

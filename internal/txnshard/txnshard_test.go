@@ -18,7 +18,7 @@ func TestStoreLoadDelete(t *testing.T) {
 	if v, ok := m.Load(1); !ok || v != "a" {
 		t.Errorf("Load(1) = %q, %v", v, ok)
 	}
-	if v, ok := m.Load(NumShards+1); !ok || v != "b" {
+	if v, ok := m.Load(NumShards + 1); !ok || v != "b" {
 		t.Errorf("Load(%d) = %q, %v", NumShards+1, v, ok)
 	}
 	if m.Len() != 3 {

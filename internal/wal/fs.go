@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the small filesystem surface the log needs: flat namespace (one
+// directory), append-only files. DirFS is the real implementation;
+// MemFS simulates crashes by discarding unsynced bytes, the torn-write
+// counterpart of the faultnet package's network faults.
+type FS interface {
+	// Create opens name for appending, truncating any existing content.
+	Create(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// List returns the names in the directory, sorted.
+	List() ([]string, error)
+	// Rename atomically replaces newName with oldName's content.
+	Rename(oldName, newName string) error
+	// Remove deletes name; missing files are not an error.
+	Remove(name string) error
+	// SyncDir makes completed creates/renames/removes durable.
+	SyncDir() error
+}
+
+// File is an append-only log file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	// Sync makes all written bytes durable.
+	Sync() error
+	Close() error
+}
+
+// DirFS is the production FS over one real directory.
+type DirFS struct {
+	dir string
+}
+
+// NewDirFS returns an FS rooted at dir, creating it if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+// Create implements FS.
+func (d *DirFS) Create(name string) (File, error) {
+	return os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// ReadFile implements FS.
+func (d *DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(d.dir, name))
+}
+
+// List implements FS.
+func (d *DirFS) List() ([]string, error) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (d *DirFS) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(d.dir, oldName), filepath.Join(d.dir, newName))
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(name string) error {
+	err := os.Remove(filepath.Join(d.dir, name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// SyncDir implements FS by fsyncing the directory fd, the POSIX way to
+// make renames and removals durable.
+func (d *DirFS) SyncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// MemFS is an in-memory FS that tracks which bytes have been synced, so
+// tests can crash the "machine" at any point and observe exactly what a
+// real disk would have retained: synced prefixes survive, unsynced tails
+// are lost or torn.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	data   []byte
+	synced int
+}
+
+// Create implements FS. Directory metadata (the file's existence) is
+// modeled as immediately durable; torn-tail coverage comes from data
+// bytes, which is where the interesting failure modes live.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{fs: m, name: name}
+	m.files[name] = f
+	return f, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("wal: memfs: %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (m *MemFS) Rename(oldName, newName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldName]
+	if !ok {
+		return fmt.Errorf("wal: memfs: rename %s: %w", oldName, os.ErrNotExist)
+	}
+	delete(m.files, oldName)
+	f.name = newName
+	m.files[newName] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+// SyncDir implements FS; MemFS directory metadata is always durable.
+func (m *MemFS) SyncDir() error { return nil }
+
+// Crash simulates a machine crash: for every file, bytes beyond the last
+// Sync are discarded, except that a random prefix of the unsynced tail
+// may survive (a torn write — disks flush partial blocks). A nil rng
+// drops every unsynced byte. Callers must stop all writers (Log.Kill)
+// first.
+func (m *MemFS) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		if unsynced := len(f.data) - f.synced; unsynced > 0 {
+			keep := f.synced
+			if rng != nil {
+				keep += rng.Intn(unsynced + 1)
+			}
+			f.data = f.data[:keep]
+			f.synced = keep
+		}
+	}
+}
+
+// CrashAt truncates the named file to exactly n bytes regardless of sync
+// state, for tests that probe every record boundary deterministically.
+func (m *MemFS) CrashAt(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("wal: memfs: %s: %w", name, os.ErrNotExist)
+	}
+	if n > len(f.data) {
+		n = len(f.data)
+	}
+	f.data = f.data[:n]
+	if f.synced > n {
+		f.synced = n
+	}
+	return nil
+}
+
+// Size returns the current length of the named file, 0 if absent.
+func (m *MemFS) Size(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return 0
+	}
+	return len(f.data)
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.synced = len(f.data)
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

@@ -1,0 +1,232 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// On-disk format. Every segment starts with an 8-byte magic; records
+// follow back to back, each framed as
+//
+//	[u32 payload length][u32 CRC32-C of payload][payload]
+//
+// all little-endian. A payload is
+//
+//	[u8 record type][u64 LSN][type-specific fields]
+//
+// The LSN lives inside the checksummed payload so replay can filter
+// records already covered by a snapshot and detect ordering corruption.
+// A frame whose length field, payload bytes, or CRC are incomplete or
+// wrong is a torn tail: recovery discards it and everything after it.
+
+// segMagic identifies a segment file and its format version.
+var segMagic = []byte("ESRWAL1\n")
+
+// castagnoli is the CRC32-C table (the polynomial used by modern storage
+// systems; hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// RecordType distinguishes the durable events.
+type RecordType uint8
+
+const (
+	// RecordCommit is one committed transaction: write set + final
+	// import/export inconsistency.
+	RecordCommit RecordType = 1
+	// RecordCreate is one object creation with initial value and limits.
+	RecordCreate RecordType = 2
+	// RecordLimits is a store-wide OIL/OEL rewrite (SetAllLimits).
+	RecordLimits RecordType = 3
+)
+
+// Record is one decoded log record, as surfaced by Scan and replay.
+type Record struct {
+	LSN  uint64
+	Type RecordType
+
+	// Commit is set for RecordCommit.
+	Commit *storage.TxnCommit
+
+	// Object and Value are set for RecordCreate.
+	Object core.ObjectID
+	Value  core.Value
+	// OIL and OEL are set for RecordCreate and RecordLimits.
+	OIL core.Distance
+	OEL core.Distance
+}
+
+func appendU8(b []byte, v uint8) []byte   { return append(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return appendU64(b, uint64(v)) }
+
+// appendCommitPayload encodes a commit record payload.
+func appendCommitPayload(b []byte, lsn uint64, rec *storage.TxnCommit) []byte {
+	b = appendU8(b, uint8(RecordCommit))
+	b = appendU64(b, lsn)
+	b = appendU64(b, uint64(rec.Txn))
+	b = appendU8(b, uint8(rec.Kind))
+	b = appendU64(b, uint64(rec.TS))
+	b = appendI64(b, int64(rec.Imported))
+	b = appendI64(b, int64(rec.Exported))
+	b = appendU32(b, uint32(len(rec.Writes)))
+	for _, w := range rec.Writes {
+		b = appendU32(b, uint32(w.Object))
+		b = appendI64(b, int64(w.Value))
+		b = appendU64(b, uint64(w.TS))
+	}
+	return b
+}
+
+// appendCreatePayload encodes an object-create record payload.
+func appendCreatePayload(b []byte, lsn uint64, id core.ObjectID, initial core.Value, oil, oel core.Distance) []byte {
+	b = appendU8(b, uint8(RecordCreate))
+	b = appendU64(b, lsn)
+	b = appendU32(b, uint32(id))
+	b = appendI64(b, int64(initial))
+	b = appendI64(b, int64(oil))
+	b = appendI64(b, int64(oel))
+	return b
+}
+
+// appendLimitsPayload encodes a set-all-limits record payload.
+func appendLimitsPayload(b []byte, lsn uint64, oil, oel core.Distance) []byte {
+	b = appendU8(b, uint8(RecordLimits))
+	b = appendU64(b, lsn)
+	b = appendI64(b, int64(oil))
+	b = appendI64(b, int64(oel))
+	return b
+}
+
+// appendFrame wraps a payload in the length+CRC frame.
+func appendFrame(dst, payload []byte) []byte {
+	dst = appendU32(dst, uint32(len(payload)))
+	dst = appendU32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...)
+}
+
+// frameOverhead is the per-record framing cost in bytes.
+const frameOverhead = 8
+
+// cursor is a bounds-checked little-endian reader over one payload.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) u8() uint8 {
+	if c.err != nil || c.off+1 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil || c.off+4 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil || c.off+8 > len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v
+}
+
+func (c *cursor) i64() int64 { return int64(c.u64()) }
+
+func (c *cursor) fail() {
+	if c.err == nil {
+		c.err = fmt.Errorf("wal: truncated record payload (%d bytes)", len(c.b))
+	}
+}
+
+// decodeRecord parses one checksummed payload. CRC validation happened
+// at the frame layer, so a malformed payload here is corruption the
+// checksum could not have produced — it is an error, not a torn tail.
+func decodeRecord(payload []byte) (Record, error) {
+	c := &cursor{b: payload}
+	rec := Record{Type: RecordType(c.u8()), LSN: c.u64()}
+	switch rec.Type {
+	case RecordCommit:
+		tc := &storage.TxnCommit{
+			Txn:      core.TxnID(c.u64()),
+			Kind:     core.Kind(c.u8()),
+			TS:       tsgen.Timestamp(c.u64()),
+			Imported: core.Distance(c.i64()),
+			Exported: core.Distance(c.i64()),
+		}
+		n := c.u32()
+		if c.err == nil && int(n) > (len(payload)-c.off)/20 {
+			return rec, fmt.Errorf("wal: commit record claims %d writes in %d bytes", n, len(payload)-c.off)
+		}
+		if n > 0 {
+			tc.Writes = make([]storage.CommittedWrite, 0, n)
+			for i := uint32(0); i < n; i++ {
+				tc.Writes = append(tc.Writes, storage.CommittedWrite{
+					Object: core.ObjectID(c.u32()),
+					Value:  core.Value(c.i64()),
+					TS:     tsgen.Timestamp(c.u64()),
+				})
+			}
+		}
+		rec.Commit = tc
+	case RecordCreate:
+		rec.Object = core.ObjectID(c.u32())
+		rec.Value = core.Value(c.i64())
+		rec.OIL = core.Distance(c.i64())
+		rec.OEL = core.Distance(c.i64())
+	case RecordLimits:
+		rec.OIL = core.Distance(c.i64())
+		rec.OEL = core.Distance(c.i64())
+	default:
+		return rec, fmt.Errorf("wal: unknown record type %d", rec.Type)
+	}
+	if c.err != nil {
+		return rec, c.err
+	}
+	if c.off != len(payload) {
+		return rec, fmt.Errorf("wal: record has %d trailing bytes", len(payload)-c.off)
+	}
+	return rec, nil
+}
+
+// nextFrame extracts the frame starting at off. ok=false with err=nil
+// means a clean end (off == len(data)) or a torn tail (anything
+// incomplete or checksum-mismatched); torn distinguishes the two.
+func nextFrame(data []byte, off int) (payload []byte, next int, ok, torn bool) {
+	if off == len(data) {
+		return nil, off, false, false
+	}
+	if off+frameOverhead > len(data) {
+		return nil, off, false, true
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	start := off + frameOverhead
+	if n < 0 || start+n > len(data) {
+		return nil, off, false, true
+	}
+	payload = data[start : start+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, off, false, true
+	}
+	return payload, start + n, true, false
+}

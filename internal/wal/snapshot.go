@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+// Snapshot files: `snap-%016x.snap` where the hex field is the LSN the
+// snapshot covers — replay applies only records with a greater LSN. The
+// file is [magic][u32 len][u32 crc][payload] (one frame, reusing the
+// record framing), written to a temp name, fsynced, renamed into place,
+// and the directory synced, so a named snapshot is always complete.
+
+// snapMagic identifies a snapshot file and its format version.
+var snapMagic = []byte("ESRSNP1\n")
+
+const snapTmpName = "snap.tmp"
+
+// segName formats a segment filename; lexicographic order equals
+// sequence order.
+func segName(seq uint64) string { return fmt.Sprintf("wal-%016x.seg", seq) }
+
+// snapName formats a snapshot filename for the covered LSN.
+func snapName(lsn uint64) string { return fmt.Sprintf("snap-%016x.snap", lsn) }
+
+// fileInfo is one classified directory entry.
+type fileInfo struct {
+	name string
+	seq  uint64 // segment sequence or snapshot LSN
+}
+
+// classify splits a directory listing into segments (ascending sequence)
+// and snapshots (ascending LSN), ignoring everything else.
+func classify(names []string) (segs, snaps []fileInfo, err error) {
+	for _, name := range names {
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			seq, serr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+			if serr != nil {
+				return nil, nil, fmt.Errorf("wal: unparseable segment name %q", name)
+			}
+			segs = append(segs, fileInfo{name: name, seq: seq})
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			lsn, serr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+			if serr != nil {
+				return nil, nil, fmt.Errorf("wal: unparseable snapshot name %q", name)
+			}
+			snaps = append(snaps, fileInfo{name: name, seq: lsn})
+		}
+	}
+	// fs.List returns sorted names and the fixed-width hex encodes order,
+	// but sort defensively against FS implementations that do not.
+	sortBySeq(segs)
+	sortBySeq(snaps)
+	return segs, snaps, nil
+}
+
+func sortBySeq(fis []fileInfo) {
+	for i := 1; i < len(fis); i++ {
+		for j := i; j > 0 && fis[j].seq < fis[j-1].seq; j-- {
+			fis[j], fis[j-1] = fis[j-1], fis[j]
+		}
+	}
+}
+
+// appendSnapshot encodes a full snapshot file image.
+func appendSnapshot(dst []byte, lsn uint64, st *storage.StoreState) []byte {
+	payload := appendU64(nil, lsn)
+	payload = appendI64(payload, int64(st.Imported))
+	payload = appendI64(payload, int64(st.Exported))
+	payload = appendU32(payload, uint32(len(st.Objects)))
+	for _, o := range st.Objects {
+		payload = appendU32(payload, uint32(o.ID))
+		payload = appendI64(payload, int64(o.Value))
+		payload = appendU64(payload, uint64(o.WriteTS))
+		payload = appendI64(payload, int64(o.OIL))
+		payload = appendI64(payload, int64(o.OEL))
+		payload = appendU32(payload, uint32(len(o.History)))
+		for _, h := range o.History {
+			payload = appendU64(payload, uint64(h.TS))
+			payload = appendI64(payload, int64(h.Value))
+		}
+	}
+	dst = append(dst, snapMagic...)
+	return appendFrame(dst, payload)
+}
+
+// decodeSnapshot parses a snapshot file image.
+func decodeSnapshot(data []byte) (*storage.StoreState, uint64, error) {
+	if len(data) < len(snapMagic) || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return nil, 0, fmt.Errorf("wal: bad snapshot magic")
+	}
+	payload, next, ok, torn := nextFrame(data, len(snapMagic))
+	if !ok || torn {
+		return nil, 0, fmt.Errorf("wal: snapshot frame torn or missing")
+	}
+	if next != len(data) {
+		return nil, 0, fmt.Errorf("wal: snapshot has %d trailing bytes", len(data)-next)
+	}
+	c := &cursor{b: payload}
+	lsn := c.u64()
+	st := &storage.StoreState{
+		Imported: core.Distance(c.i64()),
+		Exported: core.Distance(c.i64()),
+	}
+	n := c.u32()
+	if c.err == nil && int(n) > len(payload)/36 {
+		return nil, 0, fmt.Errorf("wal: snapshot claims %d objects in %d bytes", n, len(payload))
+	}
+	st.Objects = make([]storage.ObjectState, 0, n)
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		o := storage.ObjectState{
+			ID:      core.ObjectID(c.u32()),
+			Value:   core.Value(c.i64()),
+			WriteTS: tsgen.Timestamp(c.u64()),
+			OIL:     core.Distance(c.i64()),
+			OEL:     core.Distance(c.i64()),
+		}
+		hn := c.u32()
+		if c.err == nil && int(hn) > (len(payload)-c.off)/16 {
+			return nil, 0, fmt.Errorf("wal: snapshot object %d claims %d history entries", o.ID, hn)
+		}
+		o.History = make([]storage.HistEntry, 0, hn)
+		for j := uint32(0); j < hn; j++ {
+			o.History = append(o.History, storage.HistEntry{
+				TS:    tsgen.Timestamp(c.u64()),
+				Value: core.Value(c.i64()),
+			})
+		}
+		st.Objects = append(st.Objects, o)
+	}
+	if c.err != nil {
+		return nil, 0, c.err
+	}
+	if c.off != len(payload) {
+		return nil, 0, fmt.Errorf("wal: snapshot has %d undecoded payload bytes", len(payload)-c.off)
+	}
+	return st, lsn, nil
+}
+
+// writeSnapshot captures the store under the log mutex — so the capture
+// corresponds exactly to the log prefix ending at the captured LSN —
+// rolls the active segment, writes the snapshot durably, and only then
+// truncates the now-covered segments and older snapshots. Committer
+// goroutine only.
+func (l *Log) writeSnapshot() error {
+	if l.source == nil {
+		return nil
+	}
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	state := l.source.CaptureState()
+	lsn := l.nextLSN - 1
+	l.sinceSnap = 0
+	l.mu.Unlock()
+
+	// Everything at or below lsn that is already flushed lives in the
+	// segments listed so far; post-capture records are still buffered
+	// (only this goroutine flushes) and will land in the new segment.
+	covered := append([]string(nil), l.segNames...)
+	if err := l.rollSegment(); err != nil {
+		l.poison(err)
+		return err
+	}
+	l.segNames = l.segNames[len(l.segNames)-1:]
+
+	data := appendSnapshot(nil, lsn, state)
+	f, err := l.fs.Create(snapTmpName)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := l.fs.Rename(snapTmpName, snapName(lsn)); err != nil {
+		return err
+	}
+	if err := l.fs.SyncDir(); err != nil {
+		return err
+	}
+
+	// The snapshot is durable: covered segments and superseded snapshots
+	// are dead weight now. Removal failures are logged, not fatal — the
+	// files are ignored by recovery anyway.
+	for _, name := range covered {
+		if err := l.fs.Remove(name); err != nil && l.opts.Logf != nil {
+			l.opts.Logf("wal: truncate %s: %v", name, err)
+		}
+	}
+	names, err := l.fs.List()
+	if err == nil {
+		_, snaps, cerr := classify(names)
+		if cerr == nil {
+			for _, sn := range snaps {
+				if sn.seq < lsn {
+					if err := l.fs.Remove(sn.name); err != nil && l.opts.Logf != nil {
+						l.opts.Logf("wal: remove old snapshot %s: %v", sn.name, err)
+					}
+				}
+			}
+		}
+	}
+	l.snapLSN = lsn
+	return nil
+}

@@ -1,0 +1,543 @@
+// Package wal is the durability layer (DESIGN.md §10): an append-only,
+// segmented, CRC-framed write-ahead log with batched-fsync group commit,
+// periodic full-store snapshots with log truncation, and crash recovery
+// that rebuilds the store, the bounded per-object history, and the
+// accumulated epsilon accounting exactly.
+//
+// Group commit: appenders encode their record into the pending batch
+// under the log mutex and receive an Ack; a single committer goroutine
+// flushes the batch to the active segment on a size or time trigger —
+// one write, one fsync — and releases every waiting Ack at once. At the
+// default 1ms sync interval this amortizes the fsync across all commits
+// that arrived in the window, which is what keeps durable throughput
+// within sight of the in-memory engine instead of collapsing to the
+// disk's sync rate (the ≥10× criterion tracked in BENCH_hotpath.json).
+//
+// Atomicity contract: LogCommit appends the record and runs the
+// caller's publish callback (which makes the writes visible) under one
+// mutex. Log order therefore respects inter-transaction dependency
+// order — a transaction that read another's committed write always
+// appears later in the log — and a snapshot captured under the same
+// mutex corresponds exactly to a log prefix [.., LSN].
+package wal
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultSyncInterval = time.Millisecond
+	DefaultBatchBytes   = 256 << 10
+	DefaultSegmentBytes = 4 << 20
+)
+
+// ErrLogClosed is returned for appends after Close.
+var ErrLogClosed = errors.New("wal: log closed")
+
+// ErrLogKilled resolves in-flight acks when the log is killed mid-run
+// (crash simulation): the commit may or may not be durable.
+var ErrLogKilled = errors.New("wal: log killed before batch was synced")
+
+// Options configures a Log.
+type Options struct {
+	// SyncInterval is the group-commit window: the committer flushes the
+	// pending batch at least this often. Zero means DefaultSyncInterval;
+	// negative disables batching and fsyncs after every append (the
+	// per-transaction baseline the benchmarks compare against).
+	SyncInterval time.Duration
+	// BatchBytes flushes the batch early once this many encoded bytes
+	// are pending. Zero means DefaultBatchBytes.
+	BatchBytes int
+	// SegmentBytes rolls to a new segment file once the active one
+	// reaches this size. Zero means DefaultSegmentBytes.
+	SegmentBytes int
+	// SnapshotEvery takes a store snapshot (and truncates the log) after
+	// this many records. Zero disables automatic snapshots; Snapshot can
+	// still be called explicitly.
+	SnapshotEvery int
+	// Collector receives fsync latency and batch-size histograms.
+	Collector *metrics.Collector
+	// Logf receives diagnostics (snapshot failures); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// ack is the durability ticket: closed by the committer once the
+// record's batch is synced (or failed).
+type ack struct {
+	ch  chan struct{}
+	err error
+}
+
+// Wait implements storage.Ack.
+func (a *ack) Wait() error {
+	<-a.ch
+	return a.err
+}
+
+// Log is a write-ahead log over one FS directory. It implements
+// storage.Durability. All appends are safe for concurrent use; the
+// committer goroutine owns the segment files.
+type Log struct {
+	fs   FS
+	opts Options
+	// source is the store snapshots capture; set by Open/Recover.
+	source *storage.Store
+
+	// mu guards the pending batch and LSN state. Lock order: mu before
+	// store/object locks (the publish callbacks), never the reverse.
+	mu        sync.Mutex
+	buf       []byte // encoded frames awaiting flush
+	spare     []byte // previous batch's buffer, reused
+	scratch   []byte // payload staging, reused per append
+	pending   []*ack // acks awaiting the next flush
+	pendSpare []*ack
+	nextLSN   uint64
+	sinceSnap int
+	closed    bool
+	err       error // sticky: first sync failure poisons the log
+
+	// Committer-owned segment state (no mu needed: single goroutine
+	// after startup).
+	seg      File
+	segSeq   uint64
+	segBytes int
+	segNames []string
+	snapLSN  uint64
+
+	flushCh chan struct{}
+	snapCh  chan chan error
+	quit    chan struct{}
+	killCh  chan struct{}
+	done    chan struct{}
+}
+
+// Open creates or resumes a log over fs without replaying (use Recover
+// for the full open-with-replay path). source is the store snapshots
+// capture; it may be nil for logs that never snapshot (tests).
+func Open(fs FS, source *storage.Store, opts Options) (*Log, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	segs, _, err := classify(names)
+	if err != nil {
+		return nil, err
+	}
+	info := RecoveryInfo{NextLSN: 1}
+	for _, s := range segs {
+		info.segments = append(info.segments, s.name)
+		info.lastSegSeq = s.seq
+	}
+	return newLog(fs, source, info, opts)
+}
+
+// newLog builds the Log and starts its committer.
+func newLog(fs FS, source *storage.Store, info RecoveryInfo, opts Options) (*Log, error) {
+	if opts.BatchBytes <= 0 {
+		opts.BatchBytes = DefaultBatchBytes
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	nextLSN := info.NextLSN
+	if nextLSN == 0 {
+		nextLSN = 1
+	}
+	l := &Log{
+		fs:       fs,
+		opts:     opts,
+		source:   source,
+		nextLSN:  nextLSN,
+		segSeq:   info.lastSegSeq,
+		segNames: append([]string(nil), info.segments...),
+		snapLSN:  info.SnapshotLSN,
+		flushCh:  make(chan struct{}, 1),
+		snapCh:   make(chan chan error),
+		quit:     make(chan struct{}),
+		killCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// The committer is not running yet, so rolling here is single-
+	// threaded; every pre-existing segment stays listed for truncation
+	// by the next snapshot.
+	if err := l.rollSegment(); err != nil {
+		return nil, err
+	}
+	go l.run()
+	return l, nil
+}
+
+// LogCommit implements storage.Durability: the record is framed into the
+// pending batch and publish runs, atomically with respect to other
+// appends and snapshot captures. The returned Ack resolves when the
+// batch is synced. On error (closed or poisoned log) publish has NOT
+// run; the caller decides whether to publish anyway.
+func (l *Log) LogCommit(rec *storage.TxnCommit, publish func()) (storage.Ack, error) {
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return nil, err
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.scratch = appendCommitPayload(l.scratch[:0], lsn, rec)
+	l.buf = appendFrame(l.buf, l.scratch)
+	if publish != nil {
+		publish()
+	}
+	a := l.enqueueAckLocked()
+	big := len(l.buf) >= l.opts.BatchBytes
+	l.mu.Unlock()
+	if big || l.opts.SyncInterval < 0 {
+		l.nudge()
+	}
+	return a, nil
+}
+
+// LogCreate implements storage.Durability: apply runs under the log
+// mutex first; only if it succeeds is the create record appended. The
+// call returns once the record is durable.
+func (l *Log) LogCreate(id core.ObjectID, initial core.Value, oil, oel core.Distance, apply func() error) error {
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if apply != nil {
+		if err := apply(); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.scratch = appendCreatePayload(l.scratch[:0], lsn, id, initial, oil, oel)
+	l.buf = appendFrame(l.buf, l.scratch)
+	a := l.enqueueAckLocked()
+	l.mu.Unlock()
+	l.nudge()
+	return a.Wait()
+}
+
+// LogSetAllLimits implements storage.Durability.
+func (l *Log) LogSetAllLimits(oil, oel core.Distance, apply func()) error {
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		if apply != nil {
+			// The in-memory sweep must happen even when it cannot be
+			// made durable.
+			apply()
+		}
+		return err
+	}
+	if apply != nil {
+		apply()
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.scratch = appendLimitsPayload(l.scratch[:0], lsn, oil, oel)
+	l.buf = appendFrame(l.buf, l.scratch)
+	a := l.enqueueAckLocked()
+	l.mu.Unlock()
+	l.nudge()
+	return a.Wait()
+}
+
+// Sync is a durability barrier: it returns once everything appended
+// before the call is synced.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	a := l.enqueueAckLocked()
+	l.mu.Unlock()
+	l.nudge()
+	return a.Wait()
+}
+
+// Snapshot captures the store and truncates the log, synchronously.
+func (l *Log) Snapshot() error {
+	done := make(chan error, 1)
+	select {
+	case l.snapCh <- done:
+	case <-l.done:
+		return ErrLogClosed
+	}
+	select {
+	case err := <-done:
+		return err
+	case <-l.done:
+		return ErrLogClosed
+	}
+}
+
+// Close flushes the pending batch, stops the committer and closes the
+// active segment. Further appends fail with ErrLogClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.quit)
+	<-l.done
+	var err error
+	if l.seg != nil {
+		err = l.seg.Close()
+	}
+	l.mu.Lock()
+	if l.err != nil {
+		err = l.err
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// Kill stops the committer WITHOUT flushing the pending batch —
+// simulating the process dying mid-run. In-flight acks resolve with
+// ErrLogKilled; the segment file is left exactly as the last completed
+// flush left it, ready for MemFS.Crash to shear the unsynced tail.
+func (l *Log) Kill() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return
+	}
+	l.closed = true
+	if l.err == nil {
+		l.err = ErrLogKilled
+	}
+	l.mu.Unlock()
+	close(l.killCh)
+	<-l.done
+}
+
+// Err returns the sticky log error (nil while healthy).
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// usableLocked gates appends; requires mu.
+func (l *Log) usableLocked() error {
+	if l.closed {
+		return ErrLogClosed
+	}
+	return l.err
+}
+
+// enqueueAckLocked registers an ack on the pending batch; requires mu.
+func (l *Log) enqueueAckLocked() *ack {
+	a := &ack{ch: make(chan struct{})}
+	l.pending = append(l.pending, a)
+	l.sinceSnap++
+	return a
+}
+
+// nudge asks the committer to flush now.
+func (l *Log) nudge() {
+	select {
+	case l.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// poison records the first fatal I/O error; every later append and ack
+// fails with it.
+func (l *Log) poison(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+}
+
+// run is the committer goroutine: the only place segment writes, fsyncs,
+// rolls and snapshots happen (the locksafe analyzer enforces this).
+func (l *Log) run() {
+	defer close(l.done)
+	var tickC <-chan time.Time
+	if l.opts.SyncInterval > 0 {
+		t := time.NewTicker(l.opts.SyncInterval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-l.killCh:
+			l.failPending(ErrLogKilled)
+			return
+		case <-l.quit:
+			l.flushOnce()
+			return
+		case <-l.flushCh:
+			l.flushOnce()
+		case <-tickC:
+			l.flushOnce()
+		case done := <-l.snapCh:
+			l.flushOnce()
+			done <- l.writeSnapshot()
+			continue
+		}
+		if l.opts.SnapshotEvery > 0 {
+			l.mu.Lock()
+			due := l.sinceSnap >= l.opts.SnapshotEvery
+			l.mu.Unlock()
+			if due {
+				if err := l.writeSnapshot(); err != nil && l.opts.Logf != nil {
+					l.opts.Logf("wal: snapshot failed: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// flushOnce swaps the pending batch out under the mutex, writes and
+// fsyncs it outside, then releases every waiting ack — one fsync for
+// the whole batch.
+func (l *Log) flushOnce() {
+	l.mu.Lock()
+	buf := l.buf
+	l.buf = l.spare[:0]
+	l.spare = buf
+	pending := l.pending
+	l.pending = l.pendSpare[:0]
+	l.pendSpare = pending
+	err := l.err
+	l.mu.Unlock()
+	if len(buf) == 0 && len(pending) == 0 {
+		return
+	}
+	if err == nil {
+		if l.opts.SyncInterval < 0 {
+			err = l.writeEachSynced(buf)
+		} else {
+			err = l.writeBatchSynced(buf, len(pending))
+		}
+	}
+	if err != nil {
+		l.poison(err)
+	}
+	for i, a := range pending {
+		a.err = err
+		close(a.ch)
+		pending[i] = nil
+	}
+	if err == nil && l.segBytes >= l.opts.SegmentBytes {
+		if rerr := l.rollSegment(); rerr != nil {
+			l.poison(rerr)
+		}
+	}
+}
+
+// writeBatchSynced writes the whole batch and fsyncs once — the group
+// commit path: one disk flush covers every record in the batch.
+func (l *Log) writeBatchSynced(buf []byte, records int) error {
+	start := time.Now()
+	if len(buf) > 0 {
+		if _, err := l.seg.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err := l.seg.Sync(); err != nil {
+		return err
+	}
+	l.opts.Collector.ObserveLatency(metrics.LatFsync, time.Since(start))
+	l.opts.Collector.ObserveWALBatch(int64(records))
+	l.segBytes += len(buf)
+	return nil
+}
+
+// writeEachSynced writes and fsyncs frame by frame: the per-transaction
+// baseline pays one fsync per record even when appends arrive
+// concurrently, so the group-commit comparison measures batching rather
+// than accidental nudge coalescing.
+func (l *Log) writeEachSynced(buf []byte) error {
+	for off := 0; off < len(buf); {
+		_, next, ok, _ := nextFrame(buf, off)
+		if !ok {
+			// Impossible for frames we encoded ourselves; flush the rest
+			// in one piece rather than lose bytes.
+			next = len(buf)
+		}
+		start := time.Now()
+		if _, err := l.seg.Write(buf[off:next]); err != nil {
+			return err
+		}
+		if err := l.seg.Sync(); err != nil {
+			return err
+		}
+		l.opts.Collector.ObserveLatency(metrics.LatFsync, time.Since(start))
+		l.opts.Collector.ObserveWALBatch(1)
+		l.segBytes += next - off
+		off = next
+	}
+	return nil
+}
+
+// failPending resolves every waiting ack with err (Kill path: the batch
+// is abandoned, not flushed).
+func (l *Log) failPending(err error) {
+	l.mu.Lock()
+	pending := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	for _, a := range pending {
+		a.err = err
+		close(a.ch)
+	}
+}
+
+// rollSegment closes the active segment and opens the next one.
+func (l *Log) rollSegment() error {
+	if l.seg != nil {
+		if err := l.seg.Close(); err != nil {
+			return err
+		}
+	}
+	l.segSeq++
+	return l.openSegment(l.segSeq)
+}
+
+// openSegment creates and syncs a fresh segment file with its header.
+func (l *Log) openSegment(seq uint64) error {
+	name := segName(seq)
+	f, err := l.fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := l.fs.SyncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	l.seg = f
+	l.segBytes = len(segMagic)
+	l.segNames = append(l.segNames, name)
+	return nil
+}

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench 'EngineHotPath|WireRoundTrip' -benchmem -benchtime=1s . | tee "$raw"
+go test -run '^$' -bench 'EngineHotPath|WireRoundTrip|WALCommit' -benchmem -benchtime=1s . | tee "$raw"
 
 # Standard benchmark lines look like:
 #   BenchmarkEngineHotPath/serial-8  123456  987.6 ns/op  296 B/op  2 allocs/op
