@@ -10,8 +10,11 @@ test:
 
 # lint runs the repo's custom analyzer suite (DESIGN.md, "Static
 # invariants") in whole-program mode, so the cross-package checks
-# (wire<->server exhaustiveness) run too. The same binary works as a
-# vettool: go vet -vettool=$$(go env GOPATH)/bin/esr-lint ./...
+# (wire<->server exhaustiveness, lock-order cycles) run too. The same
+# binary works as a vettool: go vet -vettool=$$(go env GOPATH)/bin/esr-lint ./...
+# CI uses scripts/lint-ci.sh instead, which builds the binary and runs
+# it directly: `go run` collapses the exit-2 (operational error) code
+# into 1.
 lint:
 	$(GO) run ./cmd/esr-lint ./...
 

@@ -1,14 +1,20 @@
-// esr-lint is the repo's custom vet suite: the four analyzers under
+// esr-lint is the repo's custom vet suite: the seven analyzers under
 // internal/analysis (epsiloncheck, locksafe, wireexhaustive,
-// atomicmetrics) behind two drivers.
+// atomicmetrics, lockorder, goleak, errprop) behind two drivers.
 //
 // Standalone (what `make lint` runs):
 //
-//	go run ./cmd/esr-lint ./...
+//	go run ./cmd/esr-lint [-run analyzers] [-json] [packages]
 //
 // loads the named packages (default ./...) as one program, runs every
-// analyzer — including the cross-package ones — and exits 1 if anything
-// is reported.
+// analyzer — including the cross-package ones — and exits with a stable
+// code: 0 clean, 1 diagnostics reported, 2 operational failure (bad
+// flags, packages failed to load). -run selects a comma-separated subset
+// of analyzers; -json emits machine-readable output for CI:
+//
+//	{"diagnostics": [{"analyzer": ..., "file": ..., "line": ...,
+//	  "column": ..., "message": ...}, ...],
+//	 "suppressed": [...]}   // findings waived by //lint:ignore
 //
 // Vettool (the `go vet` unit-at-a-time protocol):
 //
@@ -24,6 +30,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +42,9 @@ import (
 	"github.com/epsilondb/epsilondb/internal/analysis"
 	"github.com/epsilondb/epsilondb/internal/analysis/atomicmetrics"
 	"github.com/epsilondb/epsilondb/internal/analysis/epsiloncheck"
+	"github.com/epsilondb/epsilondb/internal/analysis/errprop"
+	"github.com/epsilondb/epsilondb/internal/analysis/goleak"
+	"github.com/epsilondb/epsilondb/internal/analysis/lockorder"
 	"github.com/epsilondb/epsilondb/internal/analysis/locksafe"
 	"github.com/epsilondb/epsilondb/internal/analysis/wireexhaustive"
 )
@@ -45,6 +55,9 @@ var analyzers = []*analysis.Analyzer{
 	locksafe.Analyzer,
 	wireexhaustive.Analyzer,
 	atomicmetrics.Analyzer,
+	lockorder.Analyzer,
+	goleak.Analyzer,
+	errprop.Analyzer,
 }
 
 func main() {
@@ -53,6 +66,8 @@ func main() {
 
 	versionFlag := flag.String("V", "", "print version and exit (go vet tool protocol)")
 	flagsFlag := flag.Bool("flags", false, "print flag definitions as JSON and exit (go vet tool protocol)")
+	jsonFlag := flag.Bool("json", false, "emit machine-readable JSON diagnostics (standalone driver only)")
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all; standalone driver only)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -84,7 +99,7 @@ func main() {
 		unitcheck(args[0])
 		return
 	}
-	standalone(args)
+	standalone(args, *runFlag, *jsonFlag)
 }
 
 func usage() {
@@ -95,23 +110,98 @@ func usage() {
 	}
 }
 
-// standalone loads the whole program and runs every analyzer over it.
-func standalone(patterns []string) {
+// standalone loads the whole program and runs the selected analyzers
+// over it. Exit codes: 0 clean, 1 findings, 2 operational failure.
+func standalone(patterns []string, run string, asJSON bool) {
+	selected, err := selectAnalyzers(run)
+	if err != nil {
+		log.Print(err)
+		os.Exit(2)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	prog, err := analysis.Load(".", patterns...)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(2)
 	}
-	diags, err := prog.Run(analyzers)
+	res, err := prog.RunDetailed(selected)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if asJSON {
+		if err := json.NewEncoder(os.Stdout).Encode(jsonReport(res)); err != nil {
+			log.Print(err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
+	if len(res.Diagnostics) > 0 {
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves a -run list against the suite.
+func selectAnalyzers(run string) ([]*analysis.Analyzer, error) {
+	if run == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, analyzerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames() string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// jsonDiag is one diagnostic in -json output.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+type report struct {
+	Diagnostics []jsonDiag `json:"diagnostics"`
+	Suppressed  []jsonDiag `json:"suppressed"`
+}
+
+func jsonReport(res *analysis.Result) report {
+	conv := func(in []analysis.Diagnostic) []jsonDiag {
+		out := make([]jsonDiag, 0, len(in))
+		for _, d := range in {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		return out
+	}
+	return report{Diagnostics: conv(res.Diagnostics), Suppressed: conv(res.Suppressed)}
 }

@@ -8,13 +8,18 @@
 //   - a package loader (Load) that shells out to `go list -export` and
 //     typechecks source against compiler export data, exactly the way
 //     `go vet` feeds its unitchecker;
-//   - a driver (Program.Run) that executes analyzers per package or over
-//     the whole program, for cross-package invariants such as
-//     wire-protocol exhaustiveness.
+//   - a driver (Program.Run / RunDetailed) that executes analyzers per
+//     package or over the whole program, for cross-package invariants
+//     such as wire-protocol exhaustiveness, and applies the
+//     //lint:ignore suppression grammar (ignore.go);
+//   - a flow layer for flow-sensitive checks: an intraprocedural CFG
+//     (cfg.go), a generic forward dataflow fixpoint (dataflow.go), and a
+//     program-level call graph with property propagation (callgraph.go).
 //
 // The concrete analyzers live in the subpackages epsiloncheck, locksafe,
-// wireexhaustive, and atomicmetrics; DESIGN.md ("Static invariants")
-// documents the invariant each one enforces and how to add a new one.
+// wireexhaustive, atomicmetrics, lockorder, goleak, and errprop;
+// DESIGN.md ("Static invariants") documents the invariant each one
+// enforces and how to add a new one.
 package analysis
 
 import (
@@ -106,10 +111,30 @@ func (prog *Program) Package(name string) *Package {
 	return nil
 }
 
-// Run executes the analyzers and returns their findings sorted by
-// position. Per-package analyzers visit every loaded package;
-// program-level analyzers run once.
+// Run executes the analyzers and returns their unsuppressed findings
+// sorted by position. Per-package analyzers visit every loaded package;
+// program-level analyzers run once. Diagnostics covered by a
+// //lint:ignore directive (ignore.go) are dropped; malformed directives
+// are reported.
 func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	res, err := prog.RunDetailed(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// Result is the detailed outcome of one driver run.
+type Result struct {
+	// Diagnostics are the reportable (unsuppressed) findings, sorted.
+	Diagnostics []Diagnostic
+	// Suppressed are the findings waived by //lint:ignore directives,
+	// sorted; drivers surface them for audit (esr-lint -json).
+	Suppressed []Diagnostic
+}
+
+// RunDetailed is Run with the suppressed findings kept for inspection.
+func (prog *Program) RunDetailed(analyzers []*Analyzer) (*Result, error) {
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
 	for _, a := range analyzers {
@@ -127,6 +152,16 @@ func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	idx, malformed := buildIgnoreIndex(prog)
+	kept, suppressed := idx.suppress(diags)
+	kept = append(kept, malformed...)
+	sortDiags(kept)
+	sortDiags(suppressed)
+	return &Result{Diagnostics: kept, Suppressed: suppressed}, nil
+}
+
+// sortDiags orders diagnostics by position then message.
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -140,7 +175,6 @@ func (prog *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
 }
 
 // NewInfo returns a types.Info with every result map allocated.

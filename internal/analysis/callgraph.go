@@ -1,0 +1,195 @@
+package analysis
+
+// A program-level call graph over static call sites, for the
+// interprocedural side of the flow-sensitive analyzers: lockorder
+// propagates "may block" and "locks acquired" summaries along it, goleak
+// resolves `go f()` spawns of named functions through it. Only calls the
+// typechecker can resolve to a concrete *types.Func are edges — direct
+// function calls and method calls through a concrete receiver. Interface
+// dispatch and calls through function values are not modeled; analyzers
+// that care about specific interface methods (storage.Ack.Wait) match
+// them by name and receiver type at the call site instead.
+//
+// Calls made inside a `go`-spawned function literal are attributed to
+// the spawned body, not the spawning function: spawning does not run the
+// callee in the caller's context, and lock/block summaries must not leak
+// across that boundary. Other function literals (deferred, immediately
+// called, passed as callbacks) are attributed to their enclosing
+// declaration, since they typically run within the caller's dynamic
+// extent.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CallSite is one resolved static call.
+type CallSite struct {
+	// Callee is the called function or method.
+	Callee *types.Func
+	// Call is the call expression.
+	Call *ast.CallExpr
+	// Pos is the call position.
+	Pos token.Pos
+}
+
+// CallGraph is the program's static call structure.
+type CallGraph struct {
+	// Decls maps every function and method with a body to its
+	// declaration and the package it lives in.
+	Decls map[*types.Func]*FuncSource
+	// Calls maps a caller to the sites it may invoke. Callers absent
+	// from Decls (no body loaded) have no entry.
+	Calls map[*types.Func][]CallSite
+}
+
+// FuncSource is where a function's body lives.
+type FuncSource struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// BuildCallGraph indexes every loaded package's declarations and call
+// sites.
+func BuildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{
+		Decls: make(map[*types.Func]*FuncSource),
+		Calls: make(map[*types.Func][]CallSite),
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Decls[obj] = &FuncSource{Pkg: pkg, Decl: fn}
+				g.collectCalls(pkg, obj, fn.Body)
+			}
+		}
+	}
+	return g
+}
+
+// collectCalls records the call sites in body attributed to caller,
+// descending into function literals except go-spawned ones.
+func (g *CallGraph) collectCalls(pkg *Package, caller *types.Func, body ast.Node) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned callee's own body is indexed when its FuncDecl
+			// is visited (named spawn) or not at all (literal spawn —
+			// goleak analyzes those bodies directly). Arguments to the
+			// call are still evaluated by the caller.
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if callee := ResolveCallee(pkg.Info, n); callee != nil {
+				g.Calls[caller] = append(g.Calls[caller], CallSite{Callee: callee, Call: n, Pos: n.Pos()})
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// ResolveCallee returns the statically-known *types.Func a call invokes,
+// or nil for interface dispatch, function values and builtins.
+func ResolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Propagate computes the least fixed point of a backward property over
+// the graph: a function has the property if seed reports it directly or
+// it calls (statically) a function that has it. It returns the full set.
+func (g *CallGraph) Propagate(seed func(fn *types.Func, src *FuncSource) bool) map[*types.Func]bool {
+	has := make(map[*types.Func]bool)
+	// Reverse edges for worklist propagation.
+	callers := make(map[*types.Func][]*types.Func)
+	for caller, sites := range g.Calls {
+		for _, site := range sites {
+			callers[site.Callee] = append(callers[site.Callee], caller)
+		}
+	}
+	var work []*types.Func
+	for fn, src := range g.Decls {
+		if seed(fn, src) {
+			has[fn] = true
+			work = append(work, fn)
+		}
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range callers[fn] {
+			if !has[caller] {
+				has[caller] = true
+				work = append(work, caller)
+			}
+		}
+	}
+	return has
+}
+
+// PropagateSet computes, for every function, the union of a per-function
+// item set with the sets of everything it statically calls — e.g. "locks
+// this function may acquire, transitively". direct supplies each
+// function's own items.
+func (g *CallGraph) PropagateSet(direct func(fn *types.Func, src *FuncSource) map[string]token.Pos) map[*types.Func]map[string]token.Pos {
+	sets := make(map[*types.Func]map[string]token.Pos)
+	for fn, src := range g.Decls {
+		sets[fn] = direct(fn, src)
+		if sets[fn] == nil {
+			sets[fn] = map[string]token.Pos{}
+		}
+	}
+	// Iterate to fixpoint; the sets only grow and are bounded by the
+	// program's lock population, so this terminates quickly.
+	changed := true
+	for changed {
+		changed = false
+		for caller, sites := range g.Calls {
+			dst, ok := sets[caller]
+			if !ok {
+				continue
+			}
+			for _, site := range sites {
+				for item, pos := range sets[site.Callee] {
+					if _, seen := dst[item]; !seen {
+						dst[item] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sets
+}

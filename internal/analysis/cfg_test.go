@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses `func f() { <src> }` and returns the body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "x.go", "package p\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestTerminates(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"empty", "", true},
+		{"return", "return", true},
+		{"infinite loop", "for {\n}", false},
+		{"infinite loop with sleep", "for {\n_ = 1\n}", false},
+		{"conditional loop", "for x := 0; x < 10; x++ {\n}", true},
+		{"loop with break", "for {\nbreak\n}", true},
+		{"loop with return", "for {\nreturn\n}", true},
+		{"loop with cond return", "for {\nif true {\nreturn\n}\n}", true},
+		{"empty select", "select {\n}", false},
+		{"select loop no escape", "for {\nselect {\ncase <-ch:\n}\n}", false},
+		{"select loop with return", "for {\nselect {\ncase <-ch:\nreturn\n}\n}", true},
+		{"select loop labeled break", "L:\nfor {\nselect {\ncase <-ch:\nbreak L\n}\n}", true},
+		{"panic", "panic(1)", true},
+		{"goto forever", "L:\ngoto L", false},
+		{"goto forward", "goto L\nL:\nreturn", true},
+		{"range loop", "for range xs {\n}", true},
+		{"dead code after infinite loop", "for {\n}\nreturn", false},
+		{"nested infinite outer", "for {\nfor {\nbreak\n}\n}", false},
+		{"switch falls through", "switch x {\ncase 1:\n}", true},
+		{"break inside switch stays in loop", "for {\nswitch x {\ncase 1:\nbreak\n}\n}", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewCFG(parseBody(t, tc.src))
+			if got := g.Terminates(); got != tc.want {
+				t.Errorf("Terminates(%q) = %v, want %v", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFlowBranchRefinement checks that facts are refined per edge: a
+// counter incremented in the true branch only must reach the join as the
+// join of both sides.
+func TestFlowBranchRefinement(t *testing.T) {
+	body := parseBody(t, "if cond {\na()\n} else {\nb()\n}\nc()")
+	g := NewCFG(body)
+
+	// Fact: set of call names seen on the path (joined by intersection
+	// for "must have called").
+	type fact = map[string]bool
+	fl := &Flow[fact]{
+		CFG:  g,
+		Init: fact{},
+		Clone: func(f fact) fact {
+			out := fact{}
+			for k := range f {
+				out[k] = true
+			}
+			return out
+		},
+		Join: func(dst, src fact) bool {
+			changed := false
+			for k := range dst {
+				if !src[k] {
+					delete(dst, k)
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, f fact) fact {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						f[id.Name] = true
+					}
+				}
+				return true
+			})
+			return f
+		},
+	}
+	ins := fl.Run()
+
+	// Find the block containing the c() call: neither a nor b is a
+	// must-call there, since only one branch ran.
+	found := false
+	for b, f := range ins {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok || call.Fun.(*ast.Ident).Name != "c" {
+				continue
+			}
+			found = true
+			if f["a"] || f["b"] {
+				t.Errorf("at c(): must-call fact contains a branch-only call: %v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("c() call not found in any reachable block")
+	}
+}
+
+// TestCondEdgeOrder pins the true-edge-first contract Branch refinement
+// relies on.
+func TestCondEdgeOrder(t *testing.T) {
+	body := parseBody(t, "if cond {\na()\n} else {\nb()\n}")
+	g := NewCFG(body)
+	var condBlk *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			condBlk = b
+			break
+		}
+	}
+	if condBlk == nil {
+		t.Fatal("no conditional block")
+	}
+	if len(condBlk.Succs) != 2 {
+		t.Fatalf("cond block has %d successors, want 2", len(condBlk.Succs))
+	}
+	hasCall := func(b *Block, name string) bool {
+		found := false
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+		}
+		return found
+	}
+	if !hasCall(condBlk.Succs[0], "a") {
+		t.Error("Succs[0] is not the true (then) branch")
+	}
+	if !hasCall(condBlk.Succs[1], "b") {
+		t.Error("Succs[1] is not the false (else) branch")
+	}
+}

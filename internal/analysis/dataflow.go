@@ -1,0 +1,83 @@
+package analysis
+
+// Forward dataflow over a CFG: the generic fixpoint engine under the
+// flow-sensitive analyzers. An analyzer supplies a fact type T (held-lock
+// sets for lockorder, taint sets for epsiloncheck, contract bits for the
+// publish-under-log-mutex rule), a transfer function applied node by
+// node, and a join; the engine iterates to a fixpoint and hands back the
+// fact at every reachable block's entry. Analyzers then replay the
+// transfer over each block once more with reporting enabled — replay is
+// deterministic, so diagnostics come out stable without the fixpoint
+// needing to know about them.
+
+import (
+	"go/ast"
+)
+
+// Flow configures one forward dataflow problem over a CFG.
+type Flow[T any] struct {
+	// CFG is the graph to analyze.
+	CFG *CFG
+	// Init is the fact at the function entry.
+	Init T
+	// Clone copies a fact so block-local mutation stays local.
+	Clone func(T) T
+	// Join merges src into dst, reporting whether dst changed. The
+	// lattice must be finite-height for termination (sets over program
+	// identifiers are).
+	Join func(dst, src T) bool
+	// Transfer applies one node's effect to the fact, in place or by
+	// returning a replacement.
+	Transfer func(n ast.Node, fact T) T
+	// Branch, when set, refines the fact flowing across a conditional
+	// edge: cond is the block's condition, taken the edge's direction.
+	// It must not mutate fact; it returns the refined fact (possibly
+	// fact itself).
+	Branch func(cond ast.Expr, taken bool, fact T) T
+}
+
+// Run iterates to a fixpoint and returns the entry fact of every
+// reachable block. Unreachable blocks are absent from the result.
+func (fl *Flow[T]) Run() map[*Block]T {
+	in := make(map[*Block]T)
+	in[fl.CFG.Entry] = fl.Clone(fl.Init)
+	work := []*Block{fl.CFG.Entry}
+	queued := map[*Block]bool{fl.CFG.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := fl.Clone(in[b])
+		for _, n := range b.Nodes {
+			out = fl.Transfer(n, out)
+		}
+		for i, succ := range b.Succs {
+			edgeFact := out
+			if b.Cond != nil && fl.Branch != nil && i < 2 {
+				edgeFact = fl.Branch(b.Cond, i == 0, out)
+			}
+			cur, seen := in[succ]
+			if !seen {
+				in[succ] = fl.Clone(edgeFact)
+			} else if !fl.Join(cur, edgeFact) {
+				continue
+			}
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// Replay applies the transfer over one block from its entry fact,
+// invoking visit before each node with the fact in force at that node.
+// Analyzers use it after Run to report with flow context.
+func (fl *Flow[T]) Replay(b *Block, entry T, visit func(n ast.Node, fact T)) {
+	fact := fl.Clone(entry)
+	for _, n := range b.Nodes {
+		visit(n, fact)
+		fact = fl.Transfer(n, fact)
+	}
+}

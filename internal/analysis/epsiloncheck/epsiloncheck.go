@@ -17,6 +17,23 @@
 // them. Because every protected field is unexported, a violation can only
 // originate inside the declaring package; the analyzer therefore gives
 // complete coverage even under per-package (go vet -vettool) execution.
+//
+// Two flow rules sharpen the write rule:
+//
+//   - In the declaring package, raw arithmetic on a protected field (a
+//     read feeding +, -, *, / or %) is confined to the allowed writers
+//     plus a per-rule arithmetic allowlist (e.g. Accumulator.Remaining,
+//     which computes the root headroom). Any other in-package arithmetic
+//     is a bounds computation happening outside the accounting helpers.
+//
+//   - Outside internal/core, inconsistency values obtained from the
+//     accounting accessors (Accumulator.Total/Used/Limit/Remaining,
+//     Object.OIL/OEL/ExportDistance) are tracked through local variables
+//     with a forward taint dataflow over the CFG (see taint.go). Raw
+//     arithmetic on a tainted value is reported; comparisons and passing
+//     the value to another function — the blessed flows — are not.
+//     Because core.Distance is an alias of int64, provenance, not type
+//     identity, is what the analysis tracks.
 package epsiloncheck
 
 import (
@@ -41,13 +58,22 @@ type rule struct {
 	typ     string   // declaring named type
 	fields  []string // protected fields
 	writers []string // functions/methods allowed to write them
+	arith   []string // additional functions allowed raw arithmetic on them
 }
 
 var rules = []rule{
-	{"core", "Accumulator", []string{"used", "limits"}, []string{"NewAccumulator", "Init", "Admit", "Reset"}},
-	{"core", "AggregateTracker", []string{"minmax", "order"}, []string{"NewAggregateTracker", "Observe", "Reset"}},
-	{"storage", "Object", []string{"oil", "oel"}, []string{"NewObject", "SetLimits"}},
-	{"storage", "Object", []string{"maxQueryReadTS", "maxUpdateReadTS"}, []string{"NewObject", "RecordRead"}},
+	{"core", "Accumulator", []string{"used", "limits"}, []string{"NewAccumulator", "Init", "Admit", "Reset"}, []string{"Remaining"}},
+	{"core", "AggregateTracker", []string{"minmax", "order"}, []string{"NewAggregateTracker", "Observe", "Reset"}, nil},
+	{"storage", "Object", []string{"oil", "oel"}, []string{"NewObject", "SetLimits"}, nil},
+	{"storage", "Object", []string{"maxQueryReadTS", "maxUpdateReadTS"}, []string{"NewObject", "RecordRead"}, nil},
+}
+
+// arithOps are the operators that count as raw arithmetic. Comparisons
+// are deliberately absent: checking a bound is reading it, not computing
+// a new one.
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.QUO: true, token.REM: true,
 }
 
 // findRule returns the rule protecting (pkg, typ, field), if any.
@@ -68,11 +94,15 @@ func findRule(pkg, typ, field string) *rule {
 
 func run(pass *analysis.Pass) error {
 	pkg := pass.Pkg
+	taint := pkg.Types.Name() != "core"
 	for _, file := range pkg.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if ok && fn.Body != nil {
 				checkFunc(pass, fn)
+				if taint {
+					checkTaint(pass, fn.Body)
+				}
 			}
 		}
 	}
@@ -93,6 +123,11 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			// &x.field escapes the field for arbitrary later writes.
 			if n.Op == token.AND {
 				checkWrite(pass, fn, n.X)
+			}
+		case *ast.BinaryExpr:
+			if arithOps[n.Op] {
+				checkArith(pass, fn, n.X)
+				checkArith(pass, fn, n.Y)
 			}
 		case *ast.CompositeLit:
 			checkCompositeLit(pass, fn, n)
@@ -129,6 +164,32 @@ func checkWrite(pass *analysis.Pass, fn *ast.FuncDecl, lhs ast.Expr) {
 		r.pkg, r.typ, field.Name(), strings.Join(r.writers, ", "))
 }
 
+// checkArith reports operand if it denotes a protected field read by an
+// arithmetic operator and fn may neither write the field nor compute
+// with it (the rule's arith allowlist).
+func checkArith(pass *analysis.Pass, fn *ast.FuncDecl, operand ast.Expr) {
+	sel := baseSelector(operand)
+	if sel == nil {
+		return
+	}
+	selection := pass.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	field := selection.Obj()
+	typ := namedName(selection.Recv())
+	if typ == "" || field.Pkg() == nil {
+		return
+	}
+	r := findRule(field.Pkg().Name(), typ, field.Name())
+	if r == nil || allowed(r, fn) || allowedArith(r, fn) {
+		return
+	}
+	pass.Reportf(operand.Pos(),
+		"raw arithmetic on inconsistency accounting field %s.%s.%s outside its accounting helpers (allowed: %s)",
+		r.pkg, r.typ, field.Name(), strings.Join(append(append([]string{}, r.writers...), r.arith...), ", "))
+}
+
 // checkCompositeLit reports protected fields initialized by keyed
 // composite literals outside the allowed writers.
 func checkCompositeLit(pass *analysis.Pass, fn *ast.FuncDecl, lit *ast.CompositeLit) {
@@ -162,6 +223,16 @@ func checkCompositeLit(pass *analysis.Pass, fn *ast.FuncDecl, lit *ast.Composite
 // allowed reports whether fn is one of the rule's permitted writers.
 func allowed(r *rule, fn *ast.FuncDecl) bool {
 	for _, w := range r.writers {
+		if fn.Name.Name == w {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedArith reports whether fn is on the rule's arithmetic allowlist.
+func allowedArith(r *rule, fn *ast.FuncDecl) bool {
+	for _, w := range r.arith {
 		if fn.Name.Name == w {
 			return true
 		}

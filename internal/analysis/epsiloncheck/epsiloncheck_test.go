@@ -8,5 +8,5 @@ import (
 )
 
 func TestEpsiloncheck(t *testing.T) {
-	analysistest.Run(t, "testdata", epsiloncheck.Analyzer, "core", "storage")
+	analysistest.Run(t, "testdata", epsiloncheck.Analyzer, "core", "storage", "client")
 }

@@ -1,0 +1,304 @@
+package epsiloncheck
+
+// Out-of-core taint tracking (DESIGN.md §7): an inconsistency value
+// pulled out of the accounting machinery through a read accessor may be
+// compared, stored, returned, or handed to another function — but not
+// recombined with arithmetic. The paper's control loop depends on every
+// derived bound passing back through the Accumulator's saturating,
+// bottom-up checks; a caller that computes `remaining - d` by hand
+// silently drops the saturation and the group levels. The analysis is a
+// forward may-taint dataflow over the CFG: accessor results taint the
+// locals they are assigned to, assignments propagate and reassignments
+// clear, and arithmetic on a tainted operand is reported with the
+// accessor the value came from.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/epsilondb/epsilondb/internal/analysis"
+)
+
+// accessorRule names the read accessors of one protected type whose
+// results carry inconsistency values. Matching is by package, type, and
+// method name, like the write rules, so goldens can model the real types.
+type accessorRule struct {
+	pkg, typ string
+	methods  map[string]bool
+}
+
+var taintSources = []accessorRule{
+	{"core", "Accumulator", sset("Total", "Used", "Limit", "Remaining")},
+	{"storage", "Object", sset("OIL", "OEL", "ExportDistance")},
+}
+
+func sset(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// taintFact maps each tainted local to the accessor its value traces to.
+type taintFact map[types.Object]string
+
+// checkTaint runs the taint dataflow over one function body, then over
+// every function literal it contains (each literal is its own CFG; taint
+// does not flow through captures).
+func checkTaint(pass *analysis.Pass, body *ast.BlockStmt) {
+	analyzeTaint(pass, body)
+	for _, lit := range directLits(body) {
+		checkTaint(pass, lit.Body)
+	}
+}
+
+// directLits returns the function literals in body that are not nested
+// inside another literal.
+func directLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+			return false
+		}
+		return true
+	})
+	return lits
+}
+
+func analyzeTaint(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := analysis.NewCFG(body)
+	fl := &analysis.Flow[taintFact]{
+		CFG:  g,
+		Init: taintFact{},
+		Clone: func(f taintFact) taintFact {
+			out := make(taintFact, len(f))
+			for k, v := range f {
+				out[k] = v
+			}
+			return out
+		},
+		Join: func(dst, src taintFact) bool {
+			changed := false
+			for k, v := range src {
+				if _, ok := dst[k]; !ok {
+					dst[k] = v
+					changed = true
+				}
+			}
+			return changed
+		},
+		Transfer: func(n ast.Node, f taintFact) taintFact {
+			taintTransfer(pass, n, f)
+			return f
+		},
+	}
+	ins := fl.Run()
+
+	// Replay each reachable block once, in construction order, reporting
+	// arithmetic with the fact in force at each node.
+	blocks := make([]*analysis.Block, 0, len(ins))
+	for b := range ins {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Index < blocks[j].Index })
+	for _, b := range blocks {
+		fl.Replay(b, ins[b], func(n ast.Node, f taintFact) {
+			reportTaintedArith(pass, n, f)
+		})
+	}
+}
+
+// taintTransfer applies one CFG node's effect on the taint fact. Only
+// assignments and declarations move taint; everything else is a read.
+func taintTransfer(pass *analysis.Pass, n ast.Node, f taintFact) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			// Compound assignment: the target keeps its taint and absorbs
+			// the operand's.
+			src := exprSource(pass, f, s.Lhs[0])
+			if src == "" {
+				src = exprSource(pass, f, s.Rhs[0])
+			}
+			setTaint(pass, f, s.Lhs[0], src)
+			return
+		}
+		if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+			// Multi-value call: every target shares the source's taint.
+			src := exprSource(pass, f, s.Rhs[0])
+			for _, lhs := range s.Lhs {
+				setTaint(pass, f, lhs, src)
+			}
+			return
+		}
+		for i, lhs := range s.Lhs {
+			if i < len(s.Rhs) {
+				setTaint(pass, f, lhs, exprSource(pass, f, s.Rhs[i]))
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				var src string
+				switch {
+				case len(vs.Values) == len(vs.Names):
+					src = exprSource(pass, f, vs.Values[i])
+				case len(vs.Values) == 1:
+					src = exprSource(pass, f, vs.Values[0])
+				}
+				if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+					if src != "" {
+						f[obj] = src
+					} else {
+						delete(f, obj)
+					}
+				}
+			}
+		}
+	}
+}
+
+// setTaint records (or clears, when src is empty) the taint of an
+// assignment target. Only plain identifiers are tracked: a write through
+// a field or index leaves the flow, and the write rules own that case.
+func setTaint(pass *analysis.Pass, f taintFact, lhs ast.Expr, src string) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := pass.Pkg.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Pkg.Info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if src != "" {
+		f[obj] = src
+	} else {
+		delete(f, obj)
+	}
+}
+
+// exprSource reports the accessor a value expression traces to, or "".
+// Calls are boundaries: handing a tainted value to a function is the
+// blessed flow, so arguments are not inspected — except conversions,
+// which keep the operand's identity.
+func exprSource(pass *analysis.Pass, f taintFact, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Pkg.Info.Uses[e]; obj != nil {
+			return f[obj]
+		}
+	case *ast.ParenExpr:
+		return exprSource(pass, f, e.X)
+	case *ast.UnaryExpr:
+		return exprSource(pass, f, e.X)
+	case *ast.BinaryExpr:
+		if src := exprSource(pass, f, e.X); src != "" {
+			return src
+		}
+		return exprSource(pass, f, e.Y)
+	case *ast.CallExpr:
+		if src := accessorSource(pass, e); src != "" {
+			return src
+		}
+		if tv, ok := pass.Pkg.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return exprSource(pass, f, e.Args[0])
+		}
+	}
+	return ""
+}
+
+// accessorSource reports whether call invokes a taint-source accessor,
+// returning its qualified name.
+func accessorSource(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection := pass.Pkg.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return ""
+	}
+	m := selection.Obj()
+	typ := namedName(selection.Recv())
+	if typ == "" || m.Pkg() == nil {
+		return ""
+	}
+	for _, a := range taintSources {
+		if a.pkg == m.Pkg().Name() && a.typ == typ && a.methods[m.Name()] {
+			return a.pkg + "." + a.typ + "." + m.Name()
+		}
+	}
+	return ""
+}
+
+// reportTaintedArith walks one CFG node and reports arithmetic whose
+// operands carry inconsistency taint. Only the outermost tainted
+// expression is reported; compound statements that the CFG re-expands
+// elsewhere (range bodies, selects, literals) are not descended into.
+func reportTaintedArith(pass *analysis.Pass, n ast.Node, f taintFact) {
+	switch s := n.(type) {
+	case *ast.RangeStmt:
+		// Head node carries the whole statement; the body has its own
+		// blocks. Only the range expression is evaluated here.
+		reportTaintedArith(pass, s.X, f)
+		return
+	case *ast.SelectStmt:
+		// Clause bodies and comm statements appear as their own nodes.
+		return
+	case *ast.IncDecStmt:
+		if src := exprSource(pass, f, s.X); src != "" {
+			pass.Reportf(s.Pos(), taintMessage(src))
+		}
+		return
+	case *ast.AssignStmt:
+		if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+			if src := exprSource(pass, f, s.Lhs[0]); src != "" {
+				pass.Reportf(s.Pos(), taintMessage(src))
+				return
+			}
+			if src := exprSource(pass, f, s.Rhs[0]); src != "" {
+				pass.Reportf(s.Pos(), taintMessage(src))
+				return
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if !arithOps[m.Op] {
+				return true
+			}
+			src := exprSource(pass, f, m.X)
+			if src == "" {
+				src = exprSource(pass, f, m.Y)
+			}
+			if src != "" {
+				pass.Reportf(m.Pos(), taintMessage(src))
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func taintMessage(src string) string {
+	return "raw arithmetic on an inconsistency value from " + src +
+		" outside internal/core: route the bound through the accounting helpers"
+}

@@ -1,0 +1,82 @@
+// Package client models an engine-side consumer of the accounting
+// accessors: the flow-sensitive taint cases for epsiloncheck. Reading,
+// comparing, storing, returning, and passing an inconsistency value to a
+// helper are all blessed flows; arithmetic on one is not.
+package client
+
+import (
+	"github.com/epsilondb/epsilondb/internal/analysis/epsiloncheck/testdata/src/core"
+	"github.com/epsilondb/epsilondb/internal/analysis/epsiloncheck/testdata/src/storage"
+)
+
+// report reads, compares, and routes the value back through a helper:
+// no diagnostics.
+func report(a *core.Accumulator, o *storage.Object) (int64, bool) {
+	d := a.Total()
+	if d > o.OIL() {
+		return d, false
+	}
+	return d, a.Admit(0, d)
+}
+
+// scaled computes with a tainted local directly.
+func scaled(a *core.Accumulator) int64 {
+	d := a.Total()
+	return d * 2 // want `raw arithmetic on an inconsistency value from core\.Accumulator\.Total`
+}
+
+// headroom misuses the sanctioned accessor's result.
+func headroom(a *core.Accumulator) int64 {
+	return a.Remaining() - 1 // want `raw arithmetic on an inconsistency value from core\.Accumulator\.Remaining`
+}
+
+// propagated carries taint through a plain assignment and a compound one.
+func propagated(o *storage.Object) int64 {
+	lim := o.OEL()
+	copied := lim
+	copied += 3 // want `raw arithmetic on an inconsistency value from storage\.Object\.OEL`
+	return copied
+}
+
+// bumped increments a tainted local.
+func bumped(o *storage.Object) int64 {
+	lim := o.OIL()
+	lim++ // want `raw arithmetic on an inconsistency value from storage\.Object\.OIL`
+	return lim
+}
+
+// reassigned is the flow-sensitive case: overwriting the local with a
+// clean value on every path clears the taint.
+func reassigned(a *core.Accumulator) int64 {
+	d := a.Total()
+	if d > 10 {
+		return d
+	}
+	d = 0
+	return d + 1 // clean: the accessor's value was overwritten
+}
+
+// merged is the may-join case: tainted on one branch only is still
+// tainted after the join.
+func merged(a *core.Accumulator, cond bool) int64 {
+	var d int64
+	if cond {
+		d = a.Total()
+	}
+	return d + 1 // want `raw arithmetic on an inconsistency value from core\.Accumulator\.Total`
+}
+
+// converted keeps identity through a type conversion.
+func converted(a *core.Accumulator) float64 {
+	f := float64(a.Total())
+	return f / 2 // want `raw arithmetic on an inconsistency value from core\.Accumulator\.Total`
+}
+
+// exported taints through the multi-valued accessor.
+func exported(o *storage.Object, v int64) int64 {
+	d, ok := o.ExportDistance(v)
+	if !ok {
+		return 0
+	}
+	return d / 2 // want `raw arithmetic on an inconsistency value from storage\.Object\.ExportDistance`
+}

@@ -47,6 +47,18 @@ func (a *Accumulator) Reset() {
 // Total only reads accounting state: no diagnostic.
 func (a *Accumulator) Total() Distance { return a.used[0] }
 
+// Remaining is on the arithmetic allowlist: its raw subtraction over the
+// protected slices is the sanctioned headroom computation.
+func (a *Accumulator) Remaining() Distance {
+	return a.limits[0] - a.used[0]
+}
+
+// headroomByHand recomputes the bound outside the allowlist: both
+// protected operands are flagged.
+func (a *Accumulator) headroomByHand() Distance {
+	return a.limits[0] - a.used[0] // want `raw arithmetic on inconsistency accounting field core\.Accumulator\.limits` `raw arithmetic on inconsistency accounting field core\.Accumulator\.used`
+}
+
 // ForceCharge bypasses the bounds check: every mutation is flagged.
 func (a *Accumulator) ForceCharge(g int, d Distance) {
 	a.used[g] += d  // want `accounting field core\.Accumulator\.used written outside`

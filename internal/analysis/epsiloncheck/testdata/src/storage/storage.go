@@ -38,6 +38,13 @@ func (o *Object) RecordRead(ts uint64, fromQuery bool) {
 // OIL only reads: no diagnostic.
 func (o *Object) OIL() int64 { return o.oil }
 
+// OEL only reads: no diagnostic.
+func (o *Object) OEL() int64 { return o.oel }
+
+// ExportDistance mirrors the multi-valued accessor; the model computes
+// nothing from the protected fields.
+func (o *Object) ExportDistance(v int64) (int64, bool) { return v, v != 0 }
+
 // loosen widens the object's limits outside SetLimits: flagged.
 func (o *Object) loosen() {
 	o.oel++ // want `accounting field storage\.Object\.oel written outside`

@@ -1,0 +1,12 @@
+package errprop_test
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/analysistest"
+	"github.com/epsilondb/epsilondb/internal/analysis/errprop"
+)
+
+func TestErrprop(t *testing.T) {
+	analysistest.Run(t, "testdata", errprop.Analyzer, "storage", "wal", "client")
+}

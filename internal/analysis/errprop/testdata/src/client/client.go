@@ -1,0 +1,58 @@
+// Package client exercises the errprop analyzer: every way a durability
+// error can be dropped, and the shapes that consume it properly.
+package client
+
+import (
+	"github.com/epsilondb/epsilondb/internal/analysis/errprop/testdata/src/storage"
+	"github.com/epsilondb/epsilondb/internal/analysis/errprop/testdata/src/wal"
+)
+
+// savedErr is written by stash below and never read anywhere.
+var savedErr error
+
+// DurabilityError mirrors the engines' typed wrapper; the contract is
+// that discarded-looking errors are in fact wrapped and returned.
+type DurabilityError struct{ Err error }
+
+func (e *DurabilityError) Error() string { return "durability: " + e.Err.Error() }
+
+func drops(d storage.Durability, l *wal.Log) {
+	d.LogCreate(1, nil) // want `error result of Durability.LogCreate discarded`
+
+	_ = l.Sync() // want `error result of Log.Sync discarded`
+
+	_, _ = d.LogCommit(&storage.TxnCommit{}, nil) // want `error result of Durability.LogCommit discarded`
+
+	savedErr = l.Sync() // want `error result of Log.Sync assigned to savedErr but never read`
+
+	go l.Sync() // want `error result of Log.Sync lost in go statement`
+
+	defer l.Sync() // want `error result of Log.Sync lost in defer`
+
+	l.Kill() // no error result: nothing to drop
+}
+
+// ignoredDurabilityError is the annotated form of a deliberate drop: the
+// suppression needs a reason and is surfaced by esr-lint -json.
+func ignoredDurabilityError(d storage.Durability) {
+	//lint:ignore errprop limit sweep must proceed on a poisoned log; commits surface the failure
+	d.LogSetAllLimits(1, 2, nil)
+}
+
+func handles(d storage.Durability, l *wal.Log) error {
+	if err := l.Sync(); err != nil {
+		return &DurabilityError{Err: err}
+	}
+	ack, err := d.LogCommit(&storage.TxnCommit{}, func() {})
+	if err != nil {
+		return &DurabilityError{Err: err}
+	}
+	if err := ack.Wait(); err != nil {
+		return &DurabilityError{Err: err}
+	}
+	lg, err := wal.Open("dir")
+	if err != nil {
+		return err
+	}
+	return lg.Close()
+}

@@ -1,0 +1,16 @@
+// Package storage is the golden model of the durability surface the
+// errprop analyzer guards: the Durability and Ack interfaces.
+package storage
+
+// TxnCommit mirrors the durability commit record.
+type TxnCommit struct{ Txn int }
+
+// Ack mirrors the group-commit acknowledgement handle.
+type Ack interface{ Wait() error }
+
+// Durability mirrors the engine-facing durability interface.
+type Durability interface {
+	LogCommit(rec *TxnCommit, publish func()) (Ack, error)
+	LogCreate(id int, apply func() error) error
+	LogSetAllLimits(oil, oel int64, apply func()) error
+}

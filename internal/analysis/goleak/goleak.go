@@ -1,0 +1,67 @@
+// Package goleak checks goroutine ownership: every `go` statement must
+// spawn a function with a reachable termination path. A goroutine whose
+// body's only steady state is an unbreakable loop — `for {}` with no
+// reachable break or return, or `for { select { ... } }` where no case
+// leaves the loop — can never be shut down, survives Close/Shutdown, and
+// accumulates across reconnects and test runs.
+//
+// The check is intraprocedural and structural: it asks whether the CFG's
+// exit is reachable, not whether the program ever takes that path. A
+// polling loop guarded by a condition or a select with a quit-channel
+// case therefore passes; the analyzer's job is to force every spawn to
+// HAVE a shutdown edge, and the fault-injection harness's job is to
+// exercise it. Spawns of function values and interface methods are
+// skipped — there is no body to inspect.
+package goleak
+
+import (
+	"go/ast"
+
+	"github.com/epsilondb/epsilondb/internal/analysis"
+)
+
+// Analyzer is the goleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:         "goleak",
+	Doc:          "every go statement must spawn a function with a reachable termination path",
+	ProgramLevel: true,
+	Run:          run,
+}
+
+func run(pass *analysis.Pass) error {
+	graph := analysis.BuildCallGraph(pass.Program)
+	for _, pkg := range pass.Program.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				check(pass, pkg, graph, g)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, pkg *analysis.Package, graph *analysis.CallGraph, g *ast.GoStmt) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if !analysis.NewCFG(fun.Body).Terminates() {
+			pass.Reportf(g.Pos(), "goroutine has no reachable termination path: add a quit/stop case that returns or breaks the loop")
+		}
+	default:
+		callee := analysis.ResolveCallee(pkg.Info, g.Call)
+		if callee == nil {
+			return // function value or interface method: no body to inspect
+		}
+		src, ok := graph.Decls[callee]
+		if !ok {
+			return // body not loaded (other module, export-data only)
+		}
+		if !analysis.NewCFG(src.Decl.Body).Terminates() {
+			pass.Reportf(g.Pos(), "goroutine %s has no reachable termination path: add a quit/stop case that returns or breaks the loop", callee.Name())
+		}
+	}
+}

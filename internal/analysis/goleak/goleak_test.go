@@ -1,0 +1,12 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/analysistest"
+	"github.com/epsilondb/epsilondb/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer, "spawn")
+}

@@ -1,0 +1,68 @@
+// Package spawn exercises the goleak analyzer: every `go` statement
+// must spawn a body whose CFG can reach its exit.
+package spawn
+
+import "time"
+
+// forever has no termination path at all.
+func forever() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// pollUntil exits when its condition turns false: a conditional loop
+// always has the exit edge.
+func pollUntil(done *bool) {
+	for !*done {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// serve drains its channel until a quit signal returns out of the loop.
+func serve(work chan int, quit chan struct{}) {
+	for {
+		select {
+		case <-work:
+		case <-quit:
+			return
+		}
+	}
+}
+
+func spawnAll(work chan int, quit chan struct{}, done *bool) {
+	go forever() // want `goroutine forever has no reachable termination path`
+	go pollUntil(done)
+	go serve(work, quit)
+
+	go func() { // want `goroutine has no reachable termination path`
+		for {
+			select {
+			case <-work:
+			}
+		}
+	}()
+
+	go func() {
+		for {
+			select {
+			case <-work:
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	go func() { // want `goroutine has no reachable termination path`
+		select {}
+	}()
+
+	go func() {
+		for {
+			if *done {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}

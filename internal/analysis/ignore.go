@@ -1,0 +1,134 @@
+package analysis
+
+// //lint:ignore — the suppression grammar (DESIGN.md §7). A directive
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses diagnostics from the named analyzers on the line it
+// annotates: its own line when it trails code, the line directly below
+// when it stands alone. The reason is mandatory: a suppression without a
+// recorded justification is itself reported (analyzer "lint"), so `make
+// lint` cannot be quieted silently. Suppressed diagnostics are counted
+// and surfaced by `esr-lint -json` so CI can audit what is being waived.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool
+	reason    string
+	pos       token.Position
+}
+
+const ignorePrefix = "lint:ignore"
+
+// ignoreIndex maps filename -> line -> directives covering that line.
+type ignoreIndex map[string]map[int][]*ignoreDirective
+
+// buildIgnoreIndex scans every file's comments for lint:ignore
+// directives. Malformed directives (no analyzers, or no reason) are
+// returned as diagnostics.
+func buildIgnoreIndex(prog *Program) (ignoreIndex, []Diagnostic) {
+	idx := make(ignoreIndex)
+	var malformed []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			codeCol := firstCodeColumns(prog, f)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+					names, reason, ok := splitIgnore(rest)
+					if !ok {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "lint",
+							Pos:      pos,
+							Message:  "malformed //lint:ignore directive: want `//lint:ignore <analyzer>[,<analyzer>] <reason>`",
+						})
+						continue
+					}
+					d := &ignoreDirective{analyzers: names, reason: reason, pos: pos}
+					lines := idx[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*ignoreDirective)
+						idx[pos.Filename] = lines
+					}
+					if col, hasCode := codeCol[pos.Line]; hasCode && col < pos.Column {
+						// Trailing form: code precedes the comment, so the
+						// directive annotates its own line only.
+						lines[pos.Line] = append(lines[pos.Line], d)
+					} else {
+						// Standalone form: the directive annotates the
+						// line below it.
+						lines[pos.Line+1] = append(lines[pos.Line+1], d)
+					}
+				}
+			}
+		}
+	}
+	return idx, malformed
+}
+
+// firstCodeColumns maps each source line of f to the smallest column at
+// which a non-comment node starts, distinguishing trailing directives
+// (code before them on the line) from standalone ones.
+func firstCodeColumns(prog *Program, f *ast.File) map[int]int {
+	cols := make(map[int]int)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		pos := prog.Fset.Position(n.Pos())
+		if cur, ok := cols[pos.Line]; !ok || pos.Column < cur {
+			cols[pos.Line] = pos.Column
+		}
+		return true
+	})
+	return cols
+}
+
+// splitIgnore parses "<names> <reason>"; names is a comma-separated
+// analyzer list.
+func splitIgnore(s string) (names map[string]bool, reason string, ok bool) {
+	fields := strings.SplitN(s, " ", 2)
+	if len(fields) < 2 || strings.TrimSpace(fields[1]) == "" {
+		return nil, "", false
+	}
+	names = make(map[string]bool)
+	for _, n := range strings.Split(fields[0], ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			return nil, "", false
+		}
+		names[n] = true
+	}
+	return names, strings.TrimSpace(fields[1]), true
+}
+
+// suppress partitions diags into kept and suppressed under the index.
+func (idx ignoreIndex) suppress(diags []Diagnostic) (kept, suppressed []Diagnostic) {
+	for _, d := range diags {
+		matched := false
+		for _, dir := range idx[d.Pos.Filename][d.Pos.Line] {
+			if dir.analyzers[d.Analyzer] {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			suppressed = append(suppressed, d)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// progFromSource builds a minimal Program (no type information — the
+// ignore index only reads comments) from one file.
+func progFromSource(t *testing.T, src string) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Program{Fset: fset, Packages: []*Package{{Files: []*ast.File{f}}}}
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore errprop deliberate: sweep must proceed
+	a()
+	b() //lint:ignore lockorder,errprop handoff releases the lock
+	c()
+}
+`
+	prog := progFromSource(t, src)
+	idx, malformed := buildIgnoreIndex(prog)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+
+	diag := func(analyzer string, line int) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: "x.go", Line: line}}
+	}
+	kept, suppressed := idx.suppress([]Diagnostic{
+		diag("errprop", 5),   // a(): standalone directive covers next line
+		diag("lockorder", 6), // b(): trailing directive covers own line
+		diag("errprop", 6),   // b(): second analyzer in the list
+		diag("errprop", 7),   // c(): not covered
+		diag("goleak", 5),    // a(): analyzer not named by the directive
+	})
+	if len(suppressed) != 3 {
+		t.Errorf("suppressed %d diagnostics, want 3: %v", len(suppressed), suppressed)
+	}
+	if len(kept) != 2 {
+		t.Errorf("kept %d diagnostics, want 2: %v", len(kept), kept)
+	}
+}
+
+func TestIgnoreMalformed(t *testing.T) {
+	src := `package p
+
+//lint:ignore
+func f() {}
+
+//lint:ignore errprop
+func g() {}
+`
+	prog := progFromSource(t, src)
+	_, malformed := buildIgnoreIndex(prog)
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed diagnostics, want 2: %v", len(malformed), malformed)
+	}
+	for _, d := range malformed {
+		if d.Analyzer != "lint" {
+			t.Errorf("malformed directive attributed to %q, want \"lint\"", d.Analyzer)
+		}
+		if !strings.Contains(d.Message, "malformed") {
+			t.Errorf("unexpected message %q", d.Message)
+		}
+	}
+}

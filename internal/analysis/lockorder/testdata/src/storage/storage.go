@@ -1,0 +1,46 @@
+// Package storage is the golden model of the real internal/storage
+// surface the lockorder analyzer keys on: Object with Lock/Unlock
+// wrapper methods over its own mutex, Store with a directly-locked
+// RWMutex, and the Durability/Ack interfaces.
+package storage
+
+import "sync"
+
+// Object mirrors storage.Object: the mutex is wrapped by Lock/Unlock
+// methods, so acquisitions from other packages resolve to
+// "storage.Object.mu".
+type Object struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (o *Object) Lock()   { o.mu.Lock() }
+func (o *Object) Unlock() { o.mu.Unlock() }
+
+// Commit publishes a committed value; callers hold the object lock.
+func (o *Object) Commit(v int64) { o.v = v }
+
+// Store mirrors storage.Store's directly-locked table mutex.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[int]*Object
+}
+
+// Insert adds an object under the table lock.
+func (s *Store) Insert(id int, o *Object) {
+	s.mu.Lock()
+	s.objects[id] = o
+	s.mu.Unlock()
+}
+
+// TxnCommit mirrors the durability commit record.
+type TxnCommit struct{ Txn int }
+
+// Ack mirrors the group-commit acknowledgement handle.
+type Ack interface{ Wait() error }
+
+// Durability mirrors the engine-facing durability interface.
+type Durability interface {
+	LogCommit(rec *TxnCommit, publish func()) (Ack, error)
+	LogCreate(id int, apply func() error) error
+}

@@ -1,0 +1,76 @@
+// Package tso is the golden model of the timestamp-ordering engine's
+// commit path for the publish-under-log-mutex contract: publishCommit may
+// run inside the LogCommit callback, on the durability-off path, or on
+// the log-error fallback path — anywhere else is a violation.
+package tso
+
+import (
+	"github.com/epsilondb/epsilondb/internal/analysis/lockorder/testdata/src/storage"
+)
+
+// Engine mirrors tso.Engine.
+type Engine struct {
+	dur  storage.Durability
+	objs []*storage.Object
+}
+
+// publishCommit installs the committed values; the analyzer treats any
+// method of this name as the publish step.
+func (e *Engine) publishCommit(v int64) {
+	for _, o := range e.objs {
+		o.Lock()
+		o.Commit(v)
+		o.Unlock()
+	}
+}
+
+// Commit follows the contract on every path: the callback runs under the
+// WAL's log mutex, the else-branch knows durability is off, and the
+// error branch knows the log write already failed.
+func (e *Engine) Commit(v int64) error {
+	var ack storage.Ack
+	var err error
+	if d := e.dur; d != nil {
+		rec := &storage.TxnCommit{}
+		ack, err = d.LogCommit(rec, func() { e.publishCommit(v) })
+		if err != nil {
+			e.publishCommit(v)
+		}
+	} else {
+		e.publishCommit(v)
+	}
+	if err == nil && ack != nil {
+		err = ack.Wait()
+	}
+	return err
+}
+
+// commitEager publishes before the commit record is logged: a crash
+// between the two would expose unlogged state.
+func (e *Engine) commitEager(v int64) error {
+	e.publishCommit(v) // want `commit publish outside the durability log callback`
+	rec := &storage.TxnCommit{}
+	ack, err := e.dur.LogCommit(rec, func() {})
+	if err != nil {
+		return err
+	}
+	return ack.Wait()
+}
+
+// commitUnguarded publishes on the success path after LogCommit returned,
+// outside the callback: the publish races the group-commit fsync.
+func (e *Engine) commitUnguarded(v int64) error {
+	rec := &storage.TxnCommit{}
+	ack, err := e.dur.LogCommit(rec, func() { e.publishCommit(v) })
+	if err == nil {
+		e.publishCommit(v) // want `commit publish outside the durability log callback`
+	}
+	return waitIfSet(ack, err)
+}
+
+func waitIfSet(ack storage.Ack, err error) error {
+	if err == nil && ack != nil {
+		return ack.Wait()
+	}
+	return err
+}

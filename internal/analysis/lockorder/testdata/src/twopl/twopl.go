@@ -1,0 +1,102 @@
+// Package twopl is the golden model of the 2PL engine's two commit-path
+// contracts: locks are released before the group-commit ack is awaited
+// (release-before-ack), and the lock manager hands a request to its
+// grant channel only after dropping Engine.mu. The publish step here is
+// a local function value passed to LogCommit, the shape the real engine
+// uses.
+package twopl
+
+import (
+	"sync"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/lockorder/testdata/src/storage"
+)
+
+// Engine mirrors twopl.Engine: one lock-table mutex.
+type Engine struct {
+	mu  sync.Mutex
+	dur storage.Durability
+}
+
+// releaseAll drops the transaction's lock footprint.
+func (e *Engine) releaseAll() {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// Commit is the contract-clean shape: publish through the callback (or
+// the fallback paths), release the footprint, then await the fsync.
+func (e *Engine) Commit(o *storage.Object, v int64) error {
+	publish := func() {
+		o.Lock()
+		o.Commit(v)
+		o.Unlock()
+	}
+	var ack storage.Ack
+	var err error
+	if e.dur != nil {
+		ack, err = e.dur.LogCommit(&storage.TxnCommit{}, publish)
+		if err != nil {
+			publish()
+		}
+	} else {
+		publish()
+	}
+	e.releaseAll()
+	if err == nil && ack != nil {
+		err = ack.Wait()
+	}
+	return err
+}
+
+// commitAckFirst awaits the fsync while the lock footprint is still
+// held: every conflicting transaction then serializes on disk latency.
+func (e *Engine) commitAckFirst(o *storage.Object, v int64) error {
+	publish := func() {
+		o.Lock()
+		o.Commit(v)
+		o.Unlock()
+	}
+	ack, err := e.dur.LogCommit(&storage.TxnCommit{}, publish)
+	if err == nil && ack != nil {
+		err = ack.Wait() // want `durability ack awaited before releaseAll`
+	}
+	e.releaseAll()
+	return err
+}
+
+// commitPublishEarly calls the publish value before LogCommit ran.
+func (e *Engine) commitPublishEarly(o *storage.Object, v int64) error {
+	publish := func() {
+		o.Lock()
+		o.Commit(v)
+		o.Unlock()
+	}
+	publish() // want `commit publish outside the durability log callback`
+	ack, err := e.dur.LogCommit(&storage.TxnCommit{}, publish)
+	e.releaseAll()
+	return waitIfSet(ack, err)
+}
+
+// acquire hands the request to the grant channel only after dropping
+// Engine.mu — receiving under it would deadlock against the releaser.
+func (e *Engine) acquire(granted chan struct{}) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	<-granted
+}
+
+// acquireUnderLock is the flow-sensitive negative: same receive, but the
+// mutex is still held on this path.
+func (e *Engine) acquireUnderLock(granted chan struct{}) {
+	e.mu.Lock()
+	<-granted // want `channel receive while holding twopl.Engine.mu`
+	e.mu.Unlock()
+}
+
+func waitIfSet(ack storage.Ack, err error) error {
+	if err == nil && ack != nil {
+		return ack.Wait()
+	}
+	return err
+}

@@ -1,0 +1,79 @@
+// Package wal is the golden model of the WAL's locking: the log mutex
+// that durability callbacks run under, the release-before-receive
+// discipline on the committer channels, and — as negative cases — a
+// receive under the log mutex and a lock-order cycle between the log and
+// its index.
+package wal
+
+import (
+	"sync"
+
+	"github.com/epsilondb/epsilondb/internal/analysis/lockorder/testdata/src/storage"
+)
+
+// Log mirrors wal.Log.
+type Log struct {
+	mu    sync.Mutex
+	idx   index
+	store *storage.Store
+	done  chan struct{}
+}
+
+type index struct {
+	mu sync.Mutex
+}
+
+// LogCommit runs the publish callback under the log mutex — the contract
+// the engines' commit paths rely on.
+func (l *Log) LogCommit(rec *storage.TxnCommit, publish func()) (storage.Ack, error) {
+	l.mu.Lock()
+	publish()
+	l.mu.Unlock()
+	return nil, nil
+}
+
+// Close releases the log mutex before joining the committer: OK.
+func (l *Log) Close() {
+	l.mu.Lock()
+	l.mu.Unlock()
+	<-l.done
+}
+
+// closeUnderLock joins the committer while still holding the log mutex:
+// the committer needs that mutex to make progress, so this deadlocks.
+func (l *Log) closeUnderLock() {
+	l.mu.Lock()
+	<-l.done // want `channel receive while holding wal.Log.mu`
+	l.mu.Unlock()
+}
+
+// selectUnderLock blocks in a default-less select under the log mutex.
+func (l *Log) selectUnderLock() {
+	select { // OK: nothing held yet
+	case <-l.done:
+	default:
+	}
+	l.mu.Lock()
+	select { // want `select while holding wal.Log.mu`
+	case <-l.done:
+	}
+	l.mu.Unlock()
+}
+
+// lockIndex nests the index mutex inside the log mutex; together with
+// lockIndexReversed below this closes a cycle, reported once at the
+// component's earliest edge (the acquisition on the next line).
+func (l *Log) lockIndex() {
+	l.mu.Lock()
+	l.idx.mu.Lock() // want `lock-order cycle: wal.Log.mu, wal.index.mu are acquired in conflicting orders`
+	l.idx.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// lockIndexReversed acquires the same pair the other way around.
+func (l *Log) lockIndexReversed() {
+	l.idx.mu.Lock()
+	l.mu.Lock()
+	l.mu.Unlock()
+	l.idx.mu.Unlock()
+}

@@ -189,12 +189,15 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 				crashWorker(cfg, engine, clock, site, seed, counts, &stop)
 			}(cycle*cfg.Workers+w+1, cfg.Seed+int64(cycle*1_000+w)*7919)
 		}
+		var killerDone chan struct{}
 		if dirty {
 			// Kill once roughly half the cycle's workload has committed:
 			// mid-flight commits get ErrLogKilled acks, the tail of the
 			// segment is torn randomly.
 			target := counts.committed.Load() + int64(cfg.Workers*cfg.TxnsPerWorker/2)
+			killerDone = make(chan struct{})
 			go func() {
+				defer close(killerDone)
 				for counts.committed.Load() < target && !stop.Load() {
 					time.Sleep(100 * time.Microsecond)
 				}
@@ -203,6 +206,14 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 			}()
 		}
 		wg.Wait()
+		if killerDone != nil {
+			// If the workers drained without ever reaching the kill
+			// target (heavy abort cycles), the killer would keep spinning
+			// on the cumulative commit counter and fire into a later
+			// cycle; release it and join before reusing the counters.
+			stop.Store(true)
+			<-killerDone
+		}
 		if live := engine.Live(); live != 0 {
 			report.violate("cycle %d: %d transactions still live after drain", cycle, live)
 		}

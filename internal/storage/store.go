@@ -164,6 +164,7 @@ func (s *Store) SetAllLimits(oil, oel core.Distance) {
 	}
 	// Log errors are deliberately swallowed: the in-memory sweep must
 	// happen regardless, and a poisoned log already fails every commit.
+	//lint:ignore errprop the sweep must apply even if the log is poisoned; commits already surface the failure
 	_ = s.dur.LogSetAllLimits(oil, oel, apply)
 }
 

@@ -56,6 +56,7 @@ func (e *Engine) readUpdate(st *txnState, o *storage.Object) (core.Value, error)
 			// A younger read must see the older pending write's outcome:
 			// wait (strict ordering; younger waits for older, so no
 			// deadlock is possible).
+			//lint:ignore lockorder waitForResolve releases o's lock before blocking and re-acquires it before returning
 			if err := e.waitForResolve(o); err != nil {
 				o.Unlock()
 				return 0, e.abortNow(st, metrics.AbortWaitTimeout, err)
@@ -130,6 +131,7 @@ func (e *Engine) readQuery(st *txnState, o *storage.Object) (core.Value, error) 
 			if st.ts.After(o.WriteTS()) {
 				// Younger than the pending write: its outcome determines
 				// what we may read — wait (younger waits for older).
+				//lint:ignore lockorder waitForResolve releases o's lock before blocking and re-acquires it before returning
 				if err := e.waitForResolve(o); err != nil {
 					o.Unlock()
 					return 0, e.abortNow(st, metrics.AbortWaitTimeout, err)

@@ -66,6 +66,7 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, value, delta core.Valu
 				fmt.Errorf("object %d already written by this transaction", obj))
 		}
 		if st.ts.After(o.WriteTS()) {
+			//lint:ignore lockorder waitForResolve releases o's lock before blocking and re-acquires it before returning
 			if err := e.waitForResolve(o); err != nil {
 				o.Unlock()
 				return 0, e.abortNow(st, metrics.AbortWaitTimeout, err)

@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI entry point for the invariant-lint job (DESIGN.md §7).
+#
+# Builds the esr-lint binary and invokes it directly instead of using
+# `go run`: go run collapses every nonzero child exit to 1, which would
+# fold operational failures (exit 2: bad flags, load errors) into
+# "findings" (exit 1) and let a broken lint setup masquerade as a code
+# problem. The JSON report is echoed for the build log and, when jq is
+# available (GitHub runners ship it), each unsuppressed diagnostic is
+# re-emitted as a ::error workflow annotation so it lands on the
+# offending line in the PR view.
+set -eu
+
+bin="$(mktemp -d)/esr-lint"
+go build -o "$bin" ./cmd/esr-lint
+
+status=0
+out="$("$bin" -json "${@:-./...}")" || status=$?
+
+printf '%s\n' "$out"
+
+if [ "$status" -eq 1 ] && command -v jq >/dev/null 2>&1; then
+	printf '%s\n' "$out" | jq -r \
+		'.diagnostics[] | "::error file=\(.file),line=\(.line),col=\(.column),title=\(.analyzer)::\(.message)"'
+fi
+exit "$status"
