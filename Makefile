@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck check bench bench-all soak crash-soak
+.PHONY: build test lint staticcheck check bench bench-all soak crash-soak certify
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,15 @@ soak:
 # recovery. Short mode is the CI gate; drop -short for the seed sweep.
 crash-soak:
 	$(GO) test -race -short -count=1 -run 'TestCrashSoak' ./internal/soak/
+
+# certify is the end-to-end oracle gate (DESIGN.md §11): boot a real
+# server with -trace, drive real clients, shut down, and require
+# esr-check to certify the recorded history — once with epsilon bounds,
+# once at ε=0 under strict conflict serializability. The soak targets
+# above certify their own in-process traces; this target proves the
+# on-disk trace schema round-trips through the full binary pipeline.
+certify:
+	sh scripts/certify-ci.sh
 
 # bench runs the hot-path micro-benchmarks and emits BENCH_hotpath.json
 # (archived by CI). `make bench-all` runs every benchmark including the

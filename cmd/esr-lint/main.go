@@ -1,6 +1,7 @@
-// esr-lint is the repo's custom vet suite: the seven analyzers under
+// esr-lint is the repo's custom vet suite: the eight analyzers under
 // internal/analysis (epsiloncheck, locksafe, wireexhaustive,
-// atomicmetrics, lockorder, goleak, errprop) behind two drivers.
+// atomicmetrics, lockorder, goleak, errprop, tracecomplete) behind two
+// drivers.
 //
 // Standalone (what `make lint` runs):
 //
@@ -46,6 +47,7 @@ import (
 	"github.com/epsilondb/epsilondb/internal/analysis/goleak"
 	"github.com/epsilondb/epsilondb/internal/analysis/lockorder"
 	"github.com/epsilondb/epsilondb/internal/analysis/locksafe"
+	"github.com/epsilondb/epsilondb/internal/analysis/tracecomplete"
 	"github.com/epsilondb/epsilondb/internal/analysis/wireexhaustive"
 )
 
@@ -58,6 +60,7 @@ var analyzers = []*analysis.Analyzer{
 	lockorder.Analyzer,
 	goleak.Analyzer,
 	errprop.Analyzer,
+	tracecomplete.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,75 @@
+// Package mvto is the golden model of the multiversion engine's trace
+// obligations, seeding the abort-path violation: an abort that only
+// traces on one branch leaves the other branch's transaction dangling
+// forever in the oracle's view.
+package mvto
+
+// Event mirrors tso.Event.
+type Event struct {
+	Kind int
+	Txn  uint64
+}
+
+// Event kinds.
+const (
+	EvBegin = iota
+	EvRead
+	EvWrite
+	EvCommit
+	EvAbort
+)
+
+// Tracer mirrors tso.Tracer.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// Collector mirrors metrics.Collector.
+type Collector struct{}
+
+func (c *Collector) Begin()                    {}
+func (c *Collector) WriteExecuted(inc bool)    {}
+func (c *Collector) Commit()                   {}
+func (c *Collector) Abort(reason int, n int64) {}
+
+// Engine mirrors the MVTO engine's tracer plumbing.
+type Engine struct {
+	col    *Collector
+	tracer Tracer
+}
+
+func (e *Engine) trace(ev Event) {
+	if e.tracer != nil {
+		e.tracer.Trace(ev)
+	}
+}
+
+// finishAbort pairs the transition with its event: compliant. The nil
+// guard inside trace does not count against completeness — a disabled
+// tracer is the operator's choice, not a lost event.
+func (e *Engine) finishAbort(txn uint64) {
+	e.col.Abort(0, 0)
+	e.trace(Event{Kind: EvAbort, Txn: txn})
+}
+
+// abortQuietOnRetry only traces terminal aborts; the retryable branch
+// marks the transition but emits nothing, so those aborts never reach
+// the trace.
+func (e *Engine) abortQuietOnRetry(txn uint64, terminal bool) {
+	e.col.Abort(0, 0) // want `Collector.Abort acked without a EvAbort trace event on some path`
+	if terminal {
+		e.trace(Event{Kind: EvAbort, Txn: txn})
+	}
+}
+
+// commitDualPath emits on both the durable and in-memory branches, like
+// the real MVTO commit: compliant.
+func (e *Engine) commitDualPath(txn uint64, durable bool) {
+	if durable {
+		e.col.Commit()
+		e.trace(Event{Kind: EvCommit, Txn: txn})
+		return
+	}
+	e.col.Commit()
+	e.trace(Event{Kind: EvCommit, Txn: txn})
+}

@@ -1,0 +1,72 @@
+// Package twopl is the golden model of the two-phase-locking engine's
+// trace obligations, seeding the event-after-ack violation: an emission
+// inside a `go` statement races the client ack and does not discharge
+// the obligation.
+package twopl
+
+// Event mirrors tso.Event.
+type Event struct {
+	Kind int
+	Txn  uint64
+}
+
+// Event kinds.
+const (
+	EvBegin = iota
+	EvRead
+	EvWrite
+	EvCommit
+	EvAbort
+)
+
+// Tracer mirrors tso.Tracer.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// Collector mirrors metrics.Collector.
+type Collector struct{}
+
+func (c *Collector) Begin()                    {}
+func (c *Collector) ReadExecuted(inc bool)     {}
+func (c *Collector) Commit()                   {}
+func (c *Collector) Abort(reason int, n int64) {}
+
+// Engine mirrors the 2PL engine's tracer plumbing.
+type Engine struct {
+	col    *Collector
+	tracer Tracer
+}
+
+func (e *Engine) trace(ev Event) {
+	if e.tracer != nil {
+		e.tracer.Trace(ev)
+	}
+}
+
+// Commit pairs transition and event synchronously: compliant.
+func (e *Engine) Commit(txn uint64) {
+	e.col.Commit()
+	e.trace(Event{Kind: EvCommit, Txn: txn})
+}
+
+// commitAsyncTrace defers the emission to a goroutine: by the time it
+// runs, the caller has been acked, so a crash (or a reordering in the
+// sink) loses the commit from the trace.
+func (e *Engine) commitAsyncTrace(txn uint64) {
+	e.col.Commit() // want `Collector.Commit acked without a EvCommit trace event on some path`
+	go func() {
+		e.trace(Event{Kind: EvCommit, Txn: txn})
+	}()
+}
+
+// readViaHelper discharges the obligation through a transitive helper:
+// compliant.
+func (e *Engine) readViaHelper(txn uint64) {
+	e.traceRead(txn)
+	e.col.ReadExecuted(false)
+}
+
+func (e *Engine) traceRead(txn uint64) {
+	e.trace(Event{Kind: EvRead, Txn: txn})
+}

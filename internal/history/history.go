@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/esrcheck"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 	"github.com/epsilondb/epsilondb/internal/tso"
 )
@@ -251,14 +252,12 @@ func (a *Analysis) Cycle() []core.TxnID {
 
 // CheckSerializable analyzes a history and returns an error describing
 // the violation if the committed projection is not conflict serializable
-// or contains reads of never-committed versions.
+// or contains reads of never-committed versions. It delegates to the
+// offline oracle's strict mode (internal/esrcheck): conflict
+// serializability is the ε=0 special case of the epsilon guarantee.
 func CheckSerializable(events []tso.Event) error {
-	a := Analyze(events)
-	if a.DirtyReadsOfAborted > 0 {
-		return fmt.Errorf("history: %d read(s) of versions that never committed", a.DirtyReadsOfAborted)
-	}
-	if cycle := a.Cycle(); cycle != nil {
-		return fmt.Errorf("history: conflict cycle %v", cycle)
+	if err := esrcheck.CheckSerializable(events); err != nil {
+		return fmt.Errorf("history: %w", err)
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/metrics"
@@ -102,15 +103,36 @@ type Engine struct {
 	// the backing store so WAL snapshots and recovery see them.
 	store *storage.Store
 	dur   storage.Durability
+
+	// tracer, when set, receives the same execution events the TO engine
+	// emits (schema esr-trace/1), so recorded MVTO histories feed the
+	// same offline checker. Limits are always zero: MVTO is a
+	// serializable baseline and ignores bounds.
+	tracer tso.Tracer
+	// now stamps trace events; wall clock since engine creation.
+	now func() time.Duration
 }
 
 // SetDurability routes commits through d. Call before serving traffic.
 func (e *Engine) SetDurability(d storage.Durability) { e.dur = d }
 
+// SetTracer installs a trace-event consumer. Call before serving traffic.
+func (e *Engine) SetTracer(t tso.Tracer) { e.tracer = t }
+
+// trace emits an event if a tracer is installed, stamping it with the
+// engine's timeline.
+func (e *Engine) trace(ev tso.Event) {
+	if e.tracer != nil {
+		ev.At = e.now()
+		e.tracer.Trace(ev)
+	}
+}
+
 // NewEngine builds an MVTO engine over the committed values of a store.
 // The store is only read at construction; the engine keeps its own
 // version chains.
 func NewEngine(store *storage.Store, col *metrics.Collector, parker tso.Parker) *Engine {
+	start := time.Now()
 	e := &Engine{
 		objects:     make(map[core.ObjectID]*object),
 		col:         col,
@@ -118,6 +140,7 @@ func NewEngine(store *storage.Store, col *metrics.Collector, parker tso.Parker) 
 		maxVersions: DefaultMaxVersions,
 		txns:        txnshard.New[*txnState](),
 		store:       store,
+		now:         func() time.Duration { return time.Since(start) },
 	}
 	for _, id := range store.IDs() {
 		o, err := store.Get(id)
@@ -143,6 +166,7 @@ func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, _ core.BoundSpec) (co
 	st := &txnState{id: core.TxnID(e.nextTxn.Add(1)), ts: ts, kind: kind}
 	e.txns.Store(st.id, st)
 	e.col.Begin()
+	e.trace(tso.Event{Kind: tso.EvBegin, Txn: st.id, TxnKind: kind, TS: ts})
 	return st.id, nil
 }
 
@@ -181,6 +205,8 @@ func (e *Engine) Read(txn core.TxnID, obj core.ObjectID) (core.Value, error) {
 				v.maxRead = st.ts
 			}
 			value := v.value
+			e.trace(tso.Event{Kind: tso.EvRead, Txn: st.id, TxnKind: st.kind, TS: st.ts,
+				Object: o.id, Value: value, Version: v.wts})
 			o.mu.Unlock()
 			st.ops++
 			e.col.ReadExecuted(false)
@@ -255,6 +281,8 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, v core.Value, isDelta 
 			newValue = prev.value + v
 		}
 		prev.value = newValue
+		e.trace(tso.Event{Kind: tso.EvWrite, Txn: st.id, TxnKind: st.kind, TS: st.ts,
+			Object: o.id, Value: newValue, Version: st.ts})
 		o.mu.Unlock()
 		st.ops++
 		e.col.WriteExecuted(false)
@@ -266,6 +294,8 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, v core.Value, isDelta 
 	}
 	nv := &version{wts: st.ts, value: newValue, writer: st.id}
 	o.versions = insertVersion(o.versions, nv)
+	e.trace(tso.Event{Kind: tso.EvWrite, Txn: st.id, TxnKind: st.kind, TS: st.ts,
+		Object: o.id, Value: newValue, Version: st.ts})
 	o.mu.Unlock()
 	st.writes = append(st.writes, o)
 	st.ops++
@@ -294,6 +324,7 @@ func (e *Engine) Commit(txn core.TxnID) error {
 			e.resolveVersions(o, st.id, true)
 		}
 		e.col.Commit()
+		e.trace(tso.Event{Kind: tso.EvCommit, Txn: st.id, TxnKind: st.kind, TS: st.ts})
 		return nil
 	}
 	rec := &storage.TxnCommit{Txn: st.id, Kind: st.kind, TS: st.ts}
@@ -326,6 +357,7 @@ func (e *Engine) Commit(txn core.TxnID) error {
 		publish()
 	}
 	e.col.Commit()
+	e.trace(tso.Event{Kind: tso.EvCommit, Txn: st.id, TxnKind: st.kind, TS: st.ts})
 	if durErr == nil && durAck != nil {
 		durErr = durAck.Wait()
 	}
@@ -360,6 +392,7 @@ func (e *Engine) finishAbort(st *txnState, reason metrics.AbortReason) {
 		e.resolveVersions(o, st.id, false)
 	}
 	e.col.Abort(reason, st.ops)
+	e.trace(tso.Event{Kind: tso.EvAbort, Txn: st.id, TxnKind: st.kind, TS: st.ts})
 }
 
 // resolveVersions commits or removes txn's uncommitted versions on an

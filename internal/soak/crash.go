@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/esrcheck"
+	"github.com/epsilondb/epsilondb/internal/history"
 	"github.com/epsilondb/epsilondb/internal/metrics"
 	"github.com/epsilondb/epsilondb/internal/storage"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
@@ -48,6 +50,12 @@ type CrashConfig struct {
 	// random torn tail instead of a clean barriered kill; 0 keeps every
 	// kill clean.
 	DirtyEvery int
+	// Certify runs the offline epsilon-serializability oracle over every
+	// cycle's recorded trace after its drain. The state recovered from
+	// the log is presented to the oracle as a synthetic initial
+	// transaction (recovery is the first committed transaction of the
+	// next epoch's history), so reads of pre-crash versions resolve.
+	Certify bool
 	// Seed drives the workload and the crash points.
 	Seed int64
 	// Logf receives diagnostics; nil discards them.
@@ -70,6 +78,7 @@ func DefaultCrashConfig() CrashConfig {
 		SyncInterval:   200 * time.Microsecond,
 		SnapshotEvery:  64,
 		DirtyEvery:     2,
+		Certify:        true,
 		Seed:           1,
 	}
 }
@@ -88,6 +97,9 @@ type CrashReport struct {
 	ReplayedCommits int
 	// TornTails counts recoveries that discarded a torn final record.
 	TornTails int
+	// CertifiedCycles counts cycles whose trace the offline oracle
+	// certified (equal to Cycles when Certify is on and nothing failed).
+	CertifiedCycles int
 	// InitialTotal/FinalTotal are the conservation check ends.
 	InitialTotal, FinalTotal core.Value
 	// FinalImported/FinalExported are the recovered accumulated
@@ -101,9 +113,11 @@ type CrashReport struct {
 func (r *CrashReport) String() string {
 	return fmt.Sprintf(
 		"crash soak: %d cycles (%d clean, %d dirty kills); %d commits acked, %d attempts, %d lost-durability\n"+
-			"recovery: %d tail commits replayed, %d torn tails discarded; final total %d (start %d), inconsistency %d/%d",
+			"recovery: %d tail commits replayed, %d torn tails discarded; %d cycles certified by the oracle\n"+
+			"final total %d (start %d), inconsistency %d/%d",
 		r.Cycles, r.CleanKills, r.DirtyKills, r.Committed, r.Attempts, r.DurabilityLost,
-		r.ReplayedCommits, r.TornTails, r.FinalTotal, r.InitialTotal, r.FinalImported, r.FinalExported)
+		r.ReplayedCommits, r.TornTails, r.CertifiedCycles,
+		r.FinalTotal, r.InitialTotal, r.FinalImported, r.FinalExported)
 }
 
 // Err returns the first invariant violation, or nil.
@@ -177,7 +191,16 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 		}
 		clock.Set(maxTicks + 1)
 
-		engine := tso.NewEngine(store, tso.Options{Collector: &metrics.Collector{}, Durability: l})
+		engineOpts := tso.Options{Collector: &metrics.Collector{}, Durability: l}
+		var rec *history.Recorder
+		if cfg.Certify {
+			rec = history.NewRecorder()
+			for _, ev := range recoveryEvents(store) {
+				rec.Trace(ev)
+			}
+			engineOpts.Tracer = rec
+		}
+		engine := tso.NewEngine(store, engineOpts)
 		dirty := cfg.DirtyEvery > 0 && (cycle+1)%cfg.DirtyEvery == 0
 
 		var stop atomic.Bool
@@ -216,6 +239,13 @@ func RunCrash(cfg CrashConfig) (*CrashReport, error) {
 		}
 		if live := engine.Live(); live != 0 {
 			report.violate("cycle %d: %d transactions still live after drain", cycle, live)
+		}
+		if rec != nil {
+			if err := esrcheck.Check(rec.Events()).Err(); err != nil {
+				report.violate("cycle %d: history refuted: %v", cycle, err)
+			} else {
+				report.CertifiedCycles++
+			}
 		}
 		if dirty {
 			l.Kill() // idempotent if the killer already fired
@@ -304,6 +334,47 @@ func checkRecovered(cfg CrashConfig, report *CrashReport, store *storage.Store, 
 	if cleanCapture != nil && !reflect.DeepEqual(cleanCapture, st) {
 		report.violate("cycle %d: clean kill did not round-trip the captured state", cycle)
 	}
+}
+
+// recoveryTxnID labels the synthetic initial transaction far above any
+// id the engine assigns.
+const recoveryTxnID = core.TxnID(1) << 62
+
+// recoveryEvents renders the recovered store state as one committed
+// synthetic transaction writing every surviving version, so the
+// per-cycle oracle can resolve reads of pre-crash data instead of
+// flagging them as reads of unknown versions. Versions with the None
+// timestamp (initial loads) are omitted — the oracle already treats
+// those as initial values.
+func recoveryEvents(store *storage.Store) []tso.Event {
+	st := store.CaptureState()
+	var writes []tso.Event
+	var maxTS tsgen.Timestamp
+	for _, os := range st.Objects {
+		for _, h := range os.History {
+			if h.TS.IsNone() {
+				continue
+			}
+			writes = append(writes, tso.Event{
+				Kind: tso.EvWrite, Txn: recoveryTxnID, TxnKind: core.Update,
+				TS: h.TS, Object: os.ID, Value: h.Value, Version: h.TS,
+				Limit: core.NoLimit,
+			})
+			if h.TS.After(maxTS) {
+				maxTS = h.TS
+			}
+		}
+	}
+	if len(writes) == 0 {
+		return nil
+	}
+	evs := make([]tso.Event, 0, len(writes)+2)
+	evs = append(evs, tso.Event{Kind: tso.EvBegin, Txn: recoveryTxnID,
+		TxnKind: core.Update, TS: maxTS, Limit: core.NoLimit})
+	evs = append(evs, writes...)
+	evs = append(evs, tso.Event{Kind: tso.EvCommit, Txn: recoveryTxnID,
+		TxnKind: core.Update, TS: maxTS, Limit: core.NoLimit})
+	return evs
 }
 
 // crashWorker drives transfers and audit queries directly against the

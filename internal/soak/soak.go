@@ -30,7 +30,9 @@ import (
 
 	"github.com/epsilondb/epsilondb/internal/client"
 	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/esrcheck"
 	"github.com/epsilondb/epsilondb/internal/faultnet"
+	"github.com/epsilondb/epsilondb/internal/history"
 	"github.com/epsilondb/epsilondb/internal/metrics"
 	"github.com/epsilondb/epsilondb/internal/server"
 	"github.com/epsilondb/epsilondb/internal/storage"
@@ -77,6 +79,14 @@ type Config struct {
 	// Zero means no bound.
 	MaxDuration time.Duration
 
+	// Certify records the engine's full trace and runs the offline
+	// epsilon-serializability oracle (internal/esrcheck) over it after
+	// shutdown; an uncertified history fails Report.Err. At-least-once
+	// resubmission is compatible with certification: a resubmitted
+	// program is a fresh attempt with its own timestamp, checked
+	// independently.
+	Certify bool
+
 	// Logf receives run diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -107,6 +117,7 @@ func DefaultConfig() Config {
 		WriteTimeout:  250 * time.Millisecond,
 		ShutdownGrace: 5 * time.Second,
 		MaxDuration:   2 * time.Minute,
+		Certify:       true,
 	}
 }
 
@@ -132,6 +143,9 @@ type Report struct {
 	Snapshot metrics.Snapshot
 	// Elapsed is the wall-clock run time.
 	Elapsed time.Duration
+	// Oracle is the offline checker's verdict over the recorded trace
+	// (nil unless Config.Certify was set).
+	Oracle *esrcheck.Report
 }
 
 // String renders the report for the command line.
@@ -159,6 +173,11 @@ func (r *Report) Err() error {
 		return fmt.Errorf("soak: counter drift: %d begins != %d commits + %d aborts",
 			r.Snapshot.Begins, r.Snapshot.Commits, r.Snapshot.Aborts())
 	}
+	if r.Oracle != nil {
+		if err := r.Oracle.Err(); err != nil {
+			return fmt.Errorf("soak: history refuted: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -185,7 +204,13 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	col := &metrics.Collector{}
-	engine := tso.NewEngine(st, tso.Options{Collector: col})
+	opts := tso.Options{Collector: col}
+	var rec *history.Recorder
+	if cfg.Certify {
+		rec = history.NewRecorder()
+		opts.Tracer = rec
+	}
+	engine := tso.NewEngine(st, opts)
 	clock := &tsgen.LogicalClock{}
 	srv := server.New(engine, server.Options{
 		Clock:        clock,
@@ -250,6 +275,9 @@ func Run(cfg Config) (*Report, error) {
 		LiveAfterShutdown: engine.Live(),
 		TotalAfter:        st.TotalValue(),
 		Snapshot:          col.Snapshot(),
+	}
+	if rec != nil {
+		report.Oracle = esrcheck.Check(rec.Events())
 	}
 	if err, ok := workerErr.Load().(error); ok && err != nil {
 		return report, err

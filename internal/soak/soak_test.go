@@ -93,6 +93,34 @@ func TestSoakCleanNetworkBaseline(t *testing.T) {
 	}
 }
 
+// TestSoakZeroEpsilonCertified pins the oracle gate at ε=0: with zero
+// bounds every client runs strict timestamp ordering, so the certified
+// history must show no relaxed or dirty reads and zero accumulated
+// inconsistency — the serializable special case, proven offline from
+// the trace rather than assumed from the configuration.
+func TestSoakZeroEpsilonCertified(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 3
+	cfg.TxnsPerClient = 10
+	cfg.TIL = 0
+	cfg.TEL = 0
+	report := run(t, cfg)
+	o := report.Oracle
+	if o == nil {
+		t.Fatal("Certify set but no oracle report")
+	}
+	if o.RelaxedReads != 0 || o.DirtyReads != 0 || o.MaxDistance != 0 {
+		t.Errorf("zero-epsilon run not serializable: %d relaxed, %d dirty, max distance %d",
+			o.RelaxedReads, o.DirtyReads, o.MaxDistance)
+	}
+	if o.TotalImported != 0 || o.TotalExported != 0 {
+		t.Errorf("zero-epsilon run accumulated inconsistency %d/%d", o.TotalImported, o.TotalExported)
+	}
+	if len(o.Witness) != o.Txns {
+		t.Errorf("witness covers %d of %d committed txns", len(o.Witness), o.Txns)
+	}
+}
+
 // TestSoakHeavyResets leans on the reset path: every connection dies
 // mid-frame after a few messages, so every client lives through many
 // reconnects — and the engine still ends clean.

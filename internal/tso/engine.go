@@ -114,6 +114,10 @@ type txnState struct {
 	id   core.TxnID
 	kind core.Kind
 	ts   tsgen.Timestamp
+	// rootLimit is the spec's transaction-level bound (TIL for queries,
+	// TEL for updates), kept for trace events so the offline checker can
+	// certify the committed total against it.
+	rootLimit core.Distance
 	// acc is embedded by value (and initialized in place) so one
 	// allocation covers the attempt record and its bounds machinery.
 	acc core.Accumulator
@@ -182,17 +186,18 @@ func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, spec core.BoundSpec) 
 		return 0, fmt.Errorf("tso: transaction timestamp must be non-zero")
 	}
 	st := &txnState{
-		id:   core.TxnID(e.nextTxn.Add(1)),
-		kind: kind,
-		ts:   ts,
-		esr:  spec.Transaction > 0,
+		id:        core.TxnID(e.nextTxn.Add(1)),
+		kind:      kind,
+		ts:        ts,
+		rootLimit: spec.Transaction,
+		esr:       spec.Transaction > 0,
 	}
 	if err := st.acc.Init(e.opts.Schema, spec, kind == core.Query); err != nil {
 		return 0, err
 	}
 	e.txns.Store(st.id, st)
 	e.opts.Collector.Begin()
-	e.trace(Event{Kind: EvBegin, Txn: st.id, TxnKind: kind, TS: ts})
+	e.trace(Event{Kind: EvBegin, Txn: st.id, TxnKind: kind, TS: ts, Limit: spec.Transaction})
 	return st.id, nil
 }
 
@@ -229,7 +234,8 @@ func (e *Engine) Commit(txn core.TxnID) error {
 		return ErrUnknownTxn
 	}
 	var imported, exported core.Distance
-	if total := st.acc.Total(); total != 0 {
+	total := st.acc.Total()
+	if total != 0 {
 		if st.kind == core.Query {
 			imported = total
 		} else {
@@ -267,7 +273,8 @@ func (e *Engine) Commit(txn core.TxnID) error {
 	e.clearDirtyNote(st.id, false)
 	e.opts.Collector.Commit()
 	e.opts.Collector.ObserveLatency(metrics.LatCommit, e.opts.Now()-start)
-	e.trace(Event{Kind: EvCommit, Txn: st.id, TxnKind: st.kind, TS: st.ts})
+	e.trace(Event{Kind: EvCommit, Txn: st.id, TxnKind: st.kind, TS: st.ts,
+		Inconsistency: total, Limit: st.rootLimit})
 	if durErr == nil && durAck != nil {
 		durErr = durAck.Wait()
 	}

@@ -206,11 +206,19 @@ func TestJSONLSink(t *testing.T) {
 	}
 
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 4 { // begin, read, write, commit
-		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	if len(lines) != 5 { // schema header, begin, read, write, commit
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	// The first line is the versioned schema header.
+	var hdr map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header %q is not valid JSON: %v", lines[0], err)
+	}
+	if got, want := hdr["schema"], "esr-trace/1"; got != want {
+		t.Errorf("header schema = %v, want %q", got, want)
 	}
 	kinds := make([]string, 0, 4)
-	for _, line := range lines {
+	for _, line := range lines[1:] {
 		var obj map[string]any
 		if err := json.Unmarshal([]byte(line), &obj); err != nil {
 			t.Fatalf("line %q is not valid JSON: %v", line, err)
@@ -223,13 +231,16 @@ func TestJSONLSink(t *testing.T) {
 			t.Errorf("line %d event = %q, want %q", i, kinds[i], want[i])
 		}
 	}
-	// The write line carries object and value.
+	// The write line carries object, value and the object's export limit.
 	var wr map[string]any
-	if err := json.Unmarshal([]byte(lines[2]), &wr); err != nil {
+	if err := json.Unmarshal([]byte(lines[3]), &wr); err != nil {
 		t.Fatal(err)
 	}
 	if wr["obj"].(float64) != 2 || wr["val"].(float64) != 750 {
 		t.Errorf("write line = %v", wr)
+	}
+	if _, ok := wr["lim"]; !ok {
+		t.Errorf("write line missing limit field: %v", wr)
 	}
 }
 

@@ -46,7 +46,7 @@ func (e *Engine) readUpdate(st *txnState, o *storage.Object) (core.Value, error)
 			v := o.Value()
 			o.RecordRead(st.ts, false)
 			e.trace(Event{Kind: EvRead, Txn: st.id, TxnKind: st.kind, TS: st.ts,
-				Object: o.ID(), Value: v, Version: o.WriteTS()})
+				Object: o.ID(), Value: v, Version: o.WriteTS(), Limit: o.OIL()})
 			o.Unlock()
 			st.opsExecuted++
 			e.opts.Collector.ReadExecuted(false)
@@ -77,7 +77,7 @@ func (e *Engine) readUpdate(st *txnState, o *storage.Object) (core.Value, error)
 			v := o.CommittedValue()
 			o.RecordRead(st.ts, false)
 			e.trace(Event{Kind: EvRead, Txn: st.id, TxnKind: st.kind, TS: st.ts,
-				Object: o.ID(), Value: v, Version: cts})
+				Object: o.ID(), Value: v, Version: cts, Limit: o.OIL()})
 			o.Unlock()
 			st.opsExecuted++
 			e.opts.Collector.ReadExecuted(false)
@@ -179,7 +179,8 @@ func (e *Engine) finishQueryRead(st *txnState, o *storage.Object, value, proper 
 		version = o.WriteTS()
 	}
 	e.trace(Event{Kind: EvRead, Txn: st.id, TxnKind: st.kind, TS: st.ts,
-		Object: o.ID(), Value: value, Version: version, Inconsistency: d, DirtyRead: dirtyRead})
+		Object: o.ID(), Value: value, Version: version, Inconsistency: d,
+		Limit: o.OIL(), DirtyRead: dirtyRead})
 	var dirtyOwner core.TxnID
 	if dirtyRead {
 		dirtyOwner, _ = o.Dirty()

@@ -7,6 +7,20 @@ import (
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 )
 
+// TraceSchemaVersion is the version of the on-disk JSONL trace schema.
+// Version 1 adds a header line (`{"schema":"esr-trace/1",...}`) and the
+// per-event "lim" field carrying the applicable inconsistency limit —
+// the transaction's root bound on begin/commit events, the object's
+// OIL/OEL on read/write events — so an offline checker (internal/
+// esrcheck, cmd/esr-check) can certify a trace against the bounds
+// without access to the live store. The schema is append-only: new
+// versions may add fields but never change the meaning of existing
+// ones.
+const TraceSchemaVersion = 1
+
+// TraceSchemaName is the schema identifier written in the header line.
+const TraceSchemaName = "esr-trace"
+
 // EventKind classifies a trace event.
 type EventKind uint8
 
@@ -41,6 +55,25 @@ func (k EventKind) String() string {
 	}
 }
 
+// ParseEventKind is the inverse of String, for trace decoders. The
+// second result reports whether the name was recognized.
+func ParseEventKind(s string) (EventKind, bool) {
+	switch s {
+	case "begin":
+		return EvBegin, true
+	case "read":
+		return EvRead, true
+	case "write":
+		return EvWrite, true
+	case "commit":
+		return EvCommit, true
+	case "abort":
+		return EvAbort, true
+	default:
+		return 0, false
+	}
+}
+
 // Event is one step of an execution history, emitted by the engine when a
 // Tracer is installed. The recorder in internal/history turns event
 // streams into conflict graphs so tests can verify that zero-epsilon
@@ -67,8 +100,16 @@ type Event struct {
 	// version timestamp doubles as the version order.
 	Version tsgen.Timestamp
 	// Inconsistency is the distance charged for the operation (zero for
-	// consistent operations).
+	// consistent operations). On commit events it carries the attempt's
+	// final accumulated inconsistency (imported for queries, exported for
+	// updates), so a checker can cross-check the per-op charges against
+	// the committed total.
 	Inconsistency core.Distance
+	// Limit is the inconsistency bound that applied: the transaction's
+	// root limit (TIL or TEL) on begin and commit events, the object's
+	// import limit (OIL) on reads, and its export limit (OEL) on writes.
+	// Engines that ignore bounds (the serializable baselines) emit zero.
+	Limit core.Distance
 	// DirtyRead marks a read of uncommitted data (ESR case 2).
 	DirtyRead bool
 }

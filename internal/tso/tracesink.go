@@ -36,10 +36,27 @@ type JSONLSink struct {
 	err error
 }
 
-// NewJSONLSink returns a sink over w. Call Flush before reading what was
-// written; the sink buffers aggressively.
+// NewJSONLSink returns a sink over w and writes the versioned schema
+// header as the first line, so every trace file starts with its schema
+// identity. Call Flush before reading what was written; the sink
+// buffers aggressively.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{bw: bufio.NewWriterSize(w, 64<<10)}
+	s := &JSONLSink{bw: bufio.NewWriterSize(w, 64<<10)}
+	s.buf = AppendTraceHeaderJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	_, s.err = s.bw.Write(s.buf)
+	return s
+}
+
+// AppendTraceHeaderJSON appends the schema header line (without the
+// trailing newline) to dst. The header is a JSON object whose "schema"
+// field is "<TraceSchemaName>/<TraceSchemaVersion>".
+func AppendTraceHeaderJSON(dst []byte) []byte {
+	dst = append(dst, `{"schema":"`...)
+	dst = append(dst, TraceSchemaName...)
+	dst = append(dst, '/')
+	dst = strconv.AppendInt(dst, TraceSchemaVersion, 10)
+	return append(dst, `"}`...)
 }
 
 // Trace implements Tracer. Write errors are sticky and reported by Flush.
@@ -67,8 +84,12 @@ func (s *JSONLSink) Flush() error {
 }
 
 // AppendEventJSON appends ev as a single JSON object to dst. Zero-valued
-// optional fields (object, value, inconsistency, dirty flag) are omitted
-// for begin/commit/abort events to keep traces compact.
+// optional fields (object, value, inconsistency, limit, dirty flag) are
+// omitted to keep traces compact; decoders treat a missing "lim" as a
+// zero bound and a missing "inc" as a consistent operation. Commit
+// events carry the attempt's final accumulated inconsistency in "inc"
+// so checkers can cross-check the per-op charges against the committed
+// total (schema esr-trace/1).
 func AppendEventJSON(dst []byte, ev Event) []byte {
 	dst = append(dst, `{"ev":"`...)
 	dst = append(dst, ev.Kind.String()...)
@@ -87,13 +108,17 @@ func AppendEventJSON(dst []byte, ev Event) []byte {
 		dst = strconv.AppendInt(dst, int64(ev.Value), 10)
 		dst = append(dst, `,"ver":`...)
 		dst = strconv.AppendUint(dst, uint64(ev.Version), 10)
-		if ev.Inconsistency != 0 {
-			dst = append(dst, `,"inc":`...)
-			dst = strconv.AppendInt(dst, int64(ev.Inconsistency), 10)
-		}
-		if ev.DirtyRead {
-			dst = append(dst, `,"dirty":true`...)
-		}
+	}
+	if ev.Inconsistency != 0 {
+		dst = append(dst, `,"inc":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Inconsistency), 10)
+	}
+	if ev.Limit != 0 {
+		dst = append(dst, `,"lim":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Limit), 10)
+	}
+	if ev.DirtyRead {
+		dst = append(dst, `,"dirty":true`...)
 	}
 	return append(dst, '}')
 }

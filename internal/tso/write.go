@@ -121,7 +121,8 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, value, delta core.Valu
 	}
 	st.writes = append(st.writes, o)
 	e.trace(Event{Kind: EvWrite, Txn: st.id, TxnKind: st.kind, TS: st.ts,
-		Object: o.ID(), Value: newValue, Version: st.ts, Inconsistency: exported})
+		Object: o.ID(), Value: newValue, Version: st.ts, Inconsistency: exported,
+		Limit: o.OEL()})
 	o.Unlock()
 
 	st.opsExecuted++

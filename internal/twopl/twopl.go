@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/metrics"
@@ -101,20 +102,42 @@ type Engine struct {
 
 	// dur, when set, makes commits durable through the write-ahead log.
 	dur storage.Durability
+
+	// tracer, when set, receives the same execution events the TO engine
+	// emits (schema esr-trace/1), so recorded 2PL histories feed the same
+	// offline checker. Limits are always zero: 2PL is a serializable
+	// baseline and ignores bounds.
+	tracer tso.Tracer
+	// now stamps trace events; wall clock since engine creation.
+	now func() time.Duration
 }
 
 // SetDurability routes commits through d. Call before serving traffic.
 func (e *Engine) SetDurability(d storage.Durability) { e.dur = d }
 
+// SetTracer installs a trace-event consumer. Call before serving traffic.
+func (e *Engine) SetTracer(t tso.Tracer) { e.tracer = t }
+
+// trace emits an event if a tracer is installed, stamping it with the
+// engine's timeline.
+func (e *Engine) trace(ev tso.Event) {
+	if e.tracer != nil {
+		ev.At = e.now()
+		e.tracer.Trace(ev)
+	}
+}
+
 // NewEngine returns a 2PL engine over the store. The collector and
 // parker may be nil.
 func NewEngine(store *storage.Store, col *metrics.Collector, parker tso.Parker) *Engine {
+	start := time.Now()
 	return &Engine{
 		store:  store,
 		col:    col,
 		parker: parker,
 		locks:  make(map[core.ObjectID]*lockEntry),
 		txns:   txnshard.New[*txnState](),
+		now:    func() time.Duration { return time.Since(start) },
 	}
 }
 
@@ -132,6 +155,7 @@ func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, _ core.BoundSpec) (co
 	}
 	e.txns.Store(st.id, st)
 	e.col.Begin()
+	e.trace(tso.Event{Kind: tso.EvBegin, Txn: st.id, TxnKind: kind, TS: ts})
 	return st.id, nil
 }
 
@@ -146,6 +170,12 @@ func (e *Engine) Read(txn core.TxnID, obj core.ObjectID) (core.Value, error) {
 	}
 	o.Lock()
 	v := o.Value()
+	ver := o.CommittedTS()
+	if owner, dirty := o.Dirty(); dirty && owner == st.id {
+		ver = o.WriteTS() // reading our own pending write
+	}
+	e.trace(tso.Event{Kind: tso.EvRead, Txn: st.id, TxnKind: st.kind, TS: st.ts,
+		Object: o.ID(), Value: v, Version: ver})
 	o.Unlock()
 	st.ops++
 	e.col.ReadExecuted(false)
@@ -194,6 +224,8 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, v core.Value, isDelta 
 		o.Unlock()
 		return 0, e.abortNow(st, metrics.AbortOther, err)
 	}
+	e.trace(tso.Event{Kind: tso.EvWrite, Txn: st.id, TxnKind: st.kind, TS: st.ts,
+		Object: o.ID(), Value: newValue, Version: st.ts})
 	o.Unlock()
 	if !dirty {
 		st.writes = append(st.writes, o)
@@ -268,6 +300,7 @@ func (e *Engine) Commit(txn core.TxnID) error {
 	}
 	e.releaseAll(st)
 	e.col.Commit()
+	e.trace(tso.Event{Kind: tso.EvCommit, Txn: st.id, TxnKind: st.kind, TS: st.ts})
 	if durErr == nil && durAck != nil {
 		durErr = durAck.Wait()
 	}
@@ -327,4 +360,5 @@ func (e *Engine) finishAbort(st *txnState, reason metrics.AbortReason) {
 	}
 	e.releaseAll(st)
 	e.col.Abort(reason, st.ops)
+	e.trace(tso.Event{Kind: tso.EvAbort, Txn: st.id, TxnKind: st.kind, TS: st.ts})
 }

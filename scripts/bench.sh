@@ -1,7 +1,11 @@
 #!/bin/sh
 # bench.sh runs the hot-path micro-benchmarks and writes the results as
 # BENCH_hotpath.json, the machine-readable artifact CI archives so
-# per-commit ns/op and allocs/op are comparable across runs.
+# per-commit ns/op and allocs/op are comparable across runs. Each run is
+# also appended as one line — git SHA, UTC timestamp, and the same
+# numbers — to results/bench_trajectory.jsonl, so the performance
+# trajectory across commits accumulates locally without diffing
+# artifacts.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
@@ -39,3 +43,15 @@ END { print "\n}" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+mkdir -p results
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+dirty=""
+if ! git diff --quiet 2>/dev/null; then
+	dirty="-dirty"
+fi
+stamp="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+printf '{"sha":"%s%s","time":"%s","bench":%s}\n' \
+	"$sha" "$dirty" "$stamp" "$(tr -d '\n' < "$out")" \
+	>> results/bench_trajectory.jsonl
+echo "appended to results/bench_trajectory.jsonl"

@@ -1,0 +1,67 @@
+#!/bin/sh
+# certify-ci.sh is the end-to-end oracle gate: it boots a real esr-server
+# with -trace, drives real clients over TCP, shuts the server down
+# gracefully, and hands the recorded trace to esr-check. Two rounds:
+#
+#   1. a mixed epsilon workload, which must be certified within bounds
+#      (exit 0 from esr-check);
+#   2. a zero-bound workload, which must additionally pass -zero: exact
+#      conflict serializability, the paper's ε=0 special case.
+#
+# Any refutation fails CI: the trace schema, the engines' event
+# emissions (statically guarded by the tracecomplete analyzer) and the
+# checker itself are exercised as one pipeline.
+set -eu
+cd "$(dirname "$0")/.."
+
+bindir="$(mktemp -d)"
+tracedir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+	if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+		kill "$server_pid" 2>/dev/null || true
+		wait "$server_pid" 2>/dev/null || true
+	fi
+	rm -rf "$bindir" "$tracedir"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$bindir" ./cmd/esr-server ./cmd/esr-client ./cmd/esr-check
+
+# run_round <name> <port> <client-level> [extra esr-check flags...]
+run_round() {
+	name="$1" port="$2" level="$3"
+	shift 3
+	trace="$tracedir/$name.jsonl"
+	"$bindir/esr-server" -addr "127.0.0.1:$port" -objects 200 \
+		-trace "$trace" -shutdown-grace 10s &
+	server_pid=$!
+	# Wait for the listener.
+	i=0
+	until "$bindir/esr-client" -addr "127.0.0.1:$port" -site 9 -txns 1 \
+		-objects 200 -level "$level" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -ge 50 ]; then
+			echo "certify-ci: server on :$port never became ready" >&2
+			exit 2
+		fi
+		sleep 0.1
+	done
+	"$bindir/esr-client" -addr "127.0.0.1:$port" -site 1 -txns 150 \
+		-objects 200 -level "$level" &
+	c1=$!
+	"$bindir/esr-client" -addr "127.0.0.1:$port" -site 2 -txns 150 \
+		-objects 200 -level "$level" &
+	c2=$!
+	wait "$c1" "$c2"
+	kill -TERM "$server_pid"
+	wait "$server_pid" || true
+	server_pid=""
+	echo "certify-ci: checking $name trace"
+	"$bindir/esr-check" "$@" "$trace"
+}
+
+run_round mixed 7431 high
+run_round zero 7432 zero -zero
+
+echo "certify-ci: all traces certified"
