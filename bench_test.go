@@ -426,6 +426,61 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 			wire.Recycle(m)
 		}
 	})
+	// pipelined: the same fast-path op inside a Tagged envelope, the
+	// per-frame cost of the demultiplexing core's wire format. Must stay
+	// allocation-free like the bare fast path.
+	b.Run("pipelined", func(b *testing.B) {
+		msg := &wire.Tagged{Tag: 7, Inner: &wire.Write{Txn: 1, Object: 2, Delta: true, Value: 3}}
+		var buf bytes.Buffer
+		conn := wire.NewConn(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := conn.WriteMessage(msg); err != nil {
+				b.Fatal(err)
+			}
+			m, err := conn.ReadMessage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tg := m.(*wire.Tagged)
+			wire.Recycle(tg.Inner)
+			wire.Recycle(tg)
+		}
+	})
+	// batched: 16 ops per CRC-framed Batch frame; the reported ns/op is
+	// per frame, so divide by 16 for the amortized per-op cost.
+	b.Run("batched", func(b *testing.B) {
+		const ops = 16
+		msg := &wire.Batch{}
+		for i := 0; i < ops; i++ {
+			msg.Ops = append(msg.Ops, wire.BatchItem{
+				Tag: uint32(i + 1),
+				Msg: &wire.Write{Txn: 1, Object: core.ObjectID(i), Delta: true, Value: 3},
+			})
+		}
+		var buf bytes.Buffer
+		conn := wire.NewConn(&buf)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := conn.WriteMessage(msg); err != nil {
+				b.Fatal(err)
+			}
+			m, err := conn.ReadMessage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			bt := m.(*wire.Batch)
+			for j := range bt.Ops {
+				wire.Recycle(bt.Ops[j].Msg)
+				bt.Ops[j].Msg = nil
+			}
+			wire.Recycle(bt)
+		}
+	})
 }
 
 // BenchmarkStorageFindProper measures the proper-value lookup through a

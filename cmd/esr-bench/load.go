@@ -1,0 +1,385 @@
+package main
+
+// The open-loop load generator (-load): a sigclient-style target-rate
+// driver for the pipelined wire protocol, measuring throughput and
+// latency-under-load against a real server over localhost TCP.
+//
+// Two phases run against one freshly booted server:
+//
+//  1. a closed-loop baseline — one connection, one outstanding request,
+//     the seed protocol — relabeled explicitly so its numbers are never
+//     conflated with open-loop results in the trajectory file;
+//  2. the open-loop phase (the headline): -conns connections each
+//     dialed at -pipeline depth, programs shipped in Batch frames of
+//     -batch ops. With -rate > 0 transaction arrivals follow a fixed-
+//     tick schedule independent of completions (latency is measured
+//     from the *scheduled* arrival, so queueing delay — the part
+//     coordinated-omission hides — is in the histogram); -rate 0 is
+//     continuous mode, saturating the pipeline back to back.
+//
+// The workload is the soak harness's invariant core: zero-sum delta
+// transfers, so the run can end with a conservation check, and — with
+// certification on — a full trace for the offline epsilon-
+// serializability oracle. A dirty certification fails the run, which is
+// how scripts/bench.sh gates CI.
+//
+// Each executor transfers within its own disjoint account slice: this
+// tool measures the wire protocol's capacity, so concurrency-control
+// conflicts — whose cost depends on timestamp interleaving, not on
+// pipelining — are designed out rather than averaged in. The figure
+// sweeps (-fig) are the contention studies.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/client"
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/esrcheck"
+	"github.com/epsilondb/epsilondb/internal/history"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/server"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+)
+
+// loadConfig parameterizes one -load run.
+type loadConfig struct {
+	Rate      float64 // target aggregate txn/s; 0 means continuous
+	Conns     int
+	Pipeline  int
+	Batch     int // ops per Batch frame; <= 0 ships whole programs
+	OpsPerTxn int
+	Accounts  int // accounts per executor slice
+	Duration  time.Duration
+	Seed      int64
+	Certify   bool
+	JSONPath  string
+}
+
+// loadInitialBalance keeps deltas comfortably away from zero.
+const loadInitialBalance = core.Value(1_000_000)
+
+// phaseResult is one phase's measurement.
+type phaseResult struct {
+	Mode     string  `json:"mode"` // "closed-loop", "scheduled", "continuous"
+	Conns    int     `json:"conns"`
+	Pipeline int     `json:"pipeline"`
+	Batch    int     `json:"batch,omitempty"`
+	RateTgt  float64 `json:"rate_target_txn_s,omitempty"`
+	Txns     int64   `json:"txns"`
+	Attempts int64   `json:"attempts"`
+	TxnPerS  float64 `json:"txn_per_s"`
+	OpPerS   float64 `json:"op_per_s"`
+	P50us    float64 `json:"p50_us"`
+	P95us    float64 `json:"p95_us"`
+	P99us    float64 `json:"p99_us"`
+}
+
+// loadReport is the JSON artifact scripts/bench.sh merges into
+// BENCH_hotpath.json (key "loadgen") and the trajectory file. The open-
+// loop phase is the headline; the closed-loop baseline is kept, clearly
+// relabeled, for comparison across commits.
+type loadReport struct {
+	OpenLoop   phaseResult `json:"open_loop"`
+	ClosedLoop phaseResult `json:"closed_loop"`
+	SpeedupOps float64     `json:"speedup_ops"`
+	OpsPerTxn  int         `json:"ops_per_txn"`
+	Certified  bool        `json:"certified"`
+	Conserved  bool        `json:"conserved"`
+}
+
+// runLoad boots the server, runs both phases, checks conservation and
+// (optionally) certifies the recorded history. A violated invariant is
+// an error after the report is printed and written, so CI fails loudly
+// with the numbers still on record.
+func runLoad(cfg loadConfig) error {
+	if cfg.Conns <= 0 || cfg.Pipeline <= 0 || cfg.OpsPerTxn < 2 || cfg.Accounts < cfg.OpsPerTxn {
+		return fmt.Errorf("load: need ≥1 conn, ≥1 pipeline, ≥2 ops/txn, and accounts ≥ ops/txn (one write per object per txn); got %+v", cfg)
+	}
+
+	// One slice per open-phase executor, plus slice 0 for the closed-
+	// loop baseline.
+	totalAccounts := (1 + cfg.Conns*cfg.Pipeline) * cfg.Accounts
+	st := storage.NewStore(storage.Config{DefaultOIL: core.NoLimit, DefaultOEL: core.NoLimit})
+	for i := 1; i <= totalAccounts; i++ {
+		if _, err := st.Create(core.ObjectID(i), loadInitialBalance); err != nil {
+			return err
+		}
+	}
+	opts := tso.Options{Collector: &metrics.Collector{}}
+	var rec *history.Recorder
+	if cfg.Certify {
+		rec = history.NewRecorder()
+		opts.Tracer = rec
+	}
+	engine := tso.NewEngine(st, opts)
+	clock := &tsgen.LogicalClock{}
+	srv := server.New(engine, server.Options{Clock: clock})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	closed, err := runClosedPhase(addr.String(), clock, cfg)
+	if err != nil {
+		return fmt.Errorf("load: closed-loop baseline: %w", err)
+	}
+	open, err := runOpenPhase(addr.String(), clock, cfg)
+	if err != nil {
+		return fmt.Errorf("load: open-loop phase: %w", err)
+	}
+
+	// Drain gracefully before judging the trace, so every connection
+	// goroutine has flushed its last events into the recorder.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("load: shutdown: %w", err)
+	}
+
+	report := loadReport{
+		OpenLoop:   *open,
+		ClosedLoop: *closed,
+		OpsPerTxn:  cfg.OpsPerTxn,
+		Conserved:  st.TotalValue() == core.Value(totalAccounts)*loadInitialBalance,
+		Certified:  true, // until the oracle says otherwise
+	}
+	if closed.OpPerS > 0 {
+		report.SpeedupOps = open.OpPerS / closed.OpPerS
+	}
+	var oracle *esrcheck.Report
+	if rec != nil {
+		oracle = esrcheck.Check(rec.Events())
+		report.Certified = oracle.Err() == nil
+	}
+
+	printLoadReport(report, oracle)
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  wrote %s\n", cfg.JSONPath)
+	}
+
+	switch {
+	case !report.Conserved:
+		return fmt.Errorf("load: conservation violated: total %d, want %d",
+			st.TotalValue(), core.Value(totalAccounts)*loadInitialBalance)
+	case !report.Certified:
+		return fmt.Errorf("load: history refuted: %w", oracle.Err())
+	}
+	return nil
+}
+
+// printLoadReport renders the run for the command line, open-loop
+// numbers first: the closed-loop line is the relabeled legacy metric.
+func printLoadReport(r loadReport, oracle *esrcheck.Report) {
+	mode := r.OpenLoop.Mode
+	if r.OpenLoop.RateTgt > 0 {
+		mode = fmt.Sprintf("%s @ %.0f txn/s target", mode, r.OpenLoop.RateTgt)
+	}
+	fmt.Printf("open-loop (headline): %.0f txn/s, %.0f op/s — %d conns × pipeline %d, %s; latency p50 %.0fµs p95 %.0fµs p99 %.0fµs\n",
+		r.OpenLoop.TxnPerS, r.OpenLoop.OpPerS, r.OpenLoop.Conns, r.OpenLoop.Pipeline, mode,
+		r.OpenLoop.P50us, r.OpenLoop.P95us, r.OpenLoop.P99us)
+	fmt.Printf("closed-loop baseline (legacy metric; 1 conn, 1 outstanding): %.0f txn/s, %.0f op/s; p50 %.0fµs p95 %.0fµs p99 %.0fµs\n",
+		r.ClosedLoop.TxnPerS, r.ClosedLoop.OpPerS,
+		r.ClosedLoop.P50us, r.ClosedLoop.P95us, r.ClosedLoop.P99us)
+	fmt.Printf("speedup: %.1f× op/s over the closed-loop single connection (%d ops/txn)\n",
+		r.SpeedupOps, r.OpsPerTxn)
+	switch {
+	case oracle != nil:
+		fmt.Printf("certified: %v (%d txns checked), balance conserved: %v\n",
+			r.Certified, oracle.Txns, r.Conserved)
+	default:
+		fmt.Printf("certified: skipped, balance conserved: %v\n", r.Conserved)
+	}
+}
+
+// runClosedPhase measures the seed protocol: one connection, one
+// outstanding request, per-op round trips.
+func runClosedPhase(addr string, clock *tsgen.LogicalClock, cfg loadConfig) (*phaseResult, error) {
+	c, err := client.Dial(addr, client.Options{Site: 1, Clock: clock})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hist := &metrics.Histogram{}
+	var txns, attempts int64
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	for time.Now().Before(deadline) {
+		p := transferProgram(rng, 0, cfg.Accounts, cfg.OpsPerTxn)
+		t0 := time.Now()
+		_, a, err := c.RunRetry(p, 0)
+		attempts += int64(a)
+		if err != nil {
+			return nil, err
+		}
+		hist.ObserveDuration(time.Since(t0))
+		txns++
+	}
+	res := summarize("closed-loop", txns, attempts, time.Since(start), hist, cfg)
+	res.Conns, res.Pipeline, res.Batch, res.RateTgt = 1, 1, 0, 0
+	return res, nil
+}
+
+// runOpenPhase measures the pipelined protocol: cfg.Conns connections at
+// cfg.Pipeline depth, each connection served by Pipeline executor
+// goroutines sharing the demultiplexing client, programs shipped in
+// Batch frames. With a target rate, per-connection dispatchers emit
+// arrivals on the fixed-tick schedule and executors drain them; the
+// arrival channel is sized for the whole run so the generator never
+// blocks on a slow server — that pressure lands in the latency numbers
+// instead, which is the point of an open loop.
+func runOpenPhase(addr string, clock *tsgen.LogicalClock, cfg loadConfig) (*phaseResult, error) {
+	clients := make([]*client.Client, cfg.Conns)
+	for i := range clients {
+		c, err := client.Dial(addr, client.Options{
+			Site:     2 + i, // distinct from the closed-loop phase's site 1
+			Clock:    clock,
+			Pipeline: cfg.Pipeline,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	hist := &metrics.Histogram{}
+	var txns, attempts atomic.Int64
+	var firstErr atomic.Value
+	fail := func(err error) { firstErr.CompareAndSwap(nil, err) }
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := range clients {
+		c := clients[w]
+		var arrivals chan time.Time
+		if cfg.Rate > 0 {
+			perConn := cfg.Rate / float64(cfg.Conns)
+			interval := time.Duration(float64(time.Second) / perConn)
+			expected := int(perConn*cfg.Duration.Seconds()) + 16
+			arrivals = make(chan time.Time, expected)
+			wg.Add(1)
+			go func(offset time.Duration) {
+				defer wg.Done()
+				defer close(arrivals)
+				// Fixed-tick schedule: arrival n is due at start+offset+n·interval
+				// regardless of completions; wake, then emit every arrival now due.
+				next := start.Add(offset)
+				for next.Before(deadline) {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+					for now := time.Now(); !next.After(now) && next.Before(deadline); next = next.Add(interval) {
+						select {
+						case arrivals <- next:
+						default:
+							// Sized for the whole run; overflow means the run is
+							// longer than planned — count the arrival as due now
+							// rather than stalling the schedule.
+							arrivals <- next
+						}
+					}
+				}
+			}(time.Duration(w) * time.Millisecond)
+		}
+		for e := 0; e < cfg.Pipeline; e++ {
+			wg.Add(1)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + int64(e+1)*104729))
+			// Slice 0 belongs to the closed-loop baseline; executor
+			// (w,e) transfers only within slice 1+w·Pipeline+e.
+			base := (1 + w*cfg.Pipeline + e) * cfg.Accounts
+			go func() {
+				defer wg.Done()
+				for {
+					sched := time.Now()
+					if arrivals != nil {
+						var ok bool
+						if sched, ok = <-arrivals; !ok {
+							return
+						}
+					} else if !sched.Before(deadline) {
+						return
+					}
+					p := transferProgram(rng, base, cfg.Accounts, cfg.OpsPerTxn)
+					_, a, err := c.RunRetryBatched(p, cfg.Batch, 0)
+					attempts.Add(int64(a))
+					if err != nil {
+						fail(err)
+						return
+					}
+					// Latency from the scheduled arrival: queueing delay behind
+					// a saturated pipeline is part of the number.
+					hist.ObserveDuration(time.Since(sched))
+					txns.Add(1)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, err
+	}
+
+	mode := "continuous"
+	if cfg.Rate > 0 {
+		mode = "scheduled"
+	}
+	res := summarize(mode, txns.Load(), attempts.Load(), time.Since(start), hist, cfg)
+	res.Conns, res.Pipeline, res.Batch, res.RateTgt = cfg.Conns, cfg.Pipeline, cfg.Batch, cfg.Rate
+	return res, nil
+}
+
+// summarize folds one phase's counters and histogram into a result.
+func summarize(mode string, txns, attempts int64, elapsed time.Duration, hist *metrics.Histogram, cfg loadConfig) *phaseResult {
+	s := hist.Snapshot()
+	secs := elapsed.Seconds()
+	us := func(q float64) float64 { return float64(s.Quantile(q)) / 1e3 }
+	return &phaseResult{
+		Mode:     mode,
+		Txns:     txns,
+		Attempts: attempts,
+		TxnPerS:  float64(txns) / secs,
+		OpPerS:   float64(txns) * float64(cfg.OpsPerTxn) / secs,
+		P50us:    us(0.50),
+		P95us:    us(0.95),
+		P99us:    us(0.99),
+	}
+}
+
+// transferProgram builds one zero-sum update: opsPerTxn delta writes in
+// +/- pairs over distinct accounts drawn from the executor's slice
+// (objects base+1..base+accounts; odd op counts round down), so any
+// interleaving — including at-least-once resubmission — conserves the
+// bank's total. Accounts within one program are all distinct: the
+// engine's one-write-per-object rule (§3.2.1) aborts a transaction that
+// writes an object twice, and RunRetry would resubmit the same
+// malformed program forever.
+func transferProgram(rng *rand.Rand, base, accounts, opsPerTxn int) *core.Program {
+	perm := rng.Perm(accounts)
+	p := core.NewUpdate(core.NoLimit)
+	for i := 0; i+1 < opsPerTxn && i+1 < len(perm); i += 2 {
+		from := core.ObjectID(base + 1 + perm[i])
+		to := core.ObjectID(base + 1 + perm[i+1])
+		amount := core.Value(1 + rng.Intn(100))
+		p.WriteDelta(from, -amount).WriteDelta(to, amount)
+	}
+	return p
+}

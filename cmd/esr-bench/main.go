@@ -9,17 +9,29 @@
 //	esr-bench -fig 12 -csv out/        # OIL sweep, also write CSV
 //	esr-bench -paper-scale             # the prototype's wall-clock RPC regime
 //	esr-bench -soak                    # banking soak through a faulty network
+//	esr-bench -load -pipeline 8        # open-loop load over the pipelined wire
 //
 // By default cells run on a deterministic virtual timeline (noise-free
 // and fast regardless of -duration); -paper-scale switches to the wall
 // clock with the prototype's 11 ms network + 6 ms service per operation,
 // reproducing the absolute tens-of-transactions-per-second regime.
 //
+// The figure sweeps are closed-loop measurements (each simulated client
+// waits for its transaction before issuing the next) and are labeled as
+// such. -load is the open-loop counterpart over real TCP: transaction
+// arrivals follow a fixed-tick target-rate schedule (-rate; 0 means
+// continuous/saturating), shipped over -conns pipelined connections at
+// -pipeline depth in Batch frames of -batch ops, with latency measured
+// from the scheduled arrival so queueing under load is visible. Those
+// open-loop numbers are the headline throughput metric recorded in
+// BENCH_hotpath.json and results/bench_trajectory.jsonl.
+//
 // -soak runs the robustness soak instead of a figure: a zero-sum banking
 // workload over real TCP connections wrapped with the -fault-* schedule
 // (see internal/faultnet), ending in a graceful server shutdown and an
 // invariant check (no leaked transactions, conserved total balance).
-// With no -fault-* flags set it uses the default mixed-fault schedule.
+// With no -fault-* flags set it uses the default mixed-fault schedule;
+// -soak-pipeline drives it over the pipelined batched protocol.
 package main
 
 import (
@@ -57,12 +69,44 @@ func main() {
 		soakMode    = flag.Bool("soak", false, "run the fault-injection banking soak instead of a figure")
 		soakClients = flag.Int("soak-clients", 0, "soak: concurrent clients (0 means default)")
 		soakTxns    = flag.Int("soak-txns", 0, "soak: committed programs per client (0 means default)")
+		soakPipe    = flag.Int("soak-pipeline", 0, "soak: pipeline depth per connection (<=1 means the synchronous protocol)")
+		soakBatch   = flag.Int("soak-batch", 0, "soak: ops per Batch frame when pipelined (<=0 means whole program per frame)")
+
+		loadMode    = flag.Bool("load", false, "run the open-loop load generator against a real server instead of a figure")
+		rate        = flag.Float64("rate", 0, "load: target aggregate arrival rate in txn/s (0 means continuous mode: saturate the pipeline)")
+		conns       = flag.Int("conns", 1, "load: client connections (1 isolates the pipelining speedup from connection parallelism)")
+		pipeline    = flag.Int("pipeline", 8, "load: outstanding frames per connection (1 means the synchronous seed protocol)")
+		batch       = flag.Int("batch", 0, "load: ops per Batch frame (<=0 ships each whole program in one frame, 1 means per-op frames)")
+		loadOps     = flag.Int("load-ops", 16, "load: delta-write operations per transaction (rounded down to even)")
+		loadObjects = flag.Int("load-objects", 32, "load: accounts per executor slice (disjoint slices keep concurrency-control conflicts out of the wire measurement)")
+		loadJSON    = flag.String("load-json", "", "load: also write the report as JSON to this path (merged into BENCH_hotpath.json by scripts/bench.sh)")
+		loadCertify = flag.Bool("load-certify", true, "load: record the trace and require esrcheck certification")
 	)
 	faultCfg := faultnet.RegisterFlags(flag.CommandLine, "fault")
 	flag.Parse()
 
 	if *soakMode {
-		if err := runSoak(*faultCfg, *soakClients, *soakTxns, *seed); err != nil {
+		if err := runSoak(*faultCfg, *soakClients, *soakTxns, *soakPipe, *soakBatch, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "esr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *loadMode {
+		err := runLoad(loadConfig{
+			Rate:      *rate,
+			Conns:     *conns,
+			Pipeline:  *pipeline,
+			Batch:     *batch,
+			OpsPerTxn: *loadOps,
+			Accounts:  *loadObjects,
+			Duration:  *duration,
+			Seed:      *seed,
+			Certify:   *loadCertify,
+			JSONPath:  *loadJSON,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "esr-bench:", err)
 			os.Exit(1)
 		}
@@ -135,7 +179,7 @@ func main() {
 // runSoak drives the shared soak harness (internal/soak) from the
 // command line: the same schedule a test asserts on can be rerun — and
 // scaled up — against a binary.
-func runSoak(faults faultnet.Config, clients, txns int, seed int64) error {
+func runSoak(faults faultnet.Config, clients, txns, pipeline, batch int, seed int64) error {
 	if err := faults.Validate(); err != nil {
 		return err
 	}
@@ -150,6 +194,8 @@ func runSoak(faults faultnet.Config, clients, txns int, seed int64) error {
 	if txns > 0 {
 		cfg.TxnsPerClient = txns
 	}
+	cfg.Pipeline = pipeline
+	cfg.BatchOps = batch
 	cfg.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
 	}

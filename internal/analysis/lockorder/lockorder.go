@@ -1,7 +1,7 @@
 // Package lockorder is the flow-sensitive lock discipline analyzer. It
 // runs over the engine and storage packages (tso, twopl, mvto, storage,
-// txnshard, wal), infers the partial order in which their mutexes are
-// acquired, and enforces three rules:
+// txnshard, wal) plus the pipelined client (client), infers the partial
+// order in which their mutexes are acquired, and enforces three rules:
 //
 //  1. Ordering: every pair of locks must be acquired in one consistent
 //     order program-wide. Acquisition edges are collected per path
@@ -50,10 +50,17 @@ var Analyzer = &analysis.Analyzer{
 	Run:          run,
 }
 
-// scopePkgs are the package names whose locks participate.
+// scopePkgs are the package names whose locks participate. The client
+// package joined when it grew the demultiplexing core: client.pipe.mu
+// is a leaf mutex shared by the caller, writer and reader goroutines,
+// and the no-blocking-under-a-lock rule is exactly the discipline that
+// keeps the demux deadlock-free — waiter completion is set-fields-then-
+// close(done), never a channel receive or Wait under pipe.mu or the
+// per-group callGroup.mu.
 var scopePkgs = map[string]bool{
 	"tso": true, "twopl": true, "mvto": true,
 	"storage": true, "txnshard": true, "wal": true,
+	"client": true,
 }
 
 // enginePkgs are the packages where the publish contract applies.

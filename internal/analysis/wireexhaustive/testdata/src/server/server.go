@@ -15,6 +15,8 @@ func (s *Server) dispatch(msg wire.Message) wire.Message {
 		return &wire.BeginOK{}
 	case *wire.Dup:
 		return &wire.BeginOK{}
+	case *wire.Sync:
+		return &wire.BeginOK{}
 	}
 	return &wire.ErrorMsg{Text: "unhandled"}
 }

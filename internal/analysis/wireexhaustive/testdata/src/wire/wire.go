@@ -13,6 +13,7 @@ const (
 	MsgCommit  MsgType = 3 // want `wire message MsgCommit has no case in the decode factory newMessage`
 	MsgDup     MsgType = 4 // want `wire message MsgDup is returned by 2 MsgType\(\) methods: frame types must be unique`
 	MsgGhost   MsgType = 5 // want `wire message MsgGhost is returned by no MsgType\(\) method: no message struct encodes it` `request MsgGhost is not handled by any wire\.Message type switch in the server package`
+	MsgSync    MsgType = 6 // want `request MsgSync is not classified by the Batchable switch in the wire package`
 	MsgBeginOK MsgType = 64
 	MsgError   MsgType = 65 // want `wire message MsgError has no case in MsgType\.String`
 )
@@ -29,6 +30,8 @@ func (t MsgType) String() string {
 		return "Dup"
 	case MsgGhost:
 		return "Ghost"
+	case MsgSync:
+		return "Sync"
 	case MsgBeginOK:
 		return "BeginOK"
 	}
@@ -61,6 +64,10 @@ type DupTwin struct{}
 
 func (*DupTwin) MsgType() MsgType { return MsgDup }
 
+type Sync struct{ Ticks int64 }
+
+func (*Sync) MsgType() MsgType { return MsgSync }
+
 type BeginOK struct{ Txn uint64 }
 
 func (*BeginOK) MsgType() MsgType { return MsgBeginOK }
@@ -80,6 +87,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &Dup{}, nil
 	case MsgGhost:
 		return nil, fmt.Errorf("ghost has no frame")
+	case MsgSync:
+		return &Sync{}, nil
 	case MsgBeginOK:
 		return &BeginOK{}, nil
 	case MsgError:
@@ -89,3 +98,18 @@ func newMessage(t MsgType) (Message, error) {
 }
 
 var _ = newMessage
+
+// Batchable mimics the real package's batch-transport classifier: every
+// request constant must be deliberately classified. MsgSync is
+// deliberately missing from the switch to exercise check 5.
+func Batchable(t MsgType) bool {
+	switch t {
+	case MsgBegin, MsgRead:
+		return true
+	case MsgCommit, MsgDup, MsgGhost:
+		return false
+	}
+	return false
+}
+
+var _ = Batchable

@@ -13,12 +13,16 @@
 //     (the encode linkage: frames are typed by that method);
 //  4. for request constants (value < responseBase, i.e. 64), a case for
 //     the corresponding message struct in at least one type switch over
-//     wire.Message in the server package (the handler).
+//     wire.Message in the server package (the handler);
+//  5. for request constants, a case in the batch-transport classifier
+//     (the function named Batchable, when declared): a new request must
+//     be deliberately classified as batchable or not, never fall to the
+//     default silently.
 //
-// The analyzer is program-level: checks 1–3 run whenever the program
-// contains a package named "wire" declaring a MsgType; check 4 runs only
-// when a package named "server" is loaded with it, so per-package vettool
-// runs degrade gracefully to the wire-local checks.
+// The analyzer is program-level: checks 1–3 and 5 run whenever the
+// program contains a package named "wire" declaring a MsgType; check 4
+// runs only when a package named "server" is loaded with it, so
+// per-package vettool runs degrade gracefully to the wire-local checks.
 package wireexhaustive
 
 import (
@@ -62,6 +66,8 @@ func run(pass *analysis.Pass) error {
 	decodeCases := switchCaseIdents(wire, funcBody(wire, "newMessage"))
 	stringCases := switchCaseIdents(wire, methodBody(wire, "MsgType", "String"))
 	encodeOwner := msgTypeMethodReturns(wire)
+	batchBody := funcBody(wire, "Batchable")
+	batchCases := switchCaseIdents(wire, batchBody)
 
 	handled := map[string]bool{}
 	if server := pass.Program.Package("server"); server != nil {
@@ -92,6 +98,9 @@ func run(pass *analysis.Pass) error {
 			if !covered {
 				pass.Reportf(c.pos, "request %s is not handled by any wire.Message type switch in the server package", c.name)
 			}
+		}
+		if c.value < responseBase && batchBody != nil && !batchCases[c.name] {
+			pass.Reportf(c.pos, "request %s is not classified by the Batchable switch in the wire package", c.name)
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -69,6 +70,15 @@ type Options struct {
 	// It only takes effect when the underlying stream supports
 	// deadlines (net.Conn does; in-process test pipes may not).
 	CallTimeout time.Duration
+	// Pipeline is the maximum number of request frames the client keeps
+	// in flight on the connection. Zero or one keeps the seed protocol's
+	// synchronous single-slot path — byte-identical frames, no extra
+	// goroutines. Greater than one starts the demultiplexing core
+	// (pipeline.go): requests travel in Tagged envelopes, a writer
+	// goroutine coalesces queued frames into single flushes, and a
+	// reader goroutine matches replies to waiters by tag, so calls and
+	// batches may be issued concurrently.
+	Pipeline int
 	// Dialer overrides how Dial opens the connection; nil means
 	// net.Dial("tcp", addr). Fault-injection harnesses use this to
 	// interpose faultnet wrappers.
@@ -130,16 +140,31 @@ func (b Backoff) Delay(n int, rng *rand.Rand) time.Duration {
 }
 
 // Client is one transaction client: a connection plus a synchronized
-// timestamp generator. It is not safe for concurrent use — the
-// prototype's clients are single-threaded and its RPC synchronous.
+// timestamp generator. Without pipelining it is not safe for concurrent
+// use — the prototype's clients are single-threaded and its RPC
+// synchronous. With Options.Pipeline > 1 the call-level API (Begin and
+// transaction ops, CallAsync, Batch, Run*) may be used from multiple
+// goroutines; an individual Txn still belongs to one goroutine at a
+// time. RunRetry's jittered backoff draws from a per-client rng and
+// stays single-goroutine either way.
 type Client struct {
 	conn        *wire.Conn
+	pipe        *pipe // demultiplexing core; nil at pipeline depth <= 1
 	gen         *tsgen.Generator
 	site        int
 	callTimeout time.Duration
 	backoff     Backoff
+	rngMu       sync.Mutex
 	rng         *rand.Rand // jitter source, seeded by site for determinism
 	closed      atomic.Bool
+}
+
+// jitterDelay draws the next backoff delay; the lock makes the shared
+// rng safe for concurrent RunRetry loops on a pipelined client.
+func (c *Client) jitterDelay(attempts int) time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.backoff.Delay(attempts, c.rng)
 }
 
 // Dial connects to a server, performs the clock-synchronization
@@ -204,6 +229,11 @@ func newClient(conn *wire.Conn, opts Options) (*Client, error) {
 		total += so.ServerTicks - local
 	}
 	c.gen.SetCorrection(total / int64(samples))
+	// The sync handshake above ran on the plain synchronous path; only a
+	// fully synchronized client switches to the demultiplexing core.
+	if opts.Pipeline > 1 {
+		c.pipe = startPipe(conn, opts.Pipeline, c.callTimeout)
+	}
 	return c, nil
 }
 
@@ -212,6 +242,13 @@ func newClient(conn *wire.Conn, opts Options) (*Client, error) {
 // after (or racing with) Close fail with ErrClientClosed.
 func (c *Client) Close() error {
 	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if c.pipe != nil {
+		// Tears down the core: every outstanding call fails with
+		// ErrClientClosed, the connection closes, and both goroutines are
+		// joined before Close returns, so a closed client leaks nothing.
+		c.pipe.close()
 		return nil
 	}
 	return c.conn.Close()
@@ -229,6 +266,13 @@ func (c *Client) Correction() int64 { return c.gen.Correction() }
 func (c *Client) callWire(req wire.Message) (wire.Message, error) {
 	if c.closed.Load() {
 		return nil, ErrClientClosed
+	}
+	if c.pipe != nil {
+		// Pipelined path: per-call deadlines are armed by the pipe's
+		// register (connection deadlines cannot bound individual calls
+		// once several share the stream), and a Close-initiated teardown
+		// already fails calls with ErrClientClosed.
+		return c.pipe.call(req)
 	}
 	if c.callTimeout > 0 {
 		if c.conn.SetDeadline(time.Now().Add(c.callTimeout)) {
@@ -251,14 +295,20 @@ func (c *Client) callWire(req wire.Message) (wire.Message, error) {
 // call sends a request and converts abort responses to AbortError.
 func (c *Client) call(req wire.Message) (wire.Message, error) {
 	resp, err := c.callWire(req)
-	if err == nil {
-		return resp, nil
+	if err != nil {
+		return nil, mapAbort(err)
 	}
+	return resp, nil
+}
+
+// mapAbort converts server abort errors to AbortError, leaving every
+// other error untouched.
+func mapAbort(err error) error {
 	var we *wire.Error
 	if errors.As(err, &we) && we.Code == wire.CodeAbort {
-		return nil, &AbortError{Reason: we.Reason, Message: we.Message}
+		return &AbortError{Reason: we.Reason, Message: we.Message}
 	}
-	return nil, err
+	return err
 }
 
 // Txn is one transaction attempt in progress.
@@ -437,7 +487,7 @@ func (c *Client) RunRetry(p *core.Program, maxAttempts int) (*Result, int, error
 		if maxAttempts > 0 && attempts >= maxAttempts {
 			return nil, attempts, err
 		}
-		if d := c.backoff.Delay(attempts, c.rng); d > 0 {
+		if d := c.jitterDelay(attempts); d > 0 {
 			time.Sleep(d)
 		}
 	}

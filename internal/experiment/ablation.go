@@ -16,7 +16,7 @@ import (
 func RunHistoryAblation(base Config, depths []int, progress func(string)) (Figure, []Result, error) {
 	base.Workload.TIL = workload.LevelMedium.TIL
 	base.Workload.TEL = workload.LevelMedium.TEL
-	tput := Series{Name: "throughput (txn/s)"}
+	tput := Series{Name: "closed-loop throughput (txn/s)"}
 	aborts := Series{Name: "aborts"}
 	misses := Series{Name: "proper misses"}
 	var results []Result
@@ -60,7 +60,7 @@ func RunCCComparison(base Config, mpls []int, level workload.Level, protocols []
 		ID:     "abl-cc",
 		Title:  fmt.Sprintf("Ablation: concurrency control protocols (%s bounds)", level.Name),
 		XLabel: "Multiprogramming Level",
-		YLabel: "Throughput (txn/s)",
+		YLabel: "Closed-loop throughput (txn/s)",
 	}
 	var registered []Protocol
 	var cells []cell

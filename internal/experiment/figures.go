@@ -87,7 +87,7 @@ func (s *MPLSweep) figure(id, title, ylabel string, skipZero bool, metric func(R
 
 // Figure7 is throughput vs multiprogramming level.
 func (s *MPLSweep) Figure7() Figure {
-	return s.figure("fig7", "Throughput vs Multiprogramming Level", "Throughput (txn/s)", false,
+	return s.figure("fig7", "Throughput vs Multiprogramming Level", "Closed-loop throughput (txn/s)", false,
 		func(r Result) float64 { return r.Throughput })
 }
 
@@ -148,7 +148,7 @@ func (s *MPLSweep) ThrashingPoint(levelIdx int) int {
 // figure for machine-readable emission.
 func RunTILSweep(base Config, mpl int, tils []core.Distance, tels []core.Distance, progress func(string)) (Figure, []Result, error) {
 	f := Figure{ID: "fig11", Title: fmt.Sprintf("Throughput vs Transaction Import Limit (MPL %d)", mpl),
-		XLabel: "TIL", YLabel: "Throughput (txn/s)"}
+		XLabel: "TIL", YLabel: "Closed-loop throughput (txn/s)"}
 	var cells []cell
 	for _, tel := range tels {
 		for _, til := range tils {
@@ -238,7 +238,7 @@ func (s *OILSweep) figure(id, title, ylabel string, metric func(Result) float64)
 // Figure12 is throughput vs OIL.
 func (s *OILSweep) Figure12() Figure {
 	return s.figure("fig12", fmt.Sprintf("Throughput vs Object Import Limit (MPL %d)", s.MPL),
-		"Throughput (txn/s)", func(r Result) float64 { return r.Throughput })
+		"Closed-loop throughput (txn/s)", func(r Result) float64 { return r.Throughput })
 }
 
 // Figure13 is the average number of operations executed per completed

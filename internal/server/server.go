@@ -282,10 +282,12 @@ func (s *Server) draining() bool {
 func (s *Server) ServeConn(rw io.ReadWriter) {
 	conn := wire.NewConn(rw)
 	open := make(map[core.TxnID]struct{})
-	// rb holds this connection's response structs. RPC is synchronous —
-	// one request in flight per connection — so the previous response is
-	// always fully written before dispatch builds the next one, and the
-	// loop reuses the same structs instead of allocating per reply.
+	// rb holds this connection's response structs. On the untagged path
+	// RPC is synchronous — one request in flight per connection — so the
+	// previous response is always fully written before dispatch builds
+	// the next one, and the loop reuses the same structs instead of
+	// allocating per reply. The pipelined path draws from respBufPool
+	// instead (pipeline.go).
 	var rb respBuf
 	defer func() {
 		for txn := range open {
@@ -293,6 +295,17 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 			if err := s.engine.Abort(txn); err == nil {
 				s.opts.Logf("server: %s: aborted orphaned txn %d on disconnect", conn.RemoteAddr(), txn)
 			}
+		}
+	}()
+	// cp is non-nil once the connection switched into pipelined mode.
+	// Its teardown defer runs before the orphan cleanup above (LIFO):
+	// async commits complete and their acks reach the wire first, so a
+	// clean exit never re-aborts a transaction whose commit is in
+	// flight.
+	var cp *connPipeline
+	defer func() {
+		if cp != nil {
+			cp.shutdown()
 		}
 	}()
 	for {
@@ -331,17 +344,48 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 			}
 			return
 		}
-		if s.opts.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		switch m := req.(type) {
+		case *wire.Tagged:
+			if cp == nil {
+				cp = newConnPipeline(s, conn)
+			}
+			tag, inner := m.Tag, m.Inner
+			wire.Recycle(m) // shallow: inner's ownership moves to handleOp
+			cp.handleOp(tag, inner, open)
+
+		case *wire.Batch:
+			if cp == nil {
+				cp = newConnPipeline(s, conn)
+			}
+			for i := range m.Ops {
+				cp.handleOp(m.Ops[i].Tag, m.Ops[i].Msg, open)
+				m.Ops[i].Msg = nil
+			}
+			wire.Recycle(m)
+
+		default:
+			if cp != nil {
+				// Once pipelined, the response writer owns the write side;
+				// an untagged frame would race it for the stream.
+				s.opts.Logf("server: %s: untagged %v frame on a pipelined connection", conn.RemoteAddr(), req.MsgType())
+				wire.Recycle(req)
+				return
+			}
+			if s.opts.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+			}
+			resp := s.dispatch(req, &rb)
+			trackTxn(open, req, resp)
+			err = conn.WriteMessage(resp)
+			// The request was decoded from a pool; its fields are dead once
+			// the response is on the wire.
+			wire.Recycle(req)
+			if err != nil {
+				s.opts.Logf("server: %s: %v", conn.RemoteAddr(), err)
+				return
+			}
 		}
-		resp := s.dispatch(req, &rb)
-		trackTxn(open, req, resp)
-		err = conn.WriteMessage(resp)
-		// The request was decoded from a pool; its fields are dead once
-		// the response is on the wire.
-		wire.Recycle(req)
-		if err != nil {
-			s.opts.Logf("server: %s: %v", conn.RemoteAddr(), err)
+		if cp != nil && cp.failed.Load() {
 			return
 		}
 	}

@@ -21,6 +21,7 @@ package soak
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -61,6 +62,18 @@ type Config struct {
 	// Seed drives the workload generators (per-client sub-seeds) — the
 	// fault schedule has its own seed inside Faults.
 	Seed int64
+
+	// Pipeline, when > 1, dials every client with the tagged pipelined
+	// wire protocol at that depth (client.Options.Pipeline) and drives
+	// programs through RunRetryBatched, so a transaction's operations
+	// travel in one CRC-framed Batch frame with many tags outstanding
+	// per connection — exactly the surface the fault schedule attacks.
+	// Zero or one keeps the seed's synchronous one-op-per-round-trip
+	// protocol.
+	Pipeline int
+	// BatchOps caps the operations per Batch frame when Pipeline > 1;
+	// <= 0 ships each whole program (ops + commit) in a single frame.
+	BatchOps int
 
 	// Faults is the client-side fault schedule; every dialed connection
 	// gets a derived deterministic schedule.
@@ -131,6 +144,11 @@ type Report struct {
 	// Reconnects counts connections abandoned for a fresh dial after a
 	// network-level failure.
 	Reconnects int64
+	// TypedConnFailures counts program failures surfaced as the
+	// pipelined client's typed teardown errors (ErrConnBroken,
+	// ErrCallTimeout, ErrClientClosed) — the demultiplexer failing
+	// outstanding tagged calls loudly instead of hanging them.
+	TypedConnFailures int64
 	// Faults is the shared counter set of every injected fault.
 	Faults *faultnet.Stats
 	// LiveAfterShutdown is the engine's live-transaction gauge after
@@ -151,11 +169,11 @@ type Report struct {
 // String renders the report for the command line.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"soak: %d committed (%d transfers, %d queries) in %v; %d attempts, %d reconnects\n"+
+		"soak: %d committed (%d transfers, %d queries) in %v; %d attempts, %d reconnects (%d typed teardowns)\n"+
 			"faults injected: %d delays, %d drops, %d partials, %d resets\n"+
 			"after shutdown: %d live txns, total balance %d (start %d), %d commits / %d aborts server-side",
 		r.Committed, r.Transfers, r.Queries, r.Elapsed.Round(time.Millisecond),
-		r.Attempts, r.Reconnects,
+		r.Attempts, r.Reconnects, r.TypedConnFailures,
 		r.Faults.Delays.Load(), r.Faults.Drops.Load(), r.Faults.Partials.Load(), r.Faults.Resets.Load(),
 		r.LiveAfterShutdown, r.TotalAfter, r.TotalBefore,
 		r.Snapshot.Commits, r.Snapshot.Aborts())
@@ -269,6 +287,7 @@ func Run(cfg Config) (*Report, error) {
 		Queries:           counts.queries.Load(),
 		Attempts:          counts.attempts.Load(),
 		Reconnects:        counts.reconnects.Load(),
+		TypedConnFailures: counts.typedConnFailures.Load(),
 		Faults:            stats,
 		TotalBefore:       core.Value(cfg.Accounts) * cfg.InitialBalance,
 		Elapsed:           time.Since(start),
@@ -288,6 +307,7 @@ func Run(cfg Config) (*Report, error) {
 // counters is the workers' shared tally.
 type counters struct {
 	committed, transfers, queries, attempts, reconnects atomic.Int64
+	typedConnFailures                                   atomic.Int64
 }
 
 // worker drives one client site to completion, reconnecting through
@@ -334,7 +354,7 @@ func (w *worker) run(ctx context.Context) error {
 					continue
 				}
 			}
-			_, attempts, err := c.RunRetry(p, 0)
+			attempts, err := w.runProgram(c, p)
 			w.counts.attempts.Add(int64(attempts))
 			if err == nil {
 				w.counts.committed.Add(1)
@@ -345,13 +365,18 @@ func (w *worker) run(ctx context.Context) error {
 				}
 				break
 			}
-			// RunRetry only returns non-abort errors: a network-level
-			// failure (timeout, injected reset, torn frame, desynced
-			// stream) or a server-side generic error after the engine
-			// reaped our transaction. Either way the connection's state
-			// is suspect — drop it and redial. Transfers are zero-sum,
-			// so resubmitting a possibly-committed program cannot break
-			// conservation.
+			// The retry loops only return non-abort errors: a network-
+			// level failure (timeout, injected reset, torn frame,
+			// desynced stream) or a server-side generic error after the
+			// engine reaped our transaction. Either way the connection's
+			// state is suspect — drop it and redial. Transfers are
+			// zero-sum, so resubmitting a possibly-committed program
+			// cannot break conservation.
+			if errors.Is(err, client.ErrConnBroken) ||
+				errors.Is(err, client.ErrCallTimeout) ||
+				errors.Is(err, client.ErrClientClosed) {
+				w.counts.typedConnFailures.Add(1)
+			}
 			if failures++; failures > maxConsecutiveFailures {
 				return fmt.Errorf("soak: site %d stuck on program after %d failures: %w",
 					w.site, failures, err)
@@ -364,6 +389,19 @@ func (w *worker) run(ctx context.Context) error {
 	return nil
 }
 
+// runProgram drives one program to commit through the client's retry
+// loop: pipelined clients ship the operations in Batch frames so many
+// tagged calls ride each connection; synchronous clients keep the
+// seed's one-op-per-round-trip protocol.
+func (w *worker) runProgram(c *client.Client, p *core.Program) (int, error) {
+	if w.cfg.Pipeline > 1 {
+		_, attempts, err := c.RunRetryBatched(p, w.cfg.BatchOps, 0)
+		return attempts, err
+	}
+	_, attempts, err := c.RunRetry(p, 0)
+	return attempts, err
+}
+
 // connect dials through the fault-injecting dialer. The sync handshake
 // itself runs over the faulty wire, so a connection can be dead on
 // arrival — the caller retries.
@@ -373,6 +411,7 @@ func (w *worker) connect() (*client.Client, error) {
 		Clock:       w.clock,
 		CallTimeout: w.cfg.CallTimeout,
 		Dialer:      w.dial,
+		Pipeline:    w.cfg.Pipeline,
 		// One sync probe: every connection shares the logical clock, and
 		// the default four probes eat into the write budget of conns
 		// whose fault schedule resets them after N frames.

@@ -121,6 +121,59 @@ func TestSoakZeroEpsilonCertified(t *testing.T) {
 	}
 }
 
+// TestSoakPipelinedUnderFaults runs the acceptance soak over the
+// pipelined wire protocol: every connection holds a whole program's
+// operations in flight inside tagged Batch frames while the fault
+// schedule drops, fragments and resets the stream. The invariant
+// battery is unchanged — conservation, zero live transactions, zero
+// leaked goroutines (the demultiplexer's waiters included), and a
+// certified epsilon-serializable history — plus the teardown contract:
+// dropped connections must surface as the client's typed errors, never
+// as hung calls.
+func TestSoakPipelinedUnderFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Pipeline = 8
+	// The batched protocol coalesces a whole program into ~2 conn
+	// writes, so the default schedule (tuned to ~20 frames per program)
+	// barely bites; rescale drops and resets to frame counts.
+	cfg.Faults.Seed = 5
+	cfg.Faults.DropProb = 0.05
+	cfg.Faults.ResetAfterWrites = 10
+	if testing.Short() {
+		cfg.Clients = 3
+		cfg.TxnsPerClient = 10
+	}
+	report := run(t, cfg)
+	if report.Faults.Total() == 0 {
+		t.Error("no faults injected — schedule did not engage")
+	}
+	if report.Reconnects == 0 {
+		t.Error("no reconnects — pipelined clients never exercised the recovery path")
+	}
+	if report.TypedConnFailures == 0 {
+		t.Error("no typed connection failures — teardown never failed an outstanding tagged call")
+	}
+	if report.Oracle == nil {
+		t.Fatal("Certify set but no oracle report")
+	}
+}
+
+// TestSoakPipelinedChunkedBatches is the pipelined soak with programs
+// split across several small Batch frames (BatchOps 2), exercising the
+// partial-progress path: a connection can die between a program's
+// frames, not just mid-frame.
+func TestSoakPipelinedChunkedBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chunked-batch soak skipped in -short")
+	}
+	cfg := DefaultConfig()
+	cfg.Pipeline = 4
+	cfg.BatchOps = 2
+	cfg.Clients = 3
+	cfg.TxnsPerClient = 12
+	run(t, cfg)
+}
+
 // TestSoakHeavyResets leans on the reset path: every connection dies
 // mid-frame after a few messages, so every client lives through many
 // reconnects — and the engine still ends clean.

@@ -9,10 +9,12 @@ import (
 	"time"
 )
 
-// Conn frames messages over a byte stream. It is not safe for concurrent
-// use: the prototype's RPC is synchronous (§6), one request in flight per
-// connection, which is also what bounds the multiprogramming level to the
-// number of clients.
+// Conn frames messages over a byte stream. The read and write sides keep
+// disjoint state (br/hdr/rbuf/rdr versus bw/buf), so one reader goroutine
+// and one writer goroutine may use a Conn concurrently — that split is
+// what the pipelined client's demultiplexing core and the server's
+// response writer rely on. Neither side tolerates two concurrent users:
+// at most one goroutine may read and at most one may write at a time.
 type Conn struct {
 	rw  io.ReadWriter
 	br  *bufio.Reader
@@ -97,8 +99,18 @@ func (c *Conn) SetDeadline(t time.Time) bool {
 	return r || w
 }
 
-// WriteMessage frames and sends one message.
+// WriteMessage frames, sends and flushes one message.
 func (c *Conn) WriteMessage(m Message) error {
+	if err := c.WriteMessageNoFlush(m); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// WriteMessageNoFlush frames one message into the write buffer without
+// flushing it to the stream. Pipelined senders queue several frames and
+// Flush once, coalescing small writes into one syscall.
+func (c *Conn) WriteMessageNoFlush(m Message) error {
 	c.buf = c.buf[:0]
 	c.buf = append(c.buf, Magic[0], Magic[1], Version, byte(m.MsgType()))
 	c.buf = append(c.buf, 0, 0, 0, 0) // length placeholder
@@ -115,8 +127,11 @@ func (c *Conn) WriteMessage(m Message) error {
 	if err != nil {
 		return fmt.Errorf("wire: write %v: %w", m.MsgType(), err)
 	}
-	return c.bw.Flush()
+	return nil
 }
+
+// Flush pushes buffered frames to the stream.
+func (c *Conn) Flush() error { return c.bw.Flush() }
 
 // ReadMessage receives and decodes one message. io.EOF is returned
 // unwrapped when the peer closed the connection cleanly between frames.

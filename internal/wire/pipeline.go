@@ -1,0 +1,268 @@
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Pipelining and batching (DESIGN.md §12). The base protocol is strictly
+// synchronous: one untagged request per connection, answered in order.
+// Two envelope frame pairs lift that limit without touching the base
+// encoding, so a depth-1 client remains byte-identical to the seed
+// protocol:
+//
+//   - Tagged / TaggedReply carry one inner request or response plus a
+//     32-bit tag the server echoes, letting a connection hold many
+//     requests in flight and letting responses return out of order
+//     (commit acks waiting on the WAL's group-commit fsync complete
+//     asynchronously while later reads proceed).
+//
+//   - Batch / BatchReply carry N tagged operations in one CRC-guarded
+//     frame, amortizing the per-frame header, the flush and the syscall
+//     across the ops. The server answers inline ops with one BatchReply
+//     and may interleave asynchronous commit acks, so a batch's replies
+//     can arrive split across frames; tags, not frame boundaries, are
+//     the unit of correlation.
+//
+// Envelopes never nest: an envelope carrying another envelope is a
+// protocol error at decode time. Batch semantics are per-op: each inner
+// op succeeds or fails alone, exactly as if sent in its own frame; the
+// batch is a transport optimization, not an atomicity domain.
+
+// Taggable reports whether a request type may ride inside a Tagged
+// envelope: any concrete request except the envelopes themselves.
+func Taggable(t MsgType) bool {
+	return t < responseBase && t != MsgTagged && t != MsgBatch
+}
+
+// responseBase is the first response MsgType value (mirrored by the
+// wireexhaustive analyzer). Deliberately untyped: it names a range
+// boundary, not a frame type.
+const responseBase = 64
+
+// Batchable reports whether a request type may ride inside a Batch
+// frame. The switch enumerates every request type so the wireexhaustive
+// analyzer can prove a newly added request was deliberately classified:
+// only the five per-transaction operations batch; the connection-scoped
+// probes (Sync, Stats) and the envelopes themselves do not.
+func Batchable(t MsgType) bool {
+	switch t {
+	case MsgBegin, MsgRead, MsgWrite, MsgCommit, MsgAbort:
+		return true
+	case MsgSync, MsgStats, MsgTagged, MsgBatch:
+		return false
+	default:
+		return false
+	}
+}
+
+// replyable reports whether a response type may ride inside a reply
+// envelope: any concrete response (including Error) except the reply
+// envelopes themselves.
+func replyable(t MsgType) bool {
+	return t >= responseBase && t != MsgTaggedReply && t != MsgBatchReply
+}
+
+// decodeInner decodes one nested message of a kind admitted by allowed,
+// setting r.err on failure. The inner payload is everything the inner
+// decoder consumes; the caller's finish check catches trailing bytes.
+// Field names passed to the cursor are constants (never what-derived
+// concatenations): this path must stay allocation-free per frame.
+func decodeInner(r *reader, what string, allowed func(MsgType) bool) Message {
+	it := MsgType(r.u8("inner type"))
+	if r.err != nil {
+		return nil
+	}
+	if !allowed(it) {
+		r.err = fmt.Errorf("wire: %v cannot be carried inside a %s envelope", it, what)
+		return nil
+	}
+	inner, err := newMessage(it)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	inner.decodePayload(r)
+	if r.err != nil {
+		Recycle(inner)
+		return nil
+	}
+	return inner
+}
+
+// appendInner appends a nested message (type byte + payload) to dst.
+func appendInner(dst []byte, m Message) []byte {
+	dst = appendU8(dst, uint8(m.MsgType()))
+	return m.appendPayload(dst)
+}
+
+// Tagged wraps one request with a correlation tag. The server echoes the
+// tag on the matching TaggedReply, so a connection can carry multiple
+// outstanding requests and the client can demultiplex responses.
+type Tagged struct {
+	Tag   uint32
+	Inner Message
+}
+
+// MsgType implements Message.
+func (*Tagged) MsgType() MsgType { return MsgTagged }
+
+func (m *Tagged) appendPayload(dst []byte) []byte {
+	dst = appendU32(dst, m.Tag)
+	return appendInner(dst, m.Inner)
+}
+
+func (m *Tagged) decodePayload(r *reader) {
+	m.Tag = r.u32("tag")
+	m.Inner = decodeInner(r, "Tagged", Taggable)
+}
+
+// TaggedReply answers one Tagged request (or one op of a Batch), echoing
+// its tag around any concrete response, including Error.
+type TaggedReply struct {
+	Tag   uint32
+	Inner Message
+}
+
+// MsgType implements Message.
+func (*TaggedReply) MsgType() MsgType { return MsgTaggedReply }
+
+func (m *TaggedReply) appendPayload(dst []byte) []byte {
+	dst = appendU32(dst, m.Tag)
+	return appendInner(dst, m.Inner)
+}
+
+func (m *TaggedReply) decodePayload(r *reader) {
+	m.Tag = r.u32("tag")
+	m.Inner = decodeInner(r, "TaggedReply", replyable)
+}
+
+// BatchItem is one tagged operation inside a Batch or BatchReply frame.
+type BatchItem struct {
+	Tag uint32
+	Msg Message
+}
+
+// Batch carries N tagged operations in one frame. The payload is
+// CRC-guarded: the checksum covers the item section, so a corrupt batch
+// is rejected whole before any op is dispatched. Each item is length-
+// prefixed so a decoder can validate op boundaries independently of the
+// inner decoders.
+type Batch struct {
+	Ops []BatchItem
+}
+
+// MsgType implements Message.
+func (*Batch) MsgType() MsgType { return MsgBatch }
+
+func (m *Batch) appendPayload(dst []byte) []byte { return appendItems(dst, m.Ops) }
+
+func (m *Batch) decodePayload(r *reader) {
+	m.Ops = decodeItems(r, m.Ops[:0], "Batch", Batchable)
+}
+
+// BatchReply carries the replies to a batch's inline ops, and is also
+// the frame the server's response writer coalesces adjacent tagged
+// replies (e.g. group-commit acks flushed together) into.
+type BatchReply struct {
+	Replies []BatchItem
+}
+
+// MsgType implements Message.
+func (*BatchReply) MsgType() MsgType { return MsgBatchReply }
+
+func (m *BatchReply) appendPayload(dst []byte) []byte { return appendItems(dst, m.Replies) }
+
+func (m *BatchReply) decodePayload(r *reader) {
+	m.Replies = decodeItems(r, m.Replies[:0], "BatchReply", replyable)
+}
+
+// appendItems encodes the shared batch-item section: a CRC32 (IEEE) over
+// the rest of the payload, a count, then per item the tag, the inner
+// type byte, a length prefix and the inner payload.
+func appendItems(dst []byte, items []BatchItem) []byte {
+	crcAt := len(dst)
+	dst = appendU32(dst, 0) // checksum placeholder
+	dst = appendU16(dst, uint16(len(items)))
+	for i := range items {
+		dst = appendU32(dst, items[i].Tag)
+		dst = appendU8(dst, uint8(items[i].Msg.MsgType()))
+		lenAt := len(dst)
+		dst = appendU32(dst, 0) // length placeholder
+		dst = items[i].Msg.appendPayload(dst)
+		putU32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	}
+	putU32(dst[crcAt:], crc32.ChecksumIEEE(dst[crcAt+4:]))
+	return dst
+}
+
+// decodeItems decodes the shared batch-item section into dst (reusing
+// its capacity), verifying the checksum before touching any item.
+func decodeItems(r *reader, dst []BatchItem, what string, allowed func(MsgType) bool) []BatchItem {
+	sum := r.u32("batch checksum")
+	if r.err != nil {
+		return nil
+	}
+	if got := crc32.ChecksumIEEE(r.rest()); got != sum {
+		r.err = fmt.Errorf("wire: %s payload checksum mismatch: frame carries %08x, computed %08x", what, sum, got)
+		return nil
+	}
+	n := int(r.u16("batch op count"))
+	for i := 0; i < n && r.err == nil; i++ {
+		tag := r.u32("batch op tag")
+		it := MsgType(r.u8("batch op type"))
+		opLen := int(r.u32("batch op length"))
+		if r.err != nil {
+			break
+		}
+		if !allowed(it) {
+			r.err = fmt.Errorf("wire: %v cannot be carried inside a %s frame", it, what)
+			break
+		}
+		if r.off+opLen > len(r.b) {
+			r.fail("batch op payload")
+			break
+		}
+		inner, err := newMessage(it)
+		if err != nil {
+			r.err = err
+			break
+		}
+		// Decode through the frame cursor itself, temporarily clamping
+		// its view to this op's payload: a per-op sub-reader would escape
+		// through the dynamic decodePayload call and cost one allocation
+		// per op, breaking the 0-alloc steady state.
+		full := r.b
+		limit := r.off + opLen
+		r.b = full[:limit]
+		inner.decodePayload(r)
+		trailing := r.err == nil && r.off != limit
+		r.b = full
+		if r.err != nil || trailing {
+			Recycle(inner)
+			if trailing {
+				r.err = fmt.Errorf("wire: %s op %d (%v) payload has %d trailing bytes", what, i, it, limit-r.off)
+			} else {
+				r.err = fmt.Errorf("wire: %s op %d (%v): %w", what, i, it, r.err)
+			}
+			break
+		}
+		dst = append(dst, BatchItem{Tag: tag, Msg: inner})
+	}
+	if r.err != nil {
+		recycleItems(dst)
+		return nil
+	}
+	return dst
+}
+
+// recycleItems returns every item's message to its pool and zeroes the
+// slice entries so a pooled wrapper does not pin dead messages.
+func recycleItems(items []BatchItem) {
+	for i := range items {
+		if items[i].Msg != nil {
+			Recycle(items[i].Msg)
+		}
+		items[i] = BatchItem{}
+	}
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+)
+
+func TestTaggedRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Tagged{Tag: 1, Inner: &Begin{Kind: core.Update, Timestamp: tsgen.Make(9, 2), Spec: core.BoundSpec{Transaction: 500}}},
+		&Tagged{Tag: 0xFFFFFFFF, Inner: &Read{Txn: 7, Object: 12}},
+		&Tagged{Tag: 3, Inner: &Write{Txn: 7, Object: 9, Delta: true, Value: -4}},
+		&Tagged{Tag: 4, Inner: &Commit{Txn: 7}},
+		&Tagged{Tag: 5, Inner: &Sync{ClientTicks: 99}},
+		&TaggedReply{Tag: 1, Inner: &BeginOK{Txn: 31}},
+		&TaggedReply{Tag: 2, Inner: &Value{Value: 88}},
+		&TaggedReply{Tag: 3, Inner: &OK{}},
+		&TaggedReply{Tag: 4, Inner: &Error{Code: CodeAbort, Reason: metrics.AbortLateRead, Message: "late"}},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip of %v:\n got %#v\nwant %#v", m.MsgType(), got, m)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	b := &Batch{Ops: []BatchItem{
+		{Tag: 10, Msg: &Begin{Kind: core.Query, Timestamp: tsgen.Make(3, 1), Spec: core.BoundSpec{Transaction: 100}}},
+		{Tag: 11, Msg: &Read{Txn: 4, Object: 2}},
+		{Tag: 12, Msg: &Write{Txn: 4, Object: 5, Value: 77}},
+		{Tag: 13, Msg: &Commit{Txn: 4}},
+		{Tag: 14, Msg: &Abort{Txn: 6}},
+	}}
+	if got := roundTrip(t, b); !reflect.DeepEqual(got, b) {
+		t.Errorf("Batch round trip:\n got %#v\nwant %#v", got, b)
+	}
+	r := &BatchReply{Replies: []BatchItem{
+		{Tag: 10, Msg: &BeginOK{Txn: 9}},
+		{Tag: 11, Msg: &Value{Value: 1}},
+		{Tag: 13, Msg: &Error{Code: CodeGeneric, Message: "unknown txn"}},
+	}}
+	if got := roundTrip(t, r); !reflect.DeepEqual(got, r) {
+		t.Errorf("BatchReply round trip:\n got %#v\nwant %#v", got, r)
+	}
+	// An empty batch is legal on the wire (if pointless).
+	if got := roundTrip(t, &Batch{}); len(got.(*Batch).Ops) != 0 {
+		t.Errorf("empty Batch decoded with %d ops", len(got.(*Batch).Ops))
+	}
+}
+
+// failRoundTrip encodes m, optionally corrupts the raw frame, and
+// returns the decode error.
+func failRoundTrip(t *testing.T, m Message, corrupt func([]byte)) error {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.WriteMessage(m); err != nil {
+		t.Fatalf("WriteMessage: %v", err)
+	}
+	if corrupt != nil {
+		corrupt(buf.Bytes())
+	}
+	_, err := NewConn(&buf).ReadMessage()
+	if err == nil {
+		t.Fatalf("decode of corrupted %v succeeded", m.MsgType())
+	}
+	return err
+}
+
+func TestBatchChecksumRejectsCorruption(t *testing.T) {
+	b := &Batch{Ops: []BatchItem{
+		{Tag: 1, Msg: &Read{Txn: 2, Object: 3}},
+		{Tag: 2, Msg: &Write{Txn: 2, Object: 4, Value: 5}},
+	}}
+	// Flip one bit in the item section (past the 8-byte frame header and
+	// the 4-byte checksum); the CRC must catch it before any op decodes.
+	err := failRoundTrip(t, b, func(raw []byte) { raw[len(raw)-1] ^= 0x01 })
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted batch error = %v, want checksum mismatch", err)
+	}
+}
+
+func TestEnvelopesDoNotNest(t *testing.T) {
+	cases := []Message{
+		&Tagged{Tag: 1, Inner: &Tagged{Tag: 2, Inner: &Read{}}},
+		&Tagged{Tag: 1, Inner: &Batch{}},
+		&TaggedReply{Tag: 1, Inner: &TaggedReply{Tag: 2, Inner: &OK{}}},
+		&TaggedReply{Tag: 1, Inner: &BatchReply{}},
+	}
+	for _, m := range cases {
+		err := failRoundTrip(t, m, nil)
+		if !strings.Contains(err.Error(), "cannot be carried") {
+			t.Errorf("nested %v error = %v, want nesting rejection", m.MsgType(), err)
+		}
+	}
+	// Responses cannot ride request envelopes and vice versa.
+	if err := failRoundTrip(t, &Tagged{Tag: 1, Inner: &OK{}}, nil); !strings.Contains(err.Error(), "cannot be carried") {
+		t.Errorf("Tagged(OK) error = %v", err)
+	}
+	if err := failRoundTrip(t, &TaggedReply{Tag: 1, Inner: &Read{}}, nil); !strings.Contains(err.Error(), "cannot be carried") {
+		t.Errorf("TaggedReply(Read) error = %v", err)
+	}
+}
+
+func TestBatchRejectsUnbatchableOps(t *testing.T) {
+	cases := []Message{
+		&Batch{Ops: []BatchItem{{Tag: 1, Msg: &Sync{ClientTicks: 1}}}},
+		&Batch{Ops: []BatchItem{{Tag: 1, Msg: &Stats{}}}},
+		&Batch{Ops: []BatchItem{{Tag: 1, Msg: &Batch{}}}},
+	}
+	for _, m := range cases {
+		err := failRoundTrip(t, m, nil)
+		if !strings.Contains(err.Error(), "cannot be carried") {
+			t.Errorf("unbatchable op error = %v", err)
+		}
+	}
+}
+
+func TestTaggableBatchable(t *testing.T) {
+	for _, tc := range []struct {
+		t                   MsgType
+		taggable, batchable bool
+	}{
+		{MsgBegin, true, true},
+		{MsgRead, true, true},
+		{MsgWrite, true, true},
+		{MsgCommit, true, true},
+		{MsgAbort, true, true},
+		{MsgSync, true, false},
+		{MsgStats, true, false},
+		{MsgTagged, false, false},
+		{MsgBatch, false, false},
+		{MsgBeginOK, false, false},
+		{MsgError, false, false},
+		{MsgTaggedReply, false, false},
+		{MsgBatchReply, false, false},
+	} {
+		if got := Taggable(tc.t); got != tc.taggable {
+			t.Errorf("Taggable(%v) = %v, want %v", tc.t, got, tc.taggable)
+		}
+		if got := Batchable(tc.t); got != tc.batchable {
+			t.Errorf("Batchable(%v) = %v, want %v", tc.t, got, tc.batchable)
+		}
+	}
+}
+
+func TestEnvelopeRecycleContract(t *testing.T) {
+	// Envelope recycling is shallow: the inner message survives (its
+	// ownership moved to the demultiplexer) while the wrapper zeroes.
+	inner := &Read{Txn: 1, Object: 2}
+	tg := &Tagged{Tag: 7, Inner: inner}
+	Recycle(tg)
+	if tg.Tag != 0 || tg.Inner != nil {
+		t.Errorf("recycled Tagged not zeroed: %+v", *tg)
+	}
+	if inner.Txn != 1 || inner.Object != 2 {
+		t.Errorf("Tagged recycle clobbered the inner message: %+v", *inner)
+	}
+	// Batch recycling zeroes the items but keeps the slice capacity, so
+	// steady batch traffic stops allocating item arrays.
+	b := &Batch{Ops: []BatchItem{{Tag: 1, Msg: inner}, {Tag: 2, Msg: &Commit{Txn: 1}}}}
+	kept := cap(b.Ops)
+	Recycle(b)
+	if len(b.Ops) != 0 || cap(b.Ops) != kept {
+		t.Errorf("recycled Batch: len=%d cap=%d, want len=0 cap=%d", len(b.Ops), cap(b.Ops), kept)
+	}
+}
+
+// TestPipelinedDecodeSteadyStateAllocFree extends the 0-alloc decode
+// guarantee to tagged frames: the envelope and its inner message both
+// come from pools, so a pipelined request stream still allocates nothing
+// per frame once warm.
+func TestPipelinedDecodeSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; alloc counts are meaningless")
+	}
+	var buf bytes.Buffer
+	w := NewConn(&buf)
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := w.WriteMessage(&Tagged{Tag: uint32(i), Inner: &Write{Txn: 1, Object: 2, Value: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := buf.Bytes()
+	r := NewConn(readWriter{bytes.NewReader(raw)})
+	m, err := r.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := m.(*Tagged)
+	Recycle(tg.Inner)
+	Recycle(tg)
+	allocs := testing.AllocsPerRun(10, func() {
+		r.rw.(readWriter).Reader.Seek(0, 0)
+		r.br.Reset(r.rw)
+		for i := 0; i < n; i++ {
+			m, err := r.ReadMessage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tg := m.(*Tagged)
+			Recycle(tg.Inner)
+			Recycle(tg)
+		}
+	})
+	if perMsg := allocs / n; perMsg > 0 {
+		t.Errorf("steady-state tagged decode allocates %.2f per message, want 0", perMsg)
+	}
+}

@@ -18,7 +18,7 @@ import "sync"
 
 // pools is indexed by MsgType. Entries without a constructor stay nil
 // and fall through to ErrUnknownMessage in the decode factory.
-var pools [MsgError + 1]*sync.Pool
+var pools [MsgBatchReply + 1]*sync.Pool
 
 func init() {
 	mk := func(f func() Message) *sync.Pool {
@@ -37,6 +37,10 @@ func init() {
 	pools[MsgSyncOK] = mk(func() Message { return &SyncOK{} })
 	pools[MsgStatsOK] = mk(func() Message { return &StatsOK{} })
 	pools[MsgError] = mk(func() Message { return &Error{} })
+	pools[MsgTagged] = mk(func() Message { return &Tagged{} })
+	pools[MsgBatch] = mk(func() Message { return &Batch{} })
+	pools[MsgTaggedReply] = mk(func() Message { return &TaggedReply{} })
+	pools[MsgBatchReply] = mk(func() Message { return &BatchReply{} })
 }
 
 // Recycle resets a message to its zero value and returns it to the
@@ -73,6 +77,27 @@ func Recycle(m Message) {
 		*v = StatsOK{}
 	case *Error:
 		*v = Error{}
+	case *Tagged:
+		// Envelope recycling is shallow: ownership of the inner message
+		// usually moves to whoever demultiplexed it (the server's
+		// dispatcher, the client's waiter slot), so the wrapper only drops
+		// its reference. Callers still owning the inner message recycle it
+		// separately.
+		*v = Tagged{}
+	case *TaggedReply:
+		*v = TaggedReply{}
+	case *Batch:
+		// Item slots are zeroed but the slice capacity is retained, so a
+		// steady stream of batches stops allocating item arrays.
+		for i := range v.Ops {
+			v.Ops[i] = BatchItem{}
+		}
+		v.Ops = v.Ops[:0]
+	case *BatchReply:
+		for i := range v.Replies {
+			v.Replies[i] = BatchItem{}
+		}
+		v.Replies = v.Replies[:0]
 	default:
 		return
 	}

@@ -36,7 +36,8 @@ const MaxPayload = 1 << 20
 // MsgType identifies the message carried by a frame.
 type MsgType uint8
 
-// Request message types.
+// Request message types. Tagged and Batch are the pipelining envelopes
+// (see pipeline.go); the rest is the seed protocol's synchronous set.
 const (
 	MsgBegin MsgType = iota + 1
 	MsgRead
@@ -45,6 +46,8 @@ const (
 	MsgAbort
 	MsgSync
 	MsgStats
+	MsgTagged
+	MsgBatch
 )
 
 // Response message types.
@@ -55,6 +58,8 @@ const (
 	MsgSyncOK
 	MsgStatsOK
 	MsgError
+	MsgTaggedReply
+	MsgBatchReply
 )
 
 // String implements fmt.Stringer.
@@ -74,6 +79,10 @@ func (t MsgType) String() string {
 		return "Sync"
 	case MsgStats:
 		return "Stats"
+	case MsgTagged:
+		return "Tagged"
+	case MsgBatch:
+		return "Batch"
 	case MsgBeginOK:
 		return "BeginOK"
 	case MsgValue:
@@ -86,6 +95,10 @@ func (t MsgType) String() string {
 		return "StatsOK"
 	case MsgError:
 		return "Error"
+	case MsgTaggedReply:
+		return "TaggedReply"
+	case MsgBatchReply:
+		return "BatchReply"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -123,7 +136,9 @@ func (e *ErrUnknownMessage) Error() string {
 func newMessage(t MsgType) (Message, error) {
 	switch t {
 	case MsgBegin, MsgRead, MsgWrite, MsgCommit, MsgAbort, MsgSync, MsgStats,
-		MsgBeginOK, MsgValue, MsgOK, MsgSyncOK, MsgStatsOK, MsgError:
+		MsgTagged, MsgBatch,
+		MsgBeginOK, MsgValue, MsgOK, MsgSyncOK, MsgStatsOK, MsgError,
+		MsgTaggedReply, MsgBatchReply:
 		return pools[t].Get().(Message), nil
 	default:
 		return nil, &ErrUnknownMessage{Tag: t}
@@ -185,6 +200,27 @@ func (r *reader) u64(what string) uint64 {
 
 func (r *reader) i64(what string) int64 { return int64(r.u64(what)) }
 
+// rest returns the not-yet-consumed remainder of the payload without
+// advancing the cursor (used for checksums over nested sections).
+func (r *reader) rest() []byte {
+	if r.err != nil || r.off > len(r.b) {
+		return nil
+	}
+	return r.b[r.off:]
+}
+
+// take consumes n raw bytes and returns them (aliasing the payload
+// buffer: callers must finish with the slice before the next frame).
+func (r *reader) take(n int, what string) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
 func (r *reader) str(what string) string {
 	n := int(r.u16(what))
 	if r.err != nil || r.off+n > len(r.b) {
@@ -208,6 +244,7 @@ func (r *reader) finish(t MsgType) error {
 }
 
 func appendU8(dst []byte, v uint8) []byte   { return append(dst, v) }
+func putU32(dst []byte, v uint32)           { binary.BigEndian.PutUint32(dst, v) }
 func appendU16(dst []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(dst, v) }
 func appendU32(dst []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(dst, v) }
 func appendU64(dst []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(dst, v) }

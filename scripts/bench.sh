@@ -1,11 +1,18 @@
 #!/bin/sh
-# bench.sh runs the hot-path micro-benchmarks and writes the results as
-# BENCH_hotpath.json, the machine-readable artifact CI archives so
-# per-commit ns/op and allocs/op are comparable across runs. Each run is
-# also appended as one line — git SHA, UTC timestamp, and the same
-# numbers — to results/bench_trajectory.jsonl, so the performance
-# trajectory across commits accumulates locally without diffing
-# artifacts.
+# bench.sh runs the hot-path micro-benchmarks plus a short open-loop
+# load-generator smoke and writes the results as BENCH_hotpath.json, the
+# machine-readable artifact CI archives so per-commit ns/op, allocs/op
+# and throughput-under-load are comparable across runs. Each run is also
+# appended as one line — git SHA, UTC timestamp, and the same numbers —
+# to results/bench_trajectory.jsonl, so the performance trajectory
+# across commits accumulates locally without diffing artifacts.
+#
+# The load smoke runs twice with a fixed seed: once continuous (the
+# headline open-loop capacity and its speedup over the closed-loop
+# single connection) and once at a capped -rate (latency under a load
+# the server can absorb). Both runs certify their traces through the
+# esrcheck oracle; a dirty certification makes esr-bench exit nonzero,
+# which fails this script and the CI job with it.
 #
 # Usage: scripts/bench.sh [output.json]
 set -eu
@@ -14,7 +21,9 @@ out="${1:-BENCH_hotpath.json}"
 cd "$(dirname "$0")/.."
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+loadcont="$(mktemp)"
+loadrate="$(mktemp)"
+trap 'rm -f "$raw" "$loadcont" "$loadrate"' EXIT
 
 go test -run '^$' -bench 'EngineHotPath|WireRoundTrip|WALCommit' -benchmem -benchtime=1s . | tee "$raw"
 
@@ -41,6 +50,23 @@ BEGIN { print "{"; first = 1 }
 }
 END { print "\n}" }
 ' "$raw" > "$out"
+
+# Open-loop smoke: fixed seed, short windows. Continuous mode measures
+# capacity (and must certify); the capped-rate run measures latency at a
+# sustainable arrival rate.
+go run ./cmd/esr-bench -load -seed 1 -duration 500ms -load-json "$loadcont"
+go run ./cmd/esr-bench -load -seed 1 -duration 500ms -rate 2000 -load-json "$loadrate"
+
+# Merge the load reports into the artifact: drop the closing brace and
+# splice them in as top-level keys.
+merged="$(mktemp)"
+{
+	sed '$d' "$out"
+	printf '  ,"loadgen": %s\n' "$(tr -d '\n' < "$loadcont")"
+	printf '  ,"loadgen_rate2000": %s\n' "$(tr -d '\n' < "$loadrate")"
+	printf '}\n'
+} > "$merged"
+mv "$merged" "$out"
 
 echo "wrote $out"
 
