@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck check bench bench-all soak crash-soak certify
+.PHONY: build test lint staticcheck check bench bench-all soak crash-soak replica-soak certify
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,18 @@ soak:
 # recovery. Short mode is the CI gate; drop -short for the seed sweep.
 crash-soak:
 	$(GO) test -race -short -count=1 -run 'TestCrashSoak' ./internal/soak/
+
+# replica-soak runs the replication feed soak (DESIGN.md §13) under the
+# race detector: a durable primary streams its WAL to bounded-stale
+# followers over faultnet-wrapped connections (injected latency,
+# fragmented reads, mid-stream resets) while the followers serve
+# TIL-bounded queries. Asserts convergence to the primary's head,
+# conservation of the bank total on every node, typed redirects for
+# zero-epsilon queries, esr-check certification of the merged
+# primary+replica trace, and zero leaked goroutines. Short mode is the
+# CI gate; drop -short for the heavier run.
+replica-soak:
+	$(GO) test -race -short -count=1 -run 'TestReplicaSoak' ./internal/soak/
 
 # certify is the end-to-end oracle gate (DESIGN.md §11): boot a real
 # server with -trace, drive real clients, shut down, and require

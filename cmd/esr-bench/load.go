@@ -81,6 +81,16 @@ type phaseResult struct {
 	P50us    float64 `json:"p50_us"`
 	P95us    float64 `json:"p95_us"`
 	P99us    float64 `json:"p99_us"`
+	// BehindSchedule counts scheduled arrivals the dispatcher emitted
+	// more than one tick late: the fixed-tick scheduler fell behind wall
+	// clock, so the latency histogram includes real schedule slip. A
+	// nonzero count flags a run whose target rate exceeded the machine.
+	BehindSchedule int64 `json:"behind_schedule,omitempty"`
+	// ClampedLatencies counts latency samples that came out negative
+	// (a scheduled arrival later than its completion observation, which
+	// only a clock anomaly can produce) and were clamped to zero instead
+	// of silently deflating the percentiles.
+	ClampedLatencies int64 `json:"clamped_negative_latencies,omitempty"`
 }
 
 // loadReport is the JSON artifact scripts/bench.sh merges into
@@ -194,6 +204,10 @@ func printLoadReport(r loadReport, oracle *esrcheck.Report) {
 	fmt.Printf("open-loop (headline): %.0f txn/s, %.0f op/s — %d conns × pipeline %d, %s; latency p50 %.0fµs p95 %.0fµs p99 %.0fµs\n",
 		r.OpenLoop.TxnPerS, r.OpenLoop.OpPerS, r.OpenLoop.Conns, r.OpenLoop.Pipeline, mode,
 		r.OpenLoop.P50us, r.OpenLoop.P95us, r.OpenLoop.P99us)
+	if r.OpenLoop.BehindSchedule > 0 || r.OpenLoop.ClampedLatencies > 0 {
+		fmt.Printf("  schedule slip: %d arrivals emitted more than a tick late, %d negative latencies clamped\n",
+			r.OpenLoop.BehindSchedule, r.OpenLoop.ClampedLatencies)
+	}
 	fmt.Printf("closed-loop baseline (legacy metric; 1 conn, 1 outstanding): %.0f txn/s, %.0f op/s; p50 %.0fµs p95 %.0fµs p99 %.0fµs\n",
 		r.ClosedLoop.TxnPerS, r.ClosedLoop.OpPerS,
 		r.ClosedLoop.P50us, r.ClosedLoop.P95us, r.ClosedLoop.P99us)
@@ -262,6 +276,7 @@ func runOpenPhase(addr string, clock *tsgen.LogicalClock, cfg loadConfig) (*phas
 
 	hist := &metrics.Histogram{}
 	var txns, attempts atomic.Int64
+	var behind, clamped atomic.Int64
 	var firstErr atomic.Value
 	fail := func(err error) { firstErr.CompareAndSwap(nil, err) }
 
@@ -288,6 +303,12 @@ func runOpenPhase(addr string, clock *tsgen.LogicalClock, cfg loadConfig) (*phas
 						time.Sleep(d)
 					}
 					for now := time.Now(); !next.After(now) && next.Before(deadline); next = next.Add(interval) {
+						if now.Sub(next) > interval {
+							// This arrival is more than a full tick overdue:
+							// the scheduler is behind wall clock, not merely
+							// waking on time for a due tick.
+							behind.Add(1)
+						}
 						select {
 						case arrivals <- next:
 						default:
@@ -326,8 +347,15 @@ func runOpenPhase(addr string, clock *tsgen.LogicalClock, cfg loadConfig) (*phas
 						return
 					}
 					// Latency from the scheduled arrival: queueing delay behind
-					// a saturated pipeline is part of the number.
-					hist.ObserveDuration(time.Since(sched))
+					// a saturated pipeline is part of the number. A negative
+					// delta (clock anomaly) is clamped and counted rather
+					// than deflating the percentiles.
+					lat := time.Since(sched)
+					if lat < 0 {
+						clamped.Add(1)
+						lat = 0
+					}
+					hist.ObserveDuration(lat)
 					txns.Add(1)
 				}
 			}()
@@ -344,6 +372,7 @@ func runOpenPhase(addr string, clock *tsgen.LogicalClock, cfg loadConfig) (*phas
 	}
 	res := summarize(mode, txns.Load(), attempts.Load(), time.Since(start), hist, cfg)
 	res.Conns, res.Pipeline, res.Batch, res.RateTgt = cfg.Conns, cfg.Pipeline, cfg.Batch, cfg.Rate
+	res.BehindSchedule, res.ClampedLatencies = behind.Load(), clamped.Load()
 	return res, nil
 }
 

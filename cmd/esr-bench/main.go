@@ -10,6 +10,7 @@
 //	esr-bench -paper-scale             # the prototype's wall-clock RPC regime
 //	esr-bench -soak                    # banking soak through a faulty network
 //	esr-bench -load -pipeline 8        # open-loop load over the pipelined wire
+//	esr-bench -replicas 2              # read scaling over bounded-stale followers
 //
 // By default cells run on a deterministic virtual timeline (noise-free
 // and fast regardless of -duration); -paper-scale switches to the wall
@@ -81,9 +82,41 @@ func main() {
 		loadObjects = flag.Int("load-objects", 32, "load: accounts per executor slice (disjoint slices keep concurrency-control conflicts out of the wire measurement)")
 		loadJSON    = flag.String("load-json", "", "load: also write the report as JSON to this path (merged into BENCH_hotpath.json by scripts/bench.sh)")
 		loadCertify = flag.Bool("load-certify", true, "load: record the trace and require esrcheck certification")
+		replicasN     = flag.Int("replicas", 0, "run the replica read-scaling benchmark with this many bounded-stale WAL followers (0 disables)")
+		replicaTIL    = flag.Int64("replica-til", 500, "replicas: import limit (TIL) of the measured queries")
+		replicaQuery  = flag.Int("replica-queries", 8, "replicas: closed-loop query workers")
+		replicaUpd    = flag.Int("replica-updates", 2, "replicas: concurrent zero-sum update workers on the primary")
+		replicaObjs   = flag.Int("replica-objects", 64, "replicas: shared hot objects")
+		replicaReads  = flag.Int("replica-reads", 4, "replicas: reads per query")
+		replicaSvc    = flag.Duration("replica-service", 150*time.Microsecond, "replicas: simulated per-operation service time (per-server capacity = threads/service)")
+		replicaThr    = flag.Int("replica-threads", 4, "replicas: capacity slots per server")
+		replicaFloor  = flag.Float64("replica-min-scaleup", 1.7, "replicas: fail when replica/primary query throughput falls below this ratio (0 disables)")
+		replicasJSON  = flag.String("replicas-json", "", "replicas: also write the report as JSON to this path (merged into BENCH_hotpath.json by scripts/bench.sh)")
 	)
 	faultCfg := faultnet.RegisterFlags(flag.CommandLine, "fault")
 	flag.Parse()
+
+	if *replicasN > 0 {
+		err := runReplicas(replicaConfig{
+			Replicas:      *replicasN,
+			TIL:           core.Distance(*replicaTIL),
+			Duration:      *duration,
+			QueryWorkers:  *replicaQuery,
+			UpdateWorkers: *replicaUpd,
+			Objects:       *replicaObjs,
+			ReadsPerQuery: *replicaReads,
+			Service:       *replicaSvc,
+			Threads:       *replicaThr,
+			Seed:          *seed,
+			MinScaleup:    *replicaFloor,
+			JSONPath:      *replicasJSON,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esr-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *soakMode {
 		if err := runSoak(*faultCfg, *soakClients, *soakTxns, *soakPipe, *soakBatch, *seed); err != nil {

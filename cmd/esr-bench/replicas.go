@@ -1,0 +1,446 @@
+package main
+
+// The replica read-scaling benchmark (-replicas N): one durable primary
+// plus N bounded-stale followers fed over the real replication wire
+// (wal tail → wire.ReplicaHello/ReplicaRecords → replica.Feed), with a
+// steady zero-sum update load on the primary and a closed-loop query
+// load measured twice — first pinned to the primary alone, then spread
+// across the followers — to record read throughput vs replica count at
+// a fixed TIL.
+//
+// Each server models the paper's fixed-capacity machine: a semaphore of
+// -replica-threads slots where every data operation occupies one slot
+// for -replica-service. Queries on the primary share its slots with the
+// update load; queries on followers spend follower slots, which is
+// exactly the capacity argument for epsilon-priced read replicas. The
+// scaling ratio is therefore a property of the capacity model, not of
+// scheduler luck, and the run fails below -replica-min-scaleup.
+//
+// The run ends with the full acceptance gate: conservation of the
+// bank's total on the primary, zero-epsilon queries verifiably redirected
+// (replica read counters unchanged), and the merged primary+replica
+// trace certified by the esrcheck oracle.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/esrcheck"
+	"github.com/epsilondb/epsilondb/internal/history"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/replica"
+	"github.com/epsilondb/epsilondb/internal/server"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/wal"
+)
+
+// replicaConfig parameterizes one -replicas run.
+type replicaConfig struct {
+	Replicas      int
+	TIL           core.Distance // import limit of the measured queries
+	Duration      time.Duration // per measurement phase
+	QueryWorkers  int
+	UpdateWorkers int
+	Objects       int
+	ReadsPerQuery int
+	Service       time.Duration // simulated per-operation service time
+	Threads       int           // capacity slots per server
+	Seed          int64
+	MinScaleup    float64 // fail below this replica/primary ratio; 0 disables
+	JSONPath      string
+}
+
+const replicaInitialBalance = core.Value(1_000_000)
+
+// replicaReport is the JSON artifact merged into BENCH_hotpath.json
+// under the "replica_scaling" key and the trajectory file.
+type replicaReport struct {
+	Replicas       int     `json:"replicas"`
+	TIL            int64   `json:"til"`
+	PrimaryQPS     float64 `json:"primary_only_query_per_s"`
+	ReplicaQPS     float64 `json:"replica_query_per_s"`
+	Scaleup        float64 `json:"scaleup"`
+	PrimaryCommits int64   `json:"primary_phase_commits"`
+	ReplicaCommits int64   `json:"replica_phase_commits"`
+	QueryAborts    int64   `json:"query_aborts"`
+	UpdateCommits  int64   `json:"update_commits"`
+	ReplicaReads   int64   `json:"replica_reads_served"`
+	LagImported    int64   `json:"lag_inconsistency_imported"`
+	RelaxedReads   int64   `json:"relaxed_reads"`
+	ZeroEpsPrimary bool    `json:"zero_epsilon_primary_only"`
+	Certified      bool    `json:"certified"`
+	Conserved      bool    `json:"conserved"`
+}
+
+// capacityGate is one server's shared operation capacity.
+type capacityGate chan struct{}
+
+// serve occupies one slot for the configured service time.
+func (g capacityGate) serve(d time.Duration) {
+	g <- struct{}{}
+	if d > 0 {
+		time.Sleep(d)
+	}
+	<-g
+}
+
+// replicaNode bundles one follower's data plane, engine, feed, trace
+// recorder and capacity gate.
+type replicaNode struct {
+	f    *replica.Follower
+	eng  *replica.Engine
+	feed *replica.Feed
+	rec  *history.Recorder
+	gate capacityGate
+}
+
+// runReplicas builds the cluster, runs both measurement phases, checks
+// the acceptance gate, and writes the report.
+func runReplicas(cfg replicaConfig) error {
+	if cfg.Replicas < 1 || cfg.Objects < 2 || cfg.ReadsPerQuery < 1 || cfg.Threads < 1 {
+		return fmt.Errorf("replicas: need ≥1 replica, ≥2 objects, ≥1 read/query, ≥1 thread; got %+v", cfg)
+	}
+
+	// Primary: durable store over an in-memory WAL so the feed has a log
+	// to tail, creations logged after SetDurability so followers can
+	// rebuild the database from the stream alone.
+	store := storage.NewStore(storage.Config{HistoryDepth: 16})
+	l, err := wal.Open(wal.NewMemFS(), store, wal.Options{SyncInterval: 200 * time.Microsecond})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := l.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "replicas: wal close: %v\n", err)
+		}
+	}()
+	store.SetDurability(l)
+	primRec := history.NewRecorder()
+	eng := tso.NewEngine(store, tso.Options{Durability: l, Tracer: primRec, Collector: &metrics.Collector{}})
+	for i := 1; i <= cfg.Objects; i++ {
+		if _, err := store.CreateWithLimits(core.ObjectID(i), replicaInitialBalance, core.NoLimit, core.NoLimit); err != nil {
+			return err
+		}
+	}
+
+	clock := &tsgen.LogicalClock{}
+	srv := server.New(eng, server.Options{Clock: clock, Feed: l})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// Followers, each fed over its own TCP replication connection.
+	nodes := make([]*replicaNode, cfg.Replicas)
+	for i := range nodes {
+		n := &replicaNode{
+			f:    replica.NewFollower(storage.Config{HistoryDepth: 16}),
+			rec:  history.NewRecorder(),
+			gate: make(capacityGate, cfg.Threads),
+		}
+		n.eng = replica.NewEngine(n.f, replica.Options{
+			Collector: &metrics.Collector{}, Tracer: n.rec, Index: i,
+		})
+		n.feed, err = replica.StartFeed(n.f, replica.FeedOptions{
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", addr.String()) },
+		})
+		if err != nil {
+			return err
+		}
+		defer n.feed.Stop()
+		nodes[i] = n
+	}
+	if err := waitCaughtUp(nodes, l, 5*time.Second); err != nil {
+		return err
+	}
+
+	primGate := make(capacityGate, cfg.Threads)
+	var updateCommits, queryAborts atomic.Int64
+
+	// The steady update load on the primary: zero-sum delta transfers
+	// over the shared object set, running through both phases so the
+	// followers always have fresh lag to price.
+	stopUpdates := make(chan struct{})
+	var updWG sync.WaitGroup
+	for u := 0; u < cfg.UpdateWorkers; u++ {
+		updWG.Add(1)
+		gen := tsgen.NewGenerator(100+u, clock)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(u)*7919))
+		go func() {
+			defer updWG.Done()
+			for {
+				select {
+				case <-stopUpdates:
+					return
+				default:
+				}
+				if runUpdate(eng, primGate, gen, rng, cfg) == nil {
+					updateCommits.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Phase 1: every query pinned to the primary, sharing its capacity
+	// with the update load — the single-primary baseline.
+	primary := make([]server.Backend, cfg.QueryWorkers)
+	primaryGates := make([]capacityGate, cfg.QueryWorkers)
+	for i := range primary {
+		primary[i], primaryGates[i] = eng, primGate
+	}
+	primCommits := runQueryPhase(primary, primaryGates, clock, &queryAborts, cfg, 0)
+
+	// Phase 2: queries round-robin across the followers; the primary's
+	// slots now serve only updates.
+	spread := make([]server.Backend, cfg.QueryWorkers)
+	spreadGates := make([]capacityGate, cfg.QueryWorkers)
+	for i := range spread {
+		n := nodes[i%len(nodes)]
+		spread[i], spreadGates[i] = n.eng, n.gate
+	}
+	replCommits := runQueryPhase(spread, spreadGates, clock, &queryAborts, cfg, 1000)
+
+	close(stopUpdates)
+	updWG.Wait()
+
+	// Zero-epsilon round: every follower must refuse with a typed
+	// redirect and serve nothing; the primary serves the query instead.
+	zeroEpsOK, err := verifyZeroEpsilon(eng, nodes, clock, cfg)
+	if err != nil {
+		return err
+	}
+
+	// Let the followers drain to the primary head before judging, then
+	// stop the feeds and shut the server down cleanly.
+	waitCaughtUp(nodes, l, 2*time.Second) //nolint:errcheck // best-effort drain
+	for _, n := range nodes {
+		n.feed.Stop()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("replicas: shutdown: %w", err)
+	}
+
+	merged := primRec.Events()
+	var replicaReads, lagImported int64
+	for _, n := range nodes {
+		merged = append(merged, n.rec.Events()...)
+		replicaReads += n.eng.ReadsServed()
+		lagImported += int64(n.eng.ImportedTotal())
+	}
+	oracle := esrcheck.Check(merged)
+
+	secs := cfg.Duration.Seconds()
+	report := replicaReport{
+		Replicas:       cfg.Replicas,
+		TIL:            int64(cfg.TIL),
+		PrimaryQPS:     float64(primCommits) / secs,
+		ReplicaQPS:     float64(replCommits) / secs,
+		PrimaryCommits: primCommits,
+		ReplicaCommits: replCommits,
+		QueryAborts:    queryAborts.Load(),
+		UpdateCommits:  updateCommits.Load(),
+		ReplicaReads:   replicaReads,
+		LagImported:    lagImported,
+		RelaxedReads:   int64(oracle.RelaxedReads),
+		ZeroEpsPrimary: zeroEpsOK,
+		Certified:      oracle.Err() == nil,
+		Conserved:      store.TotalValue() == core.Value(cfg.Objects)*replicaInitialBalance,
+	}
+	if report.PrimaryQPS > 0 {
+		report.Scaleup = report.ReplicaQPS / report.PrimaryQPS
+	}
+
+	fmt.Printf("replica scaling: %d followers at TIL %d — primary-only %.0f q/s, replicas %.0f q/s (%.2f×)\n",
+		report.Replicas, report.TIL, report.PrimaryQPS, report.ReplicaQPS, report.Scaleup)
+	fmt.Printf("  replica reads served: %d, lag inconsistency imported: %d, relaxed reads in trace: %d, query aborts: %d, update commits: %d\n",
+		report.ReplicaReads, report.LagImported, report.RelaxedReads, report.QueryAborts, report.UpdateCommits)
+	fmt.Printf("  zero-epsilon primary-only: %v, certified: %v (%d txns), conserved: %v\n",
+		report.ZeroEpsPrimary, report.Certified, oracle.Txns, report.Conserved)
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  wrote %s\n", cfg.JSONPath)
+	}
+
+	switch {
+	case !report.Conserved:
+		return fmt.Errorf("replicas: conservation violated: total %d, want %d",
+			store.TotalValue(), core.Value(cfg.Objects)*replicaInitialBalance)
+	case !report.Certified:
+		return fmt.Errorf("replicas: merged trace refuted: %w", oracle.Err())
+	case !report.ZeroEpsPrimary:
+		return errors.New("replicas: a zero-epsilon query touched a follower")
+	case cfg.MinScaleup > 0 && report.Scaleup < cfg.MinScaleup:
+		return fmt.Errorf("replicas: scaleup %.2f× below the %.2f× floor", report.Scaleup, cfg.MinScaleup)
+	}
+	return nil
+}
+
+// waitCaughtUp polls until every follower has applied the primary's
+// current head.
+func waitCaughtUp(nodes []*replicaNode, l *wal.Log, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		head := l.Head()
+		caught := true
+		for _, n := range nodes {
+			if n.f.AppliedLSN() < head {
+				caught = false
+				break
+			}
+		}
+		if caught {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replicas: followers did not catch up to lsn %d within %v", head, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// runUpdate commits one zero-sum transfer on the primary, spending two
+// capacity slots.
+func runUpdate(eng *tso.Engine, gate capacityGate, gen *tsgen.Generator, rng *rand.Rand, cfg replicaConfig) error {
+	from := core.ObjectID(1 + rng.Intn(cfg.Objects))
+	to := core.ObjectID(1 + rng.Intn(cfg.Objects))
+	for to == from {
+		to = core.ObjectID(1 + rng.Intn(cfg.Objects))
+	}
+	amount := core.Value(1 + rng.Intn(50))
+	txn, err := eng.Begin(core.Update, gen.Next(), core.UnboundedSpec())
+	if err != nil {
+		return err
+	}
+	gate.serve(cfg.Service)
+	if _, err := eng.WriteDelta(txn, from, -amount); err != nil {
+		return abortUnlessAborted(eng, txn, err)
+	}
+	gate.serve(cfg.Service)
+	if _, err := eng.WriteDelta(txn, to, amount); err != nil {
+		return abortUnlessAborted(eng, txn, err)
+	}
+	return eng.Commit(txn)
+}
+
+// runQueryPhase runs the closed-loop query workers for one phase, each
+// worker pinned to one backend, and returns the committed-query count.
+// siteBase keeps the two phases' generator sites distinct.
+func runQueryPhase(backends []server.Backend, gates []capacityGate, clock tsgen.Clock,
+	aborts *atomic.Int64, cfg replicaConfig, siteBase int) int64 {
+	var commits atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := range backends {
+		wg.Add(1)
+		be, gate := backends[w], gates[w]
+		gen := tsgen.NewGenerator(200+siteBase+w, clock)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(siteBase+w)*104729 + 13))
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch err := runQuery(be, gate, gen, rng, cfg); {
+				case err == nil:
+					commits.Add(1)
+				default:
+					aborts.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	return commits.Load()
+}
+
+// runQuery executes one bounded-inconsistency query against a backend,
+// spending one capacity slot per read.
+func runQuery(be server.Backend, gate capacityGate, gen *tsgen.Generator, rng *rand.Rand, cfg replicaConfig) error {
+	txn, err := be.Begin(core.Query, gen.Next(), core.BoundSpec{Transaction: cfg.TIL})
+	if err != nil {
+		return err
+	}
+	for j := 0; j < cfg.ReadsPerQuery; j++ {
+		obj := core.ObjectID(1 + rng.Intn(cfg.Objects))
+		gate.serve(cfg.Service)
+		if _, err := be.Read(txn, obj); err != nil {
+			return abortUnlessAborted(be, txn, err)
+		}
+	}
+	return be.Commit(txn)
+}
+
+// abortUnlessAborted cleans up a failed attempt unless the engine
+// already aborted it internally, and propagates the original error.
+func abortUnlessAborted(be server.Backend, txn core.TxnID, err error) error {
+	var ae *tso.AbortError
+	if !errors.As(err, &ae) {
+		_ = be.Abort(txn)
+	}
+	return err
+}
+
+// verifyZeroEpsilon checks that TIL-0 queries never touch a follower:
+// every follower refuses Begin with a typed redirect and serves no read
+// for it, and the primary answers the same query.
+func verifyZeroEpsilon(eng *tso.Engine, nodes []*replicaNode, clock tsgen.Clock, cfg replicaConfig) (bool, error) {
+	gen := tsgen.NewGenerator(99, clock)
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	before := make([]int64, len(nodes))
+	for i, n := range nodes {
+		before[i] = n.eng.ReadsServed()
+	}
+	for round := 0; round < 16; round++ {
+		for _, n := range nodes {
+			_, err := n.eng.Begin(core.Query, gen.Next(), core.SRSpec())
+			var re *replica.RedirectError
+			if !errors.As(err, &re) {
+				return false, fmt.Errorf("replicas: zero-epsilon Begin on a follower returned %v, want a redirect", err)
+			}
+		}
+		// The primary serves the redirected query.
+		txn, err := eng.Begin(core.Query, gen.Next(), core.SRSpec())
+		if err != nil {
+			return false, fmt.Errorf("replicas: zero-epsilon Begin on the primary: %w", err)
+		}
+		obj := core.ObjectID(1 + rng.Intn(cfg.Objects))
+		if _, err := eng.Read(txn, obj); err != nil {
+			return false, fmt.Errorf("replicas: zero-epsilon read on the primary: %w", err)
+		}
+		if err := eng.Commit(txn); err != nil {
+			return false, fmt.Errorf("replicas: zero-epsilon commit on the primary: %w", err)
+		}
+	}
+	for i, n := range nodes {
+		if n.eng.ReadsServed() != before[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

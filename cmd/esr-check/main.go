@@ -5,7 +5,7 @@
 // object bound, every transaction within its root bound, and a
 // serializable witness order over the hard conflicts.
 //
-//	esr-check [-json] [-zero] [trace.jsonl ...]
+//	esr-check [-json] [-zero] [-merge] [trace.jsonl ...]
 //
 // With no file arguments the trace is read from stdin. -zero runs the
 // strict mode instead: the history must be exactly conflict
@@ -13,6 +13,13 @@
 // special case — what a serializable baseline (2PL, MVTO, or a
 // zero-bound TO run) must satisfy. -json emits the full report per
 // trace for CI consumption.
+//
+// -merge certifies all inputs as ONE history instead of one verdict
+// per file. A replica deployment records one trace per process
+// (primary plus each follower started with -replica-of), and no file
+// alone is checkable: follower traces read versions whose writes live
+// in the primary's trace. Merging restores the closed history the
+// oracle needs.
 //
 // Exit codes: 0 every trace certified, 1 at least one refuted, 2
 // operational failure (unreadable file, corrupt trace).
@@ -34,6 +41,7 @@ func main() {
 	log.SetPrefix("esr-check: ")
 	jsonFlag := flag.Bool("json", false, "emit the full report as JSON, one object per trace")
 	zeroFlag := flag.Bool("zero", false, "strict mode: require exact conflict serializability (the ε=0 case)")
+	mergeFlag := flag.Bool("merge", false, "certify all inputs as one history (primary + replica traces of one deployment)")
 	flag.Parse()
 
 	type input struct {
@@ -55,7 +63,7 @@ func main() {
 		})
 	}
 
-	refuted := false
+	var traces []*esrcheck.Trace
 	for _, in := range inputs {
 		r, err := in.open()
 		if err != nil {
@@ -65,10 +73,39 @@ func main() {
 		tr, err := esrcheck.ReadTrace(r)
 		r.Close()
 		if err != nil {
-			log.Print(err)
+			log.Printf("%s: %v", in.name, err)
 			os.Exit(2)
 		}
-		if !check(in.name, tr, *zeroFlag, *jsonFlag) {
+		traces = append(traces, tr)
+	}
+
+	if *mergeFlag {
+		merged := &esrcheck.Trace{}
+		names := ""
+		for i, tr := range traces {
+			if i > 0 {
+				names += "+"
+			}
+			names += inputs[i].name
+			if tr.Schema != "" && merged.Schema != "" && tr.Schema != merged.Schema {
+				log.Printf("%s: schema %q does not match %q; refusing to merge", inputs[i].name, tr.Schema, merged.Schema)
+				os.Exit(2)
+			}
+			if tr.Schema != "" {
+				merged.Schema = tr.Schema
+			}
+			merged.Events = append(merged.Events, tr.Events...)
+			merged.TornTail = merged.TornTail || tr.TornTail
+		}
+		if !check(names, merged, *zeroFlag, *jsonFlag) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	refuted := false
+	for i, tr := range traces {
+		if !check(inputs[i].name, tr, *zeroFlag, *jsonFlag) {
 			refuted = true
 		}
 	}

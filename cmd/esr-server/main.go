@@ -44,6 +44,7 @@ import (
 	"github.com/epsilondb/epsilondb/internal/core"
 	"github.com/epsilondb/epsilondb/internal/faultnet"
 	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/replica"
 	"github.com/epsilondb/epsilondb/internal/server"
 	"github.com/epsilondb/epsilondb/internal/storage"
 	"github.com/epsilondb/epsilondb/internal/tso"
@@ -74,6 +75,9 @@ func main() {
 		walDir    = flag.String("wal-dir", "", "write-ahead log directory; enables durability and crash recovery (empty disables)")
 		walSync   = flag.Duration("wal-sync-interval", wal.DefaultSyncInterval, "group-commit fsync interval; negative fsyncs every commit")
 		snapEvery = flag.Int("snapshot-every", 0, "snapshot the store and truncate the log every N logged commits (0 disables)")
+
+		replicaOf    = flag.String("replica-of", "", "follow the primary at this address and serve bounded-stale query reads (requires the primary to run with -wal-dir)")
+		replicaIndex = flag.Int("replica-index", 0, "this replica's ordinal; namespaces its transaction ids in merged traces")
 	)
 	faultCfg := faultnet.RegisterFlags(flag.CommandLine, "fault")
 	flag.Parse()
@@ -94,7 +98,15 @@ func main() {
 	col := &metrics.Collector{}
 	var store *storage.Store
 	var walLog *wal.Log
-	if *walDir != "" {
+	switch {
+	case *replicaOf != "":
+		// Follower mode: the database arrives over the replication feed
+		// (snapshot bootstrap + committed-write stream); nothing local to
+		// recover or populate.
+		if *walDir != "" {
+			log.Fatalf("esr-server: -replica-of and -wal-dir are mutually exclusive; the follower's state mirrors the primary's log")
+		}
+	case *walDir != "":
 		fs, err := wal.NewDirFS(*walDir)
 		if err != nil {
 			log.Fatalf("esr-server: -wal-dir: %v", err)
@@ -113,11 +125,12 @@ func main() {
 			log.Printf("esr-server: recovered %d objects from wal (snapshot lsn %d, %d records replayed, torn tail: %v)",
 				store.Len(), info.SnapshotLSN, info.Records, info.TornTail)
 		}
-	} else {
+	default:
 		store = storage.NewStore(storage.Config{HistoryDepth: *history})
 	}
 	// A recovered store is already populated; only seed a fresh one.
-	if store.Len() == 0 {
+	// Followers have no local store to seed at all.
+	if store != nil && store.Len() == 0 {
 		rng := rand.New(rand.NewSource(*seed))
 		if err := store.Populate(*objects, *valueMin, *valueMax, oilMin, oilMax, oelMin, oelMax, rng); err != nil {
 			log.Fatalf("esr-server: populate: %v", err)
@@ -151,34 +164,64 @@ func main() {
 		})
 		tracers = append(tracers, rec)
 	}
-	opts := tso.Options{Collector: col}
-	if walLog != nil {
-		opts.Durability = walLog
-	}
+	var tracer tso.Tracer
 	if len(tracers) == 1 {
-		opts.Tracer = tracers[0]
+		tracer = tracers[0]
 	} else if len(tracers) > 1 {
-		opts.Tracer = tracers
+		tracer = tracers
 	}
 
-	engine := tso.NewEngine(store, opts)
-	srv := server.New(engine, server.Options{
+	srvOpts := server.Options{
 		SimulatedLatency: *latency,
 		IdleTimeout:      *idleTimeout,
 		WriteTimeout:     *writeTimeout,
-	})
+	}
+	var srv *server.Server
+	var engine *tso.Engine
+	var feed *replica.Feed
+	if *replicaOf != "" {
+		follower := replica.NewFollower(storage.Config{HistoryDepth: *history})
+		reng := replica.NewEngine(follower, replica.Options{
+			Collector: col, Tracer: tracer, Index: *replicaIndex,
+		})
+		primary := *replicaOf
+		var err error
+		feed, err = replica.StartFeed(follower, replica.FeedOptions{
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", primary) },
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("esr-server: replication feed: %v", err)
+		}
+		srv = server.NewBackend(reng, srvOpts)
+		log.Printf("esr-server: following primary at %s (replica index %d)", primary, *replicaIndex)
+	} else {
+		opts := tso.Options{Collector: col, Tracer: tracer}
+		if walLog != nil {
+			opts.Durability = walLog
+		}
+		engine = tso.NewEngine(store, opts)
+		// The feed is only offered with durability on: followers stream
+		// the WAL, so a log is the price of admission for replicas.
+		srvOpts.Feed = walLog
+		srv = server.New(engine, srvOpts)
+	}
 
 	if *debugAddr != "" {
-		dl, err := net.Listen("tcp", *debugAddr)
-		if err != nil {
-			log.Fatalf("esr-server: -debug-addr: %v", err)
-		}
-		log.Printf("esr-server: debug endpoint on http://%s/debug/esr", dl.Addr())
-		go func() {
-			if err := http.Serve(dl, server.DebugMux(engine)); err != nil {
-				log.Printf("esr-server: debug server: %v", err)
+		if engine == nil {
+			log.Printf("esr-server: -debug-addr is unavailable in replica mode; ignoring")
+		} else {
+			dl, err := net.Listen("tcp", *debugAddr)
+			if err != nil {
+				log.Fatalf("esr-server: -debug-addr: %v", err)
 			}
-		}()
+			log.Printf("esr-server: debug endpoint on http://%s/debug/esr", dl.Addr())
+			go func() {
+				if err := http.Serve(dl, server.DebugMux(engine)); err != nil {
+					log.Printf("esr-server: debug server: %v", err)
+				}
+			}()
+		}
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -195,7 +238,7 @@ func main() {
 	if err := srv.Serve(l); err != nil {
 		log.Fatalf("esr-server: %v", err)
 	}
-	log.Printf("esr-server: %d objects loaded, listening on %s", store.Len(), l.Addr())
+	log.Printf("esr-server: %d objects loaded, listening on %s", srv.Backend().Store().Len(), l.Addr())
 
 	if *stats > 0 {
 		go func() {
@@ -218,6 +261,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("esr-server: shutdown: %v", err)
+	}
+	if feed != nil {
+		feed.Stop()
 	}
 	if walLog != nil {
 		if err := walLog.Close(); err != nil {

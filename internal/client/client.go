@@ -52,6 +52,26 @@ func IsAbort(err error) (*AbortError, bool) {
 	return nil, false
 }
 
+// RedirectError is the client-side view of a replica redirect: the
+// server the request reached is a bounded-stale follower that must not
+// serve it — an update ET, or a zero-epsilon query that admits no
+// replication lag. The Router catches it and replays the transaction
+// against the primary.
+type RedirectError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("client: redirected to primary: %s", e.Message)
+}
+
+// IsRedirect reports whether err is a replica redirect.
+func IsRedirect(err error) bool {
+	var re *RedirectError
+	return errors.As(err, &re)
+}
+
 // Options configures a client connection.
 type Options struct {
 	// Site is this client's site id, appended to every timestamp for
@@ -87,6 +107,14 @@ type Options struct {
 	// DefaultBackoff(). An explicit &Backoff{} (zero Base) disables
 	// backoff entirely.
 	Backoff *Backoff
+	// ResumeAfter floors this client's timestamps past a predecessor's
+	// last issued timestamp (LastTimestamp of the connection being
+	// replaced). A reconnecting caller that keeps its site id MUST pass
+	// it: the new connection re-estimates its clock correction, and
+	// without the floor it can reissue a (tick, site) pair the old
+	// connection already committed under — two committed writes sharing
+	// a timestamp, which the engine aborts and the oracle refutes.
+	ResumeAfter tsgen.Timestamp
 }
 
 // Backoff is a bounded exponential backoff schedule with jitter. After
@@ -229,6 +257,9 @@ func newClient(conn *wire.Conn, opts Options) (*Client, error) {
 		total += so.ServerTicks - local
 	}
 	c.gen.SetCorrection(total / int64(samples))
+	// The floor applies after the correction: whatever the new estimate
+	// says, this client never reissues a tick its predecessor used.
+	c.gen.Advance(opts.ResumeAfter.Ticks())
 	// The sync handshake above ran on the plain synchronous path; only a
 	// fully synchronized client switches to the demultiplexing core.
 	if opts.Pipeline > 1 {
@@ -259,6 +290,15 @@ func (c *Client) Site() int { return c.site }
 
 // Correction returns the installed clock correction factor.
 func (c *Client) Correction() int64 { return c.gen.Correction() }
+
+// LastTimestamp returns the most recent timestamp this client issued
+// (the zero Timestamp before the first transaction). A caller replacing
+// this connection while keeping the site id passes it as the successor's
+// Options.ResumeAfter so the site's timestamps stay unique across the
+// reconnect.
+func (c *Client) LastTimestamp() tsgen.Timestamp {
+	return tsgen.Make(c.gen.LastTicks(), c.site)
+}
 
 // callWire performs one deadline-bounded round trip on the wire without
 // error classification (the sync handshake runs before call's abort
@@ -301,12 +341,17 @@ func (c *Client) call(req wire.Message) (wire.Message, error) {
 	return resp, nil
 }
 
-// mapAbort converts server abort errors to AbortError, leaving every
-// other error untouched.
+// mapAbort converts server abort and redirect errors to their typed
+// client-side forms, leaving every other error untouched.
 func mapAbort(err error) error {
 	var we *wire.Error
-	if errors.As(err, &we) && we.Code == wire.CodeAbort {
-		return &AbortError{Reason: we.Reason, Message: we.Message}
+	if errors.As(err, &we) {
+		switch we.Code {
+		case wire.CodeAbort:
+			return &AbortError{Reason: we.Reason, Message: we.Message}
+		case wire.CodeRedirect:
+			return &RedirectError{Message: we.Message}
+		}
 	}
 	return err
 }

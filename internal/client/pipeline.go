@@ -207,10 +207,23 @@ func (p *pipe) enqueue(item sendItem) error {
 	case <-p.quit:
 		return p.teardownErr()
 	}
+	// The slot acquisition races teardown: both selects pick randomly
+	// among ready cases, and the buffered channels stay ready after quit
+	// closes, so without the re-check a send could "succeed" on a dead
+	// pipe with its slot token stranded. On the teardown paths the token
+	// is handed back deterministically — nothing will ever deliver a
+	// response that would release it.
+	if err := p.teardownCause(); err != nil {
+		<-p.slots
+		return err
+	}
 	select {
 	case p.sendq <- item:
+		// A teardown that lands after this send already resolved every
+		// registered call, so the caller's wait returns its error.
 		return nil
 	case <-p.quit:
+		<-p.slots
 		return p.teardownErr()
 	}
 }
@@ -380,6 +393,9 @@ func (p *pipe) deliver(tag uint32, msg wire.Message) bool {
 	call, ok := p.pending[tag]
 	if !ok {
 		p.mu.Unlock()
+		if msg != nil {
+			wire.Recycle(msg)
+		}
 		p.fail(fmt.Errorf("%w: response for unknown or duplicate tag %d", ErrConnBroken, tag))
 		return false
 	}
@@ -414,6 +430,10 @@ func (p *pipe) fail(err error) {
 		calls = append(calls, c)
 	}
 	p.pending = map[uint32]*pendingCall{}
+	// The tag allocator dies with the pipe: clearing the free list keeps
+	// the invariant that no free tag names a pending call, and register is
+	// refused from here on, so a tag can never be handed out twice.
+	p.free = nil
 	p.mu.Unlock()
 	close(p.quit)
 	p.conn.Close()
@@ -422,12 +442,17 @@ func (p *pipe) fail(err error) {
 	}
 }
 
-// teardownErr returns the sticky teardown cause.
-func (p *pipe) teardownErr() error {
+// teardownCause returns the sticky teardown cause, nil while healthy.
+func (p *pipe) teardownCause() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.broken != nil {
-		return p.broken
+	return p.broken
+}
+
+// teardownErr returns the sticky teardown cause.
+func (p *pipe) teardownErr() error {
+	if err := p.teardownCause(); err != nil {
+		return err
 	}
 	return ErrConnBroken
 }

@@ -1,0 +1,169 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// Tag-slot lifecycle under teardown. A Close racing a storm of CallAsync
+// issuers exercises the enqueue/teardown windows: the slot semaphore and
+// the quit channel stay ready simultaneously, so without the re-checks
+// in enqueue a call could be queued on a dead pipe with its slot token
+// stranded. These tests pin the invariants: every waiter resolves, the
+// pipe ends with a sticky cause and an empty pending table, and the tag
+// allocator never holds a tag twice or a tag that still names a call.
+// Run with -race.
+
+// pipeInvariants asserts the tag-table consistency of a pipe.
+func pipeInvariants(t *testing.T, p *pipe) {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := make(map[uint32]bool, len(p.free))
+	for _, tag := range p.free {
+		if seen[tag] {
+			t.Errorf("tag %d on the free list twice", tag)
+		}
+		seen[tag] = true
+		if _, ok := p.pending[tag]; ok {
+			t.Errorf("free tag %d still names a pending call", tag)
+		}
+		if tag == 0 || tag >= p.nextTag {
+			t.Errorf("free tag %d outside the allocated range [1, %d)", tag, p.nextTag)
+		}
+	}
+	for tag, call := range p.pending {
+		if call.tag != tag {
+			t.Errorf("pending slot %d holds a call registered as %d", tag, call.tag)
+		}
+	}
+}
+
+func TestCloseRacingCallAsyncTagLifecycle(t *testing.T) {
+	c := pipeClient(t, 8, 0, func(sc *wire.Conn) {
+		for {
+			tag, inner := readTagged(t, sc)
+			if inner == nil {
+				return
+			}
+			wire.Recycle(inner)
+			if err := sc.WriteMessage(&wire.TaggedReply{Tag: tag, Inner: &wire.Value{Value: 7}}); err != nil {
+				return
+			}
+		}
+	})
+	const issuers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < issuers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 64; j++ {
+				p := c.CallAsync(&wire.Read{Txn: 1, Object: 5})
+				if _, err := p.Wait(); err != nil {
+					// Teardown reached this issuer; the error must be the
+					// typed close, never a raw transport artifact.
+					if !errors.Is(err, ErrClientClosed) {
+						t.Errorf("post-close call failed with %v, want ErrClientClosed", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond) // let the storm overlap the close
+	c.Close()
+	wg.Wait()
+
+	p := c.pipe
+	pipeInvariants(t, p)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.broken == nil {
+		t.Fatal("closed pipe has no sticky teardown cause")
+	}
+	if n := len(p.pending); n != 0 {
+		t.Errorf("%d calls still pending after close", n)
+	}
+}
+
+func TestCloseUnblocksEnqueueWaiters(t *testing.T) {
+	// The script answers nothing: both slots fill immediately and every
+	// later CallAsync blocks inside enqueue waiting for a slot. Close
+	// must resolve all of them — the blocked waiters via the quit select,
+	// the in-flight ones via fail's pending sweep.
+	c := pipeClient(t, 2, 0, func(sc *wire.Conn) {
+		for {
+			_, inner := readTagged(t, sc)
+			if inner == nil {
+				return
+			}
+			wire.Recycle(inner)
+		}
+	})
+	const waiters = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.CallAsync(&wire.Read{Txn: 1, Object: 5}).Wait()
+			errs <- err
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // fill the slots, pile up waiters
+	c.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CallAsync waiters did not resolve after Close")
+	}
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, ErrClientClosed) {
+			t.Errorf("waiter failed with %v, want ErrClientClosed", err)
+		}
+	}
+	pipeInvariants(t, c.pipe)
+}
+
+func TestBatchUnwindKeepsTagTableConsistent(t *testing.T) {
+	c := pipeClient(t, 4, 0, func(sc *wire.Conn) {
+		for {
+			_, inner := readTagged(t, sc)
+			if inner == nil {
+				return
+			}
+			wire.Recycle(inner)
+		}
+	})
+	// A batch with a non-batchable frame unwinds its already-registered
+	// tags; they must return to the free list exactly once.
+	_, err := c.Batch([]wire.Message{
+		&wire.Read{Txn: 1, Object: 5},
+		&wire.Stats{}, // not batchable
+	})
+	if err == nil {
+		t.Fatal("batch with non-batchable frame succeeded")
+	}
+	pipeInvariants(t, c.pipe)
+	c.pipe.mu.Lock()
+	pending, free := len(c.pipe.pending), len(c.pipe.free)
+	c.pipe.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("%d tags still pending after unwind", pending)
+	}
+	if free != 1 {
+		t.Errorf("free list holds %d tags after unwind, want 1", free)
+	}
+}

@@ -1,0 +1,185 @@
+package client
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// answer scripts a trivial synchronous server: BeginOK for begins,
+// Value(value) for reads and writes, OK for commit/abort. With redirect
+// set every Begin bounces with CodeRedirect, the way a bounded-stale
+// follower refuses work it must not serve. got, when non-nil, counts
+// frames received after the handshake.
+func answer(t *testing.T, value int64, redirect bool, got *atomic.Int64) func(sc *wire.Conn) {
+	return func(sc *wire.Conn) {
+		for {
+			m, err := sc.ReadMessage()
+			if err != nil {
+				return
+			}
+			if got != nil {
+				got.Add(1)
+			}
+			var resp wire.Message
+			switch m.(type) {
+			case *wire.Begin:
+				if redirect {
+					resp = &wire.Error{Code: wire.CodeRedirect, Message: "updates run on the primary"}
+				} else {
+					resp = &wire.BeginOK{Txn: 7}
+				}
+			case *wire.Read, *wire.Write:
+				resp = &wire.Value{Value: value}
+			case *wire.Commit, *wire.Abort:
+				resp = &wire.OK{}
+			default:
+				t.Errorf("script got unexpected %v", m.MsgType())
+				wire.Recycle(m)
+				return
+			}
+			wire.Recycle(m)
+			if err := sc.WriteMessage(resp); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func TestRouterRoutesQueriesToReplicaUpdatesToPrimary(t *testing.T) {
+	primary := pipeClient(t, 1, 0, answer(t, 1, false, nil))
+	replica := pipeClient(t, 1, 0, answer(t, 42, false, nil))
+	r := NewRouter(primary, replica)
+
+	res, err := r.RunProgram(core.NewQuery(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 42 {
+		t.Errorf("query read %d, want 42 (the replica's value)", res.Sum)
+	}
+	if _, err := r.RunProgram(core.NewUpdate(core.NoLimit).WriteDelta(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.ReplicaRuns != 1 || st.PrimaryRuns != 1 || st.Redirects != 0 || st.Failovers != 0 {
+		t.Errorf("stats %+v, want 1 replica run and 1 primary run", st)
+	}
+}
+
+func TestRouterRedirectFallsBackToPrimary(t *testing.T) {
+	primary := pipeClient(t, 1, 0, answer(t, 7, false, nil))
+	replica := pipeClient(t, 1, 0, answer(t, 42, true, nil))
+	r := NewRouter(primary, replica)
+
+	res, err := r.RunProgram(core.NewQuery(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 7 {
+		t.Errorf("redirected query read %d, want 7 (the primary's value)", res.Sum)
+	}
+	st := r.Stats()
+	if st.Redirects != 1 || st.PrimaryRuns != 1 || st.ReplicaRuns != 0 {
+		t.Errorf("stats %+v, want the redirect replayed on the primary", st)
+	}
+}
+
+func TestRouterZeroEpsilonNeverTouchesReplica(t *testing.T) {
+	var replicaFrames atomic.Int64
+	primary := pipeClient(t, 1, 0, answer(t, 7, false, nil))
+	replica := pipeClient(t, 1, 0, answer(t, 42, false, &replicaFrames))
+	r := NewRouter(primary, replica)
+
+	res, err := r.RunProgram(core.NewQuery(0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 7 {
+		t.Errorf("zero-epsilon query read %d, want 7 (the primary's value)", res.Sum)
+	}
+	if n := replicaFrames.Load(); n != 0 {
+		t.Errorf("replica saw %d frames for a zero-epsilon query, want 0", n)
+	}
+	if st := r.Stats(); st.PrimaryRuns != 1 || st.ReplicaRuns != 0 {
+		t.Errorf("stats %+v, want the query pinned to the primary", st)
+	}
+}
+
+func TestRouterFailsOverWhenReplicaDies(t *testing.T) {
+	primary := pipeClient(t, 1, 0, answer(t, 7, false, nil))
+	replica := pipeClient(t, 1, 0, answer(t, 42, false, nil))
+	r := NewRouter(primary, replica)
+	replica.Close()
+
+	res, err := r.RunProgram(core.NewQuery(100, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 7 {
+		t.Errorf("failed-over query read %d, want 7 (the primary's value)", res.Sum)
+	}
+	if st := r.Stats(); st.Failovers != 1 || st.PrimaryRuns != 1 {
+		t.Errorf("stats %+v, want one failover onto the primary", st)
+	}
+}
+
+func TestRouterRoundRobinsAcrossReplicas(t *testing.T) {
+	primary := pipeClient(t, 1, 0, answer(t, 1, false, nil))
+	ra := pipeClient(t, 1, 0, answer(t, 10, false, nil))
+	rb := pipeClient(t, 1, 0, answer(t, 20, false, nil))
+	r := NewRouter(primary, ra, rb)
+
+	var sums []core.Value
+	for i := 0; i < 4; i++ {
+		res, err := r.RunProgram(core.NewQuery(100, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums = append(sums, res.Sum)
+	}
+	want := []core.Value{10, 20, 10, 20}
+	for i, s := range sums {
+		if s != want[i] {
+			t.Errorf("query %d read %d, want %d (round-robin)", i, s, want[i])
+		}
+	}
+}
+
+func TestRouterAbortPassesThrough(t *testing.T) {
+	primary := pipeClient(t, 1, 0, answer(t, 7, false, nil))
+	abortScript := func(sc *wire.Conn) {
+		for {
+			m, err := sc.ReadMessage()
+			if err != nil {
+				return
+			}
+			var resp wire.Message
+			switch m.(type) {
+			case *wire.Begin:
+				resp = &wire.BeginOK{Txn: 7}
+			case *wire.Abort:
+				resp = &wire.OK{}
+			default:
+				resp = &wire.Error{Code: wire.CodeAbort, Reason: 0, Message: "limit"}
+			}
+			wire.Recycle(m)
+			if err := sc.WriteMessage(resp); err != nil {
+				return
+			}
+		}
+	}
+	replica := pipeClient(t, 1, 0, abortScript)
+	r := NewRouter(primary, replica)
+
+	_, err := r.RunProgram(core.NewQuery(100, 5))
+	if _, ok := IsAbort(err); !ok {
+		t.Fatalf("replica abort surfaced as %v, want AbortError", err)
+	}
+	// A genuine abort belongs to the retry loop, not the failover path.
+	if st := r.Stats(); st.ReplicaRuns != 1 || st.PrimaryRuns != 0 || st.Failovers != 0 {
+		t.Errorf("stats %+v, want the abort counted as a replica run", st)
+	}
+}

@@ -1,6 +1,6 @@
 // Package esrcheck is the offline epsilon-serializability oracle: it
 // consumes a recorded execution history (the tso.Event stream, live from
-// a history.Recorder or decoded from an esr-trace/1 JSONL file) and
+// a history.Recorder or decoded from an esr-trace JSONL file) and
 // proves or refutes the paper's guarantee — that the committed execution
 // stays within its declared inconsistency bounds of some serializable
 // execution.
@@ -54,8 +54,9 @@ import (
 // Violation is one refutation of the guarantee.
 type Violation struct {
 	// Code classifies the violation: "unknown-version", "update-relaxed",
-	// "zero-epsilon-relaxed", "object-import", "object-export",
-	// "op-over-limit", "txn-limit", "accounting", "conflict-cycle".
+	// "zero-epsilon-relaxed", "zero-epsilon-replica", "object-import",
+	// "object-export", "op-over-limit", "txn-limit", "accounting",
+	// "conflict-cycle".
 	Code string `json:"code"`
 	// Txn is the offending transaction (0 when structural).
 	Txn core.TxnID `json:"txn,omitempty"`
@@ -149,6 +150,7 @@ type readRec struct {
 	charged core.Distance
 	limit   core.Distance // the read event's import limit (OIL)
 	dirty   bool
+	replica bool // served by a bounded-stale follower
 }
 
 // Check runs the full epsilon-serializability oracle over a history and
@@ -245,6 +247,15 @@ func Check(events []tso.Event) *Report {
 		if r.dirty {
 			rep.DirtyReads++
 		}
+		if r.replica && t.rootLimit == 0 {
+			// Routing policy, checked before classification: a zero-epsilon
+			// query demands strict serializability and must never touch a
+			// follower — even a read that happened to observe the proper
+			// version, because the follower cannot prove it did.
+			rep.violate("zero-epsilon-replica", r.reader, r.object,
+				"zero-epsilon txn %d read object %d from a replica", r.reader, r.object)
+			continue
+		}
 
 		proper := !r.dirty && readIdx == properIdx
 		if proper {
@@ -303,9 +314,11 @@ func Check(events []tso.Event) *Report {
 		if d > rep.MaxDistance {
 			rep.MaxDistance = d
 		}
-		if r.charged > 0 || r.dirty {
-			// Reader-charged relaxation (cases 1 and 2): the divergence
-			// was admitted against the object's import limit.
+		if r.charged > 0 || r.dirty || r.replica {
+			// Reader-charged relaxation (cases 1 and 2, and replica lag):
+			// the divergence was admitted against the object's import
+			// limit. A lagging follower always charges its own side, never
+			// a primary writer, so replica reads are never case 3.
 			if d > r.limit {
 				rep.violate("object-import", r.reader, r.object,
 					"txn %d imported divergence %d on object %d, import limit %d",
@@ -415,6 +428,7 @@ func collectOps(events []tso.Event, txns map[core.TxnID]*txn, rep *Report) (map[
 				reader: ev.Txn, readTS: ev.TS, object: ev.Object,
 				version: ev.Version, value: ev.Value,
 				charged: ev.Inconsistency, limit: ev.Limit, dirty: ev.DirtyRead,
+				replica: ev.Replica,
 			})
 		}
 	}

@@ -250,12 +250,70 @@ func TestOwnWriteReadUnconstrained(t *testing.T) {
 	}
 }
 
+// rread is a replica-served query read: like qread but flagged Replica.
+func rread(txn core.TxnID, at int64, obj core.ObjectID, version int64, v core.Value, inc, oil core.Distance) tso.Event {
+	ev := qread(txn, at, obj, version, v, inc, oil, false)
+	ev.Replica = true
+	return ev
+}
+
+func TestReplicaLagReadCertified(t *testing.T) {
+	// A follower lagging one commit serves query 2 (ts 25) the old version
+	// of object 1 (version 10, value 100) while the proper version is 20
+	// (value 130). The lag distance 30 was charged against OIL 50, TIL 50.
+	events := []tso.Event{
+		ubegin(1, 10, 0), uwrite(1, 10, 1, 100, 0, 0), ucommit(1, 10, 0, 0),
+		ubegin(3, 20, 0), uwrite(3, 20, 1, 130, 0, 0), ucommit(3, 20, 0, 0),
+		begin(2, 25, 50), rread(2, 25, 1, 10, 100, 30, 50), commit(2, 25, 30, 50),
+	}
+	rep := Check(events)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("bounded replica read refuted: %v", err)
+	}
+	if rep.RelaxedReads != 1 || rep.MaxDistance != 30 || rep.TotalImported != 30 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestZeroEpsilonReplicaReadRefuted(t *testing.T) {
+	// The replica happened to be caught up — the read observed the proper
+	// version with zero charge — but a TIL-0 query must never be routed to
+	// a follower at all, so the policy check still refutes it.
+	events := []tso.Event{
+		ubegin(1, 10, 0), uwrite(1, 10, 1, 100, 0, 0), ucommit(1, 10, 0, 0),
+		begin(2, 20, 0), rread(2, 20, 1, 10, 100, 0, 0), commit(2, 20, 0, 0),
+	}
+	rep := Check(events)
+	wantViolation(t, rep, "zero-epsilon-replica")
+}
+
+func TestReplicaUnchargedStaleReadReaderCharged(t *testing.T) {
+	// The follower had not even received txn 3's write, so it charged
+	// nothing — yet the true divergence (30) exceeds the OIL (10). The
+	// replica flag must force the reader-charged branch: this is an
+	// object-import violation, never a case-3 object-export, because no
+	// primary writer paid for the follower's lag.
+	events := []tso.Event{
+		ubegin(1, 10, 0), uwrite(1, 10, 1, 100, 0, 0), ucommit(1, 10, 0, 0),
+		ubegin(3, 20, 0), uwrite(3, 20, 1, 130, 0, 25), ucommit(3, 20, 0, 0),
+		begin(2, 25, 50), rread(2, 25, 1, 10, 100, 0, 10), commit(2, 25, 0, 50),
+	}
+	rep := Check(events)
+	wantViolation(t, rep, "object-import")
+	for _, v := range rep.Violations {
+		if v.Code == "object-export" {
+			t.Fatalf("replica lag misattributed to a primary writer: %+v", rep.Violations)
+		}
+	}
+}
+
 func TestReadTraceRoundTrip(t *testing.T) {
 	events := []tso.Event{
 		begin(1, 10, core.NoLimit),
 		qread(1, 10, 7, -1, -25, 0, core.NoLimit, false),
 		{Kind: tso.EvRead, Txn: 1, TxnKind: core.Query, TS: ts(10), Object: 8,
 			Value: 5, Version: ts(4), Inconsistency: 3, Limit: 50, DirtyRead: true},
+		rread(1, 10, 9, 4, 7, 2, 50),
 		commit(1, 10, 3, core.NoLimit),
 	}
 	var buf bytes.Buffer
@@ -269,7 +327,7 @@ func TestReadTraceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Schema != "esr-trace/1" || tr.TornTail {
+	if tr.Schema != "esr-trace/2" || tr.TornTail {
 		t.Errorf("trace = %+v", tr)
 	}
 	if len(tr.Events) != len(events) {

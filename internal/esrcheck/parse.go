@@ -1,5 +1,5 @@
 // Trace decoding: the inverse of tso.AppendEventJSON for the
-// esr-trace/1 schema. Decoding is strict about field meaning and lenient
+// esr-trace schema. Decoding is strict about field meaning and lenient
 // about the physical stream: a missing header is accepted (flight-
 // recorder dumps carry none), and a torn final line — the signature of a
 // crash mid-append — is tolerated and flagged rather than failing the
@@ -46,8 +46,9 @@ type jsonEvent struct {
 	Val    int64  `json:"val"`
 	Ver    uint64 `json:"ver"`
 	Inc    int64  `json:"inc"`
-	Lim    int64  `json:"lim"`
-	Dirty  bool   `json:"dirty"`
+	Lim     int64 `json:"lim"`
+	Dirty   bool  `json:"dirty"`
+	Replica bool  `json:"replica"`
 }
 
 // ReadTrace decodes a JSONL trace stream.
@@ -99,6 +100,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			Inconsistency: core.Distance(je.Inc),
 			Limit:         core.Distance(je.Lim),
 			DirtyRead:     je.Dirty,
+			Replica:       je.Replica,
 		}
 		switch je.Kind {
 		case "query":

@@ -1,0 +1,229 @@
+package replica
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
+	"github.com/epsilondb/epsilondb/internal/tsgen"
+	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/txnshard"
+)
+
+// RedirectError reports a request the replica must not serve — an update
+// ET, or a zero-epsilon query that admits no staleness at all. The
+// server maps it to wire.CodeRedirect and the client router retries the
+// transaction against the primary.
+type RedirectError struct {
+	// Reason says what about the request requires the primary.
+	Reason string
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("replica: redirect to primary: %s", e.Reason)
+}
+
+// ReplicaRedirect marks the error for the server's wire mapping.
+func (e *RedirectError) ReplicaRedirect() bool { return true }
+
+// Options configures a replica engine.
+type Options struct {
+	// Schema is the hierarchical grouping for the import accumulator;
+	// nil means the flat two-level schema.
+	Schema *core.Schema
+	// Collector receives performance counters; nil drops them.
+	Collector *metrics.Collector
+	// Tracer receives execution events (reads flagged Replica); nil
+	// disables tracing.
+	Tracer tso.Tracer
+	// Now drives latency histograms and trace timestamps; nil means the
+	// wall clock since engine creation.
+	Now func() time.Duration
+	// Index is this replica's ordinal among the primary's followers. It
+	// namespaces transaction ids ((Index+1)<<32 | seq) so merged
+	// primary+replica traces never collide on a txn id.
+	Index int
+}
+
+// Engine serves query ETs from a Follower, charging replication lag
+// against the query's import hierarchy. It implements server.Backend;
+// everything an update would need returns a RedirectError.
+type Engine struct {
+	f    *Follower
+	opts Options
+	base uint64
+
+	nextTxn     atomic.Uint64
+	txns        *txnshard.Map[*txnState]
+	readsServed atomic.Int64
+	imported    atomic.Int64
+}
+
+// txnState is one live query attempt on the replica.
+type txnState struct {
+	id          core.TxnID
+	ts          tsgen.Timestamp
+	rootLimit   core.Distance
+	acc         core.Accumulator
+	opsExecuted int64
+}
+
+// NewEngine returns a query engine over the follower.
+func NewEngine(f *Follower, opts Options) *Engine {
+	if opts.Now == nil {
+		start := time.Now()
+		opts.Now = func() time.Duration { return time.Since(start) }
+	}
+	return &Engine{
+		f:    f,
+		opts: opts,
+		base: uint64(opts.Index+1) << 32,
+		txns: txnshard.New[*txnState](),
+	}
+}
+
+// Follower returns the engine's data plane.
+func (e *Engine) Follower() *Follower { return e.f }
+
+// ReadsServed returns the number of reads this replica has answered.
+func (e *Engine) ReadsServed() int64 { return e.readsServed.Load() }
+
+// ImportedTotal returns the lag inconsistency committed queries imported
+// through this replica. It is tracked on the engine, not the follower's
+// store: the store's accumulated totals mirror the primary's.
+func (e *Engine) ImportedTotal() core.Distance {
+	return core.Distance(e.imported.Load())
+}
+
+// Begin starts a query attempt. Update ETs and zero-epsilon queries are
+// redirected: updates mutate and TIL-0 queries tolerate no staleness, so
+// both belong on the primary.
+func (e *Engine) Begin(kind core.Kind, ts tsgen.Timestamp, spec core.BoundSpec) (core.TxnID, error) {
+	if kind != core.Query {
+		return 0, &RedirectError{Reason: "update transactions run on the primary"}
+	}
+	if spec.Transaction == 0 {
+		return 0, &RedirectError{Reason: "zero-epsilon queries tolerate no replication lag"}
+	}
+	if ts.IsNone() {
+		return 0, fmt.Errorf("replica: transaction timestamp must be non-zero")
+	}
+	st := &txnState{
+		id:        core.TxnID(e.base + e.nextTxn.Add(1)),
+		ts:        ts,
+		rootLimit: spec.Transaction,
+	}
+	if err := st.acc.Init(e.opts.Schema, spec, true); err != nil {
+		return 0, err
+	}
+	e.txns.Store(st.id, st)
+	e.opts.Collector.Begin()
+	e.trace(tso.Event{Kind: tso.EvBegin, Txn: st.id, TxnKind: core.Query, TS: ts, Limit: spec.Transaction})
+	return st.id, nil
+}
+
+// Read serves one read from the follower, charging its staleness against
+// the query's import hierarchy. A charge the bounds cannot absorb aborts
+// the attempt, exactly like a primary import-limit violation.
+func (e *Engine) Read(txn core.TxnID, obj core.ObjectID) (core.Value, error) {
+	start := e.opts.Now()
+	st, ok := e.txns.Load(txn)
+	if !ok {
+		return 0, tso.ErrUnknownTxn
+	}
+	v, err := e.f.ReadView(obj, st.ts)
+	if err != nil {
+		return 0, e.abortNow(st, metrics.AbortMissingObject, err)
+	}
+	if v.Charge > 0 {
+		if err := st.acc.Admit(obj, v.Charge, v.OIL); err != nil {
+			return 0, e.abortNow(st, metrics.AbortImportLimit, err)
+		}
+	}
+	st.opsExecuted++
+	e.readsServed.Add(1)
+	e.opts.Collector.ReadExecuted(v.Charge > 0)
+	e.opts.Collector.ObserveLatency(metrics.LatRead, e.opts.Now()-start)
+	e.trace(tso.Event{Kind: tso.EvRead, Txn: st.id, TxnKind: core.Query, TS: st.ts,
+		Object: obj, Value: v.Value, Version: v.TS,
+		Inconsistency: v.Charge, Limit: v.OIL, Replica: true})
+	return v.Value, nil
+}
+
+// Write is never served by a replica.
+func (e *Engine) Write(txn core.TxnID, obj core.ObjectID, v core.Value) error {
+	return &RedirectError{Reason: "writes run on the primary"}
+}
+
+// WriteDelta is never served by a replica.
+func (e *Engine) WriteDelta(txn core.TxnID, obj core.ObjectID, delta core.Value) (core.Value, error) {
+	return 0, &RedirectError{Reason: "writes run on the primary"}
+}
+
+// Commit finishes a query attempt. The replica publishes nothing; the
+// commit just seals the import accounting for the trace.
+func (e *Engine) Commit(txn core.TxnID) error {
+	start := e.opts.Now()
+	st, ok := e.txns.Delete(txn)
+	if !ok {
+		return tso.ErrUnknownTxn
+	}
+	total := st.acc.Total()
+	e.imported.Add(int64(total))
+	e.opts.Collector.Commit()
+	e.opts.Collector.ObserveLatency(metrics.LatCommit, e.opts.Now()-start)
+	e.trace(tso.Event{Kind: tso.EvCommit, Txn: st.id, TxnKind: core.Query, TS: st.ts,
+		Inconsistency: total, Limit: st.rootLimit})
+	return nil
+}
+
+// Abort abandons a query attempt at the client's request.
+func (e *Engine) Abort(txn core.TxnID) error {
+	st, ok := e.txns.Delete(txn)
+	if !ok {
+		return tso.ErrUnknownTxn
+	}
+	e.finishAbort(st, metrics.AbortExplicit)
+	return nil
+}
+
+// abortNow aborts the attempt internally and builds the abort error the
+// failed operation returns, mirroring the primary engine's contract.
+func (e *Engine) abortNow(st *txnState, reason metrics.AbortReason, cause error) error {
+	if removed, ok := e.txns.Delete(st.id); ok {
+		e.finishAbort(removed, reason)
+	}
+	return &tso.AbortError{Txn: st.id, Reason: reason, Err: cause}
+}
+
+// finishAbort records the abort; replicas hold no object footprint.
+func (e *Engine) finishAbort(st *txnState, reason metrics.AbortReason) {
+	e.opts.Collector.Abort(reason, st.opsExecuted)
+	e.trace(tso.Event{Kind: tso.EvAbort, Txn: st.id, TxnKind: core.Query, TS: st.ts})
+}
+
+// MetricsSnapshot reads the engine's collector.
+func (e *Engine) MetricsSnapshot() metrics.Snapshot { return e.opts.Collector.Snapshot() }
+
+// LatencySnapshot reads the engine's latency histograms.
+func (e *Engine) LatencySnapshot() metrics.LatencySet {
+	return e.opts.Collector.LatencySnapshot()
+}
+
+// Live returns the number of live query attempts.
+func (e *Engine) Live() int { return e.txns.Len() }
+
+// Store returns the follower's current store.
+func (e *Engine) Store() *storage.Store { return e.f.Store() }
+
+// trace emits an event if a tracer is installed.
+func (e *Engine) trace(ev tso.Event) {
+	if e.opts.Tracer != nil {
+		ev.At = e.opts.Now()
+		e.opts.Tracer.Trace(ev)
+	}
+}

@@ -1,0 +1,205 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/wal"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// FeedOptions configures the follower's replication client.
+type FeedOptions struct {
+	// Dial opens a connection to the primary. Required; fault-injection
+	// harnesses interpose faultnet wrappers here.
+	Dial func() (net.Conn, error)
+	// Logf receives connection lifecycle messages; nil drops them.
+	Logf func(format string, args ...any)
+	// Backoff is the first reconnect delay (default 10ms); MaxBackoff
+	// caps the doubling (default 1s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// Feed is a running replication client: it dials the primary, subscribes
+// from the follower's applied frontier, ingests snapshot and record
+// frames, and reconnects with backoff on any failure. Resumption is by
+// LSN, so drops and resets lose no records.
+type Feed struct {
+	f    *Follower
+	opts FeedOptions
+
+	mu   sync.Mutex
+	conn net.Conn
+	stop bool
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// StartFeed launches the replication client for f.
+func StartFeed(f *Follower, opts FeedOptions) (*Feed, error) {
+	if opts.Dial == nil {
+		return nil, errors.New("replica: FeedOptions.Dial is required")
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 10 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = time.Second
+	}
+	fd := &Feed{f: f, opts: opts, quit: make(chan struct{}), done: make(chan struct{})}
+	go fd.run()
+	return fd, nil
+}
+
+// Stop tears the feed down: the current connection is closed, the retry
+// loop exits, and Stop returns once the feed goroutine is gone.
+func (fd *Feed) Stop() {
+	fd.mu.Lock()
+	if !fd.stop {
+		fd.stop = true
+		close(fd.quit)
+	}
+	if fd.conn != nil {
+		fd.conn.Close()
+	}
+	fd.mu.Unlock()
+	<-fd.done
+}
+
+// stopped reports whether Stop was requested.
+func (fd *Feed) stopped() bool {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	return fd.stop
+}
+
+// setConn tracks the live connection so Stop can sever it; it refuses
+// (and closes) new connections after Stop.
+func (fd *Feed) setConn(c net.Conn) bool {
+	fd.mu.Lock()
+	defer fd.mu.Unlock()
+	if fd.stop {
+		if c != nil {
+			c.Close()
+		}
+		return false
+	}
+	fd.conn = c
+	return true
+}
+
+// run is the reconnect loop.
+func (fd *Feed) run() {
+	defer close(fd.done)
+	backoff := fd.opts.Backoff
+	for !fd.stopped() {
+		nc, err := fd.opts.Dial()
+		if err != nil {
+			fd.opts.Logf("replica: feed dial: %v", err)
+			if !fd.sleep(backoff) {
+				return
+			}
+			backoff = fd.nextBackoff(backoff)
+			continue
+		}
+		if !fd.setConn(nc) {
+			return
+		}
+		err = fd.stream(nc)
+		fd.setConn(nil)
+		nc.Close()
+		if fd.stopped() {
+			return
+		}
+		fd.opts.Logf("replica: feed stream from lsn %d: %v", fd.f.AppliedLSN(), err)
+		if !fd.sleep(backoff) {
+			return
+		}
+		backoff = fd.nextBackoff(backoff)
+	}
+}
+
+// nextBackoff doubles the delay up to the cap.
+func (fd *Feed) nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > fd.opts.MaxBackoff {
+		d = fd.opts.MaxBackoff
+	}
+	return d
+}
+
+// sleep waits d, returning false when Stop was requested meanwhile.
+func (fd *Feed) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-fd.quit:
+		return false
+	}
+}
+
+// stream runs one subscription on an established connection: hello with
+// the resume LSN, then snapshot chunks and record batches until the
+// connection dies. A successful ingest never loses ground — on any error
+// the caller reconnects and resumes from the follower's frontier.
+func (fd *Feed) stream(nc net.Conn) error {
+	conn := wire.NewConn(nc)
+	if err := conn.WriteMessage(&wire.ReplicaHello{AfterLSN: fd.f.AppliedLSN()}); err != nil {
+		return fmt.Errorf("hello: %w", err)
+	}
+	var image []byte
+	var imageLSN uint64
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *wire.ReplicaSnap:
+			// Chunked bootstrap image; the last chunk carries Done.
+			if image == nil {
+				imageLSN = m.LSN
+			} else if m.LSN != imageLSN {
+				wire.Recycle(msg)
+				return fmt.Errorf("snapshot chunk lsn changed %d -> %d", imageLSN, m.LSN)
+			}
+			image = append(image, m.Chunk...)
+			done := m.Done
+			wire.Recycle(msg)
+			if done {
+				st, lsn, derr := wal.DecodeSnapshotImage(image)
+				if derr != nil {
+					return fmt.Errorf("snapshot image: %w", derr)
+				}
+				if berr := fd.f.Bootstrap(st, lsn); berr != nil {
+					return berr
+				}
+				image = nil
+			}
+		case *wire.ReplicaRecords:
+			err := fd.f.Ingest(m.Frames, m.HeadLSN)
+			wire.Recycle(msg)
+			if err != nil {
+				return err
+			}
+		case *wire.Error:
+			e := *m
+			wire.Recycle(msg)
+			return fmt.Errorf("feed rejected: %s", e.Message)
+		default:
+			mt := msg.MsgType()
+			wire.Recycle(msg)
+			return fmt.Errorf("unexpected feed frame %v", mt)
+		}
+	}
+}

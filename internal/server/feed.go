@@ -1,0 +1,114 @@
+package server
+
+import (
+	"time"
+
+	"github.com/epsilondb/epsilondb/internal/wal"
+	"github.com/epsilondb/epsilondb/internal/wire"
+)
+
+// feedSnapChunk is the bootstrap-image chunk size: comfortably under
+// wire.MaxPayload with room for the frame header and LSN fields.
+const feedSnapChunk = 256 << 10
+
+// serveFeed turns one connection into a replication feed: an optional
+// chunked bootstrap snapshot, then committed-write record frames as the
+// WAL syncs them, until the follower disconnects, the subscriber lags
+// out, or the server drains. Runs on the connection's serve goroutine.
+func (s *Server) serveFeed(conn *wire.Conn, afterLSN uint64) {
+	if s.opts.Feed == nil {
+		s.writeFeedError(conn, &wire.Error{Code: wire.CodeGeneric, Message: "server: replication feed not enabled"})
+		return
+	}
+	tail, image, err := s.opts.Feed.SubscribeFrom(afterLSN)
+	if err != nil {
+		s.writeFeedError(conn, &wire.Error{Code: wire.CodeGeneric, Message: err.Error()})
+		return
+	}
+	defer tail.Close()
+
+	// The follower sends nothing after the hello, so the idle deadline
+	// armed by the serve loop must not reap this connection; the reader
+	// goroutine below only watches for disconnect.
+	conn.SetReadDeadline(time.Time{})
+	gone := make(chan struct{})
+	go func() {
+		defer close(gone)
+		// Any read outcome — EOF, reset, even an unexpected frame — ends
+		// the feed; the follower reconnects and resumes by LSN.
+		if _, rerr := conn.ReadMessage(); rerr == nil {
+			s.opts.Logf("server: %s: unexpected frame on feed connection", conn.RemoteAddr())
+		}
+	}()
+	// Unblock tail.Next when the follower disconnects or the server
+	// drains; Next then returns ErrTailClosed and the loop exits.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-gone:
+		case <-s.drain:
+		case <-watchDone:
+		}
+		tail.Close()
+	}()
+
+	if image != nil {
+		lsn, err := wal.SnapshotImageLSN(image)
+		if err != nil {
+			s.opts.Logf("server: %s: feed bootstrap: %v", conn.RemoteAddr(), err)
+			return
+		}
+		for off := 0; ; {
+			end := off + feedSnapChunk
+			if end > len(image) {
+				end = len(image)
+			}
+			msg := &wire.ReplicaSnap{LSN: lsn, Done: end == len(image), Chunk: image[off:end]}
+			if !s.writeFeedMessage(conn, msg) {
+				return
+			}
+			if end == len(image) {
+				break
+			}
+			off = end
+		}
+	}
+
+	for {
+		frames, head, err := tail.Next()
+		if err != nil {
+			// ErrTailClosed on disconnect/drain is the clean exit;
+			// ErrTailLagging and log poisoning also just end the stream —
+			// the follower reconnects and resubscribes from its LSN.
+			s.opts.Logf("server: %s: feed ended: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if !s.writeFeedMessage(conn, &wire.ReplicaRecords{HeadLSN: head, Frames: frames}) {
+			return
+		}
+	}
+}
+
+// writeFeedMessage writes one feed frame under the write deadline,
+// logging and reporting failure.
+func (s *Server) writeFeedMessage(conn *wire.Conn, msg wire.Message) bool {
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+	if err := conn.WriteMessage(msg); err != nil {
+		s.opts.Logf("server: %s: feed write: %v", conn.RemoteAddr(), err)
+		return false
+	}
+	return true
+}
+
+// writeFeedError reports a feed setup failure to the follower.
+func (s *Server) writeFeedError(conn *wire.Conn, e *wire.Error) {
+	if s.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+	}
+	if err := conn.WriteMessage(e); err != nil {
+		s.opts.Logf("server: %s: %v", conn.RemoteAddr(), err)
+	}
+}

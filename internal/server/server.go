@@ -27,8 +27,11 @@ import (
 	"time"
 
 	"github.com/epsilondb/epsilondb/internal/core"
+	"github.com/epsilondb/epsilondb/internal/metrics"
+	"github.com/epsilondb/epsilondb/internal/storage"
 	"github.com/epsilondb/epsilondb/internal/tsgen"
 	"github.com/epsilondb/epsilondb/internal/tso"
+	"github.com/epsilondb/epsilondb/internal/wal"
 	"github.com/epsilondb/epsilondb/internal/wire"
 )
 
@@ -58,13 +61,36 @@ type Options struct {
 	// is served — the hook the fault-injection harness uses. The
 	// wrapper must forward deadlines and Close.
 	WrapConn func(net.Conn) net.Conn
+	// Feed, when non-nil, enables the replication feed: a connection
+	// that sends ReplicaHello turns into a one-way committed-write
+	// stream subscribed to this log. Nil rejects the handshake.
+	Feed *wal.Log
+}
+
+// Backend is the engine surface the server dispatches requests into.
+// *tso.Engine is the primary implementation; replica.Engine serves the
+// query-only follower role.
+type Backend interface {
+	Begin(kind core.Kind, ts tsgen.Timestamp, spec core.BoundSpec) (core.TxnID, error)
+	Read(txn core.TxnID, obj core.ObjectID) (core.Value, error)
+	Write(txn core.TxnID, obj core.ObjectID, v core.Value) error
+	WriteDelta(txn core.TxnID, obj core.ObjectID, delta core.Value) (core.Value, error)
+	Commit(txn core.TxnID) error
+	Abort(txn core.TxnID) error
+	MetricsSnapshot() metrics.Snapshot
+	LatencySnapshot() metrics.LatencySet
+	Live() int
+	Store() *storage.Store
 }
 
 // Server accepts client connections and serves the five basic operations
 // plus the sync and stats probes.
 type Server struct {
-	engine *tso.Engine
-	opts   Options
+	engine Backend
+	// tsoEngine is set when the backend is the primary TO engine; it is
+	// what Engine() exposes to embedded deployments and tools.
+	tsoEngine *tso.Engine
+	opts      Options
 
 	// drain is closed when shutdown begins: connection goroutines stop
 	// picking up new requests, the accept loop stops backoff waits.
@@ -77,8 +103,16 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
-// New returns a server around an engine.
+// New returns a server around the primary TO engine.
 func New(engine *tso.Engine, opts Options) *Server {
+	s := NewBackend(engine, opts)
+	s.tsoEngine = engine
+	return s
+}
+
+// NewBackend returns a server around any Backend — the constructor the
+// replica process uses to serve query transactions from a follower.
+func NewBackend(engine Backend, opts Options) *Server {
 	if opts.Clock == nil {
 		opts.Clock = tsgen.WallClock{}
 	}
@@ -93,9 +127,13 @@ func New(engine *tso.Engine, opts Options) *Server {
 	}
 }
 
-// Engine exposes the underlying engine (used by embedded deployments and
-// the measurement tools).
-func (s *Server) Engine() *tso.Engine { return s.engine }
+// Engine exposes the underlying TO engine when the server fronts one
+// (nil for replica backends); used by embedded deployments and the
+// measurement tools.
+func (s *Server) Engine() *tso.Engine { return s.tsoEngine }
+
+// Backend exposes the dispatch target regardless of its concrete type.
+func (s *Server) Backend() Backend { return s.engine }
 
 // Listen starts accepting on the address and returns the bound listener
 // address (useful with ":0").
@@ -363,6 +401,17 @@ func (s *Server) ServeConn(rw io.ReadWriter) {
 			}
 			wire.Recycle(m)
 
+		case *wire.ReplicaHello:
+			if cp != nil {
+				s.opts.Logf("server: %s: ReplicaHello on a pipelined connection", conn.RemoteAddr())
+				wire.Recycle(m)
+				return
+			}
+			after := m.AfterLSN
+			wire.Recycle(m)
+			s.serveFeed(conn, after)
+			return
+
 		default:
 			if cp != nil {
 				// Once pipelined, the response writer owns the write side;
@@ -442,12 +491,23 @@ type respBuf struct {
 	err     wire.Error
 }
 
+// redirecter is the structural shape of the replica package's typed
+// redirect error (declared here to avoid an import the primary-only
+// server never needs).
+type redirecter interface{ ReplicaRedirect() bool }
+
 // wireError maps an engine error into the reused Error response.
 func (rb *respBuf) wireError(err error) *wire.Error {
-	if ae, ok := tso.IsAbort(err); ok {
-		rb.err = wire.Error{Code: wire.CodeAbort, Reason: ae.Reason, Message: ae.Error()}
-	} else {
-		rb.err = wire.Error{Code: wire.CodeGeneric, Message: err.Error()}
+	var rd redirecter
+	switch {
+	case errors.As(err, &rd) && rd.ReplicaRedirect():
+		rb.err = wire.Error{Code: wire.CodeRedirect, Message: err.Error()}
+	default:
+		if ae, ok := tso.IsAbort(err); ok {
+			rb.err = wire.Error{Code: wire.CodeAbort, Reason: ae.Reason, Message: ae.Error()}
+		} else {
+			rb.err = wire.Error{Code: wire.CodeGeneric, Message: err.Error()}
+		}
 	}
 	return &rb.err
 }

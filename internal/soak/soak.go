@@ -321,6 +321,11 @@ type worker struct {
 	rng    *rand.Rand
 	counts *counters
 	logf   func(string, ...any)
+	// resume carries the last issued timestamp across reconnects: the
+	// replacement client floors its generator past it, so the site never
+	// reissues a (tick, site) pair no matter what the fresh clock-sync
+	// correction estimates.
+	resume tsgen.Timestamp
 }
 
 // maxConsecutiveFailures is the livelock valve: a fault schedule that
@@ -381,6 +386,7 @@ func (w *worker) run(ctx context.Context) error {
 				return fmt.Errorf("soak: site %d stuck on program after %d failures: %w",
 					w.site, failures, err)
 			}
+			w.resume = c.LastTimestamp()
 			c.Close()
 			c = nil
 			w.counts.reconnects.Add(1)
@@ -412,6 +418,7 @@ func (w *worker) connect() (*client.Client, error) {
 		CallTimeout: w.cfg.CallTimeout,
 		Dialer:      w.dial,
 		Pipeline:    w.cfg.Pipeline,
+		ResumeAfter: w.resume,
 		// One sync probe: every connection shares the logical clock, and
 		// the default four probes eat into the write budget of conns
 		// whose fault schedule resets them after N frames.

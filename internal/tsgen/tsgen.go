@@ -189,6 +189,30 @@ func (g *Generator) Correction() int64 {
 // issues.
 func (g *Generator) Site() int { return g.site }
 
+// Advance raises the generator's monotonicity floor: every later Next
+// returns ticks strictly greater than floorTicks. Reconnecting clients
+// use it to carry per-site uniqueness across generator instances — a
+// fresh generator with a re-estimated clock correction must never
+// reissue a (tick, site) pair a predecessor for the same site already
+// used, because two committed writes sharing a timestamp would leave
+// the engine's version order undefined.
+func (g *Generator) Advance(floorTicks int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if floorTicks > g.lastTicks {
+		g.lastTicks = floorTicks
+	}
+}
+
+// LastTicks returns the tick component of the most recently issued
+// timestamp (zero before the first Next), the value a successor
+// generator should Advance past.
+func (g *Generator) LastTicks() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.lastTicks
+}
+
 // Next returns a timestamp strictly greater than any previous timestamp
 // from this generator. If the corrected clock stalls or runs backwards the
 // tick component is bumped past the last issued value, preserving

@@ -177,6 +177,32 @@ func TestGeneratorMonotonicWithStalledClock(t *testing.T) {
 	}
 }
 
+func TestGeneratorAdvanceFloorsSuccessor(t *testing.T) {
+	// A reconnecting client hands its last issued ticks to its successor
+	// generator; even with a correction that would run the clock
+	// backwards, the successor must never reissue a (tick, site) pair.
+	var c LogicalClock
+	old := NewGenerator(3, &c)
+	var last Timestamp
+	for i := 0; i < 50; i++ {
+		last = old.Next()
+	}
+	succ := NewGenerator(3, &c)
+	succ.SetCorrection(-1000) // a bad re-estimate: corrected clock far behind
+	succ.Advance(old.LastTicks())
+	if got := succ.Next(); !got.After(last) {
+		t.Errorf("successor issued %v, not after predecessor's last %v", got, last)
+	}
+	if got := old.LastTicks(); got != last.Ticks() {
+		t.Errorf("LastTicks() = %d, want %d", got, last.Ticks())
+	}
+	// Advance never lowers the floor.
+	succ.Advance(0)
+	if got := succ.Next(); !got.After(last) {
+		t.Errorf("Advance(0) lowered the floor: issued %v", got)
+	}
+}
+
 func TestGeneratorCorrectionShiftsTicks(t *testing.T) {
 	var c LogicalClock
 	g := NewGenerator(0, &c)

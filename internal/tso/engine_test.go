@@ -217,6 +217,26 @@ func TestSRLateWriteVsCommittedWriteAborts(t *testing.T) {
 	wantAbort(t, err, metrics.AbortLateWrite)
 }
 
+func TestEqualTimestampWriteVsCommittedWriteAborts(t *testing.T) {
+	// Two transactions can present the same timestamp when a
+	// reconnecting client re-estimates its clock correction and reissues
+	// a (tick, site) pair. Committed versions must have strictly
+	// increasing timestamps (the oracle's unknown-version check assumes
+	// it), so the second write must abort, not create an order-less
+	// duplicate version.
+	e := newTestEngine(t, 1, Options{})
+	u1 := mustBegin(t, e, core.Update, 20, core.NoLimit)
+	if err := e.Write(u1, 1, 150); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Commit(u1); err != nil {
+		t.Fatal(err)
+	}
+	u2 := mustBegin(t, e, core.Update, 20, core.NoLimit) // same ts, distinct txn
+	err := e.Write(u2, 1, 160)
+	wantAbort(t, err, metrics.AbortLateWrite)
+}
+
 func TestSRLateWriteVsQueryReadAborts(t *testing.T) {
 	e := newTestEngine(t, 1, Options{})
 	q := mustBegin(t, e, core.Query, 20, 0)

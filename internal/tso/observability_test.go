@@ -214,7 +214,7 @@ func TestJSONLSink(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
 		t.Fatalf("header %q is not valid JSON: %v", lines[0], err)
 	}
-	if got, want := hdr["schema"], "esr-trace/1"; got != want {
+	if got, want := hdr["schema"], "esr-trace/2"; got != want {
 		t.Errorf("header schema = %v, want %q", got, want)
 	}
 	kinds := make([]string, 0, 4)

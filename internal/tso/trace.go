@@ -13,10 +13,13 @@ import (
 // the transaction's root bound on begin/commit events, the object's
 // OIL/OEL on read/write events — so an offline checker (internal/
 // esrcheck, cmd/esr-check) can certify a trace against the bounds
-// without access to the live store. The schema is append-only: new
-// versions may add fields but never change the meaning of existing
-// ones.
-const TraceSchemaVersion = 1
+// without access to the live store. Version 2 adds the "replica" flag
+// on read events: the read was served by a bounded-stale follower and
+// its "inc" is the replication-lag distance charged against the TIL.
+// The schema is append-only: new versions may add fields but never
+// change the meaning of existing ones, so a version-1 reader that
+// ignores unknown fields still decodes version-2 traces.
+const TraceSchemaVersion = 2
 
 // TraceSchemaName is the schema identifier written in the header line.
 const TraceSchemaName = "esr-trace"
@@ -112,6 +115,10 @@ type Event struct {
 	Limit core.Distance
 	// DirtyRead marks a read of uncommitted data (ESR case 2).
 	DirtyRead bool
+	// Replica marks a read served by a bounded-stale follower; its
+	// Inconsistency is the replication-lag distance charged against the
+	// transaction's import limit.
+	Replica bool
 }
 
 // Tracer observes engine events. Read/write events are emitted while the

@@ -120,6 +120,9 @@ func AppendEventJSON(dst []byte, ev Event) []byte {
 	if ev.DirtyRead {
 		dst = append(dst, `,"dirty":true`...)
 	}
+	if ev.Replica {
+		dst = append(dst, `,"replica":true`...)
+	}
 	return append(dst, '}')
 }
 

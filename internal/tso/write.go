@@ -89,10 +89,16 @@ func (e *Engine) write(txn core.TxnID, obj core.ObjectID, value, delta core.Valu
 		return 0, e.abortNow(st, metrics.AbortLateWrite,
 			fmt.Errorf("write ts %v older than update-ET read %v on object %d", st.ts, o.MaxUpdateReadTS(), obj))
 	}
-	if st.ts.Before(o.CommittedTS()) {
+	// Not-strictly-newer than the committed version aborts. Equality is
+	// a real case, not paranoia: a reconnecting client that re-estimates
+	// its clock correction can reissue a (tick, site) pair, and two
+	// committed versions sharing a timestamp have no order — the oracle
+	// rightly refutes such a history, so the engine must refuse to
+	// create it. (The prototype does not apply the Thomas write rule.)
+	if !st.ts.After(o.CommittedTS()) {
 		o.Unlock()
 		return 0, e.abortNow(st, metrics.AbortLateWrite,
-			fmt.Errorf("write ts %v older than committed write %v on object %d", st.ts, o.CommittedTS(), obj))
+			fmt.Errorf("write ts %v not newer than committed write %v on object %d", st.ts, o.CommittedTS(), obj))
 	}
 
 	// ESR case 3: late with respect to a query read only.

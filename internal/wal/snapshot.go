@@ -162,17 +162,23 @@ func (l *Log) writeSnapshot() error {
 	state := l.source.CaptureState()
 	lsn := l.nextLSN - 1
 	l.sinceSnap = 0
-	l.mu.Unlock()
-
 	// Everything at or below lsn that is already flushed lives in the
 	// segments listed so far; post-capture records are still buffered
 	// (only this goroutine flushes) and will land in the new segment.
 	covered := append([]string(nil), l.segNames...)
+	l.mu.Unlock()
+
 	if err := l.rollSegment(); err != nil {
 		l.poison(err)
 		return err
 	}
+	l.mu.Lock()
+	// Only the segment the roll just opened remains live; snapLSN moves
+	// with the trim so a SubscribeFrom below it bootstraps from the store
+	// instead of pinning segments that are about to disappear.
 	l.segNames = l.segNames[len(l.segNames)-1:]
+	l.snapLSN = lsn
+	l.mu.Unlock()
 
 	data := appendSnapshot(nil, lsn, state)
 	f, err := l.fs.Create(snapTmpName)
@@ -198,13 +204,12 @@ func (l *Log) writeSnapshot() error {
 	}
 
 	// The snapshot is durable: covered segments and superseded snapshots
-	// are dead weight now. Removal failures are logged, not fatal — the
-	// files are ignored by recovery anyway.
-	for _, name := range covered {
-		if err := l.fs.Remove(name); err != nil && l.opts.Logf != nil {
-			l.opts.Logf("wal: truncate %s: %v", name, err)
-		}
-	}
+	// are dead weight now. Segments a catch-up reader still pins are
+	// doomed rather than removed (the last unpin removes them), which is
+	// what keeps a mid-segment reader from hitting ENOENT. Removal
+	// failures are logged, not fatal — the files are ignored by recovery
+	// anyway.
+	l.releaseSegments(covered)
 	names, err := l.fs.List()
 	if err == nil {
 		_, snaps, cerr := classify(names)
@@ -218,6 +223,5 @@ func (l *Log) writeSnapshot() error {
 			}
 		}
 	}
-	l.snapLSN = lsn
 	return nil
 }

@@ -1,0 +1,476 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/epsilondb/epsilondb/internal/storage"
+)
+
+// Replication feed (DESIGN.md §13): a Tail is a live subscription to the
+// log's record stream. A follower subscribes with the last LSN it has
+// applied; the log answers with an optional bootstrap image (when the
+// requested position has already been truncated by a snapshot) and then
+// delivers every later record exactly once, in LSN order, as raw frame
+// bytes that re-use the segment encoding — DecodeFrames on the other
+// side yields the same Record values Replay would have produced.
+//
+// Delivery has two phases. Catch-up reads the segment files that existed
+// at subscribe time; those segments are pinned against snapshot
+// truncation (Snapshot marks covered-but-pinned segments doomed instead
+// of removing them, and the last unpin removes them), which is also the
+// fix for the pre-existing Snapshot-vs-Recover race. The live phase
+// drains batches the committer enqueues under the log mutex immediately
+// after each successful fsync. Registration happens under the same
+// mutex, so every synced batch is observed exactly once: a batch whose
+// delivery preceded registration is fully on disk and seen by catch-up,
+// a batch whose delivery followed registration is queued, and the
+// per-record LSN cursor deduplicates the overlap.
+
+// ErrTailLagging reports that a subscriber fell too far behind the
+// committer and its queue was dropped; the follower should resubscribe
+// from its last applied LSN (and may receive a bootstrap image).
+var ErrTailLagging = errors.New("wal: tail lagging behind committer; resubscribe")
+
+// ErrTailClosed is returned by Next after the consumer closed the tail.
+var ErrTailClosed = errors.New("wal: tail closed")
+
+const (
+	// tailChunk caps the frame bytes one Next call returns, keeping feed
+	// messages comfortably under the wire layer's MaxPayload.
+	tailChunk = 512 << 10
+	// tailMaxQueued caps the bytes buffered for a slow subscriber before
+	// the log declares it lagging and drops it.
+	tailMaxQueued = 16 << 20
+)
+
+// Tail is one subscriber's position in the log. Next is not safe for
+// concurrent use; everything else is.
+type Tail struct {
+	l *Log
+
+	mu     sync.Mutex
+	cursor uint64 // last delivered LSN
+	// pinned are the segments to catch up from, in order; pinIdx/segOff
+	// track progress. Each finished segment is unpinned immediately.
+	pinned []string
+	pinIdx int
+	segOff int
+	queue  [][]byte // live batches, shared (read-only) across tails
+	queued int      // bytes in queue
+	closed bool
+	err    error
+
+	wake chan struct{}
+}
+
+// SubscribeFrom registers a subscriber that wants every record with LSN
+// greater than afterLSN. When that position has been truncated away by a
+// snapshot, the returned bootstrap image (a snapshot-file image,
+// decodable with DecodeSnapshotImage) carries the full store state as of
+// the log head and the tail resumes after it; otherwise the image is nil
+// and the tail replays from the retained segments. The decision, the
+// capture and the registration are atomic with respect to appends and
+// truncation.
+func (l *Log) SubscribeFrom(afterLSN uint64) (*Tail, []byte, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, nil, ErrLogClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return nil, nil, err
+	}
+	head := l.nextLSN - 1
+	if afterLSN > head {
+		l.mu.Unlock()
+		return nil, nil, fmt.Errorf("wal: subscribe after lsn %d beyond head %d", afterLSN, head)
+	}
+	t := &Tail{l: l, cursor: afterLSN, segOff: len(segMagic), wake: make(chan struct{}, 1)}
+	var image []byte
+	if afterLSN < l.snapLSN {
+		if l.source == nil {
+			l.mu.Unlock()
+			return nil, nil, fmt.Errorf("wal: lsn %d truncated and log has no source store for bootstrap", afterLSN)
+		}
+		// The capture runs under the log mutex, so it corresponds exactly
+		// to the log prefix [..head] (the LogCommit publish contract) and
+		// the cursor can skip everything at or below head. No segments
+		// need pinning: every retained frame is ≤ head.
+		image = appendSnapshot(nil, head, l.source.CaptureState())
+		t.cursor = head
+	} else {
+		t.pinned = append([]string(nil), l.segNames...)
+		for _, name := range t.pinned {
+			l.pins[name]++
+		}
+	}
+	l.tails = append(l.tails, t)
+	l.mu.Unlock()
+	return t, image, nil
+}
+
+// Head returns the highest LSN the log has assigned.
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// deliver hands one synced batch to every subscriber. Called by the
+// committer with l.mu held, immediately after the fsync succeeded.
+func (l *Log) deliverLocked(buf []byte) {
+	if len(l.tails) == 0 || len(buf) == 0 {
+		return
+	}
+	// One immutable copy is shared by every tail; the committer reuses
+	// buf as the next batch buffer the moment flushOnce returns.
+	shared := append([]byte(nil), buf...)
+	for _, t := range l.tails {
+		t.enqueue(shared)
+	}
+}
+
+// closeTails fails every subscriber (log closed, killed or poisoned).
+func (l *Log) closeTails(err error) {
+	l.mu.Lock()
+	tails := l.tails
+	l.tails = nil
+	l.mu.Unlock()
+	for _, t := range tails {
+		t.fail(err)
+	}
+}
+
+// deregister removes t from the subscriber list.
+func (l *Log) deregister(t *Tail) {
+	l.mu.Lock()
+	for i, o := range l.tails {
+		if o == t {
+			l.tails = append(l.tails[:i], l.tails[i+1:]...)
+			break
+		}
+	}
+	l.mu.Unlock()
+}
+
+// unpin releases one subscriber's hold on a segment, removing the file
+// if a snapshot doomed it and this was the last pin.
+func (l *Log) unpin(name string) {
+	l.mu.Lock()
+	l.pins[name]--
+	remove := l.pins[name] <= 0 && l.doomed[name]
+	if l.pins[name] <= 0 {
+		delete(l.pins, name)
+	}
+	if remove {
+		delete(l.doomed, name)
+	}
+	l.mu.Unlock()
+	if remove {
+		if err := l.fs.Remove(name); err != nil && l.opts.Logf != nil {
+			l.opts.Logf("wal: remove doomed segment %s: %v", name, err)
+		}
+	}
+}
+
+// releaseSegments is the snapshot's truncation path: segments still
+// pinned by a catch-up reader are doomed (removed at last unpin), the
+// rest are removed now.
+func (l *Log) releaseSegments(names []string) {
+	var removable []string
+	l.mu.Lock()
+	for _, name := range names {
+		if l.pins[name] > 0 {
+			l.doomed[name] = true
+		} else {
+			delete(l.doomed, name)
+			removable = append(removable, name)
+		}
+	}
+	l.mu.Unlock()
+	for _, name := range removable {
+		if err := l.fs.Remove(name); err != nil && l.opts.Logf != nil {
+			l.opts.Logf("wal: truncate %s: %v", name, err)
+		}
+	}
+}
+
+// enqueue appends one shared batch to the tail's live queue.
+func (t *Tail) enqueue(shared []byte) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	if t.queued+len(shared) > tailMaxQueued {
+		t.closed = true
+		t.err = ErrTailLagging
+		t.queue = nil
+		t.queued = 0
+		pins := t.pinned[t.pinIdx:]
+		t.pinIdx = len(t.pinned)
+		t.mu.Unlock()
+		// Not holding l.mu here would deadlock-order-violate: enqueue IS
+		// called under l.mu, so release pins without re-locking.
+		t.l.unpinLocked(pins)
+		t.signal()
+		return
+	}
+	t.queue = append(t.queue, shared)
+	t.queued += len(shared)
+	t.mu.Unlock()
+	t.signal()
+}
+
+// unpinLocked releases pins while l.mu is already held by the caller
+// (the committer's delivery path). Doomed segments are left for the
+// snapshot's next releaseSegments pass or the log's Close.
+func (l *Log) unpinLocked(names []string) {
+	for _, name := range names {
+		l.pins[name]--
+		if l.pins[name] <= 0 {
+			delete(l.pins, name)
+		}
+	}
+}
+
+// fail closes the tail with err and releases its remaining pins.
+func (t *Tail) fail(err error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.err = err
+	t.queue = nil
+	t.queued = 0
+	pins := t.pinned[t.pinIdx:]
+	t.pinIdx = len(t.pinned)
+	t.mu.Unlock()
+	for _, name := range pins {
+		t.l.unpin(name)
+	}
+	t.signal()
+}
+
+// Close ends the subscription; a blocked Next returns ErrTailClosed.
+func (t *Tail) Close() {
+	t.l.deregister(t)
+	t.fail(ErrTailClosed)
+}
+
+func (t *Tail) signal() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until record frames past the subscription cursor are
+// available and returns them as raw frame bytes (decode with
+// DecodeFrames), together with the log head at return time — the
+// follower's staleness is head minus the last LSN in frames. Frames are
+// in strict LSN order across calls with no gaps and no duplicates. The
+// error is ErrTailClosed after Close, ErrTailLagging when the
+// subscriber fell behind, or the log's fatal error.
+func (t *Tail) Next() ([]byte, uint64, error) {
+	for {
+		t.mu.Lock()
+		if t.closed {
+			err := t.err
+			t.mu.Unlock()
+			return nil, 0, err
+		}
+		if t.pinIdx < len(t.pinned) {
+			name := t.pinned[t.pinIdx]
+			off := t.segOff
+			cursor := t.cursor
+			t.mu.Unlock()
+			out, newOff, newCursor, done, err := t.readSegment(name, off, cursor)
+			if err != nil {
+				t.fail(err)
+				return nil, 0, err
+			}
+			t.mu.Lock()
+			if t.closed {
+				err := t.err
+				t.mu.Unlock()
+				return nil, 0, err
+			}
+			t.cursor = newCursor
+			if done {
+				t.pinIdx++
+				t.segOff = len(segMagic)
+			} else {
+				t.segOff = newOff
+			}
+			t.mu.Unlock()
+			if done {
+				t.l.unpin(name)
+			}
+			if len(out) > 0 {
+				return out, t.l.Head(), nil
+			}
+			continue
+		}
+		if len(t.queue) > 0 {
+			var out []byte
+			cursor := t.cursor
+			for len(t.queue) > 0 && len(out) < tailChunk {
+				b := t.queue[0]
+				t.queue[0] = nil
+				t.queue = t.queue[1:]
+				t.queued -= len(b)
+				var ferr error
+				out, cursor, ferr = filterFrames(out, b, cursor)
+				if ferr != nil {
+					t.mu.Unlock()
+					t.fail(ferr)
+					return nil, 0, ferr
+				}
+			}
+			t.cursor = cursor
+			t.mu.Unlock()
+			if len(out) > 0 {
+				return out, t.l.Head(), nil
+			}
+			continue
+		}
+		t.mu.Unlock()
+		<-t.wake
+	}
+}
+
+// readSegment catches up from one pinned segment file: it returns the
+// raw frames past cursor starting at byte offset off, capped near
+// tailChunk. done reports the segment is exhausted — a clean end or a
+// torn tail. A torn tail is legal here: in the active segment it is a
+// read racing the committer's in-progress write (that batch's delivery
+// is queued and arrives in the live phase), and in an older segment it
+// is the legal torn tail a previous crash left behind; in both cases
+// nothing beyond it exists to read.
+func (t *Tail) readSegment(name string, off int, cursor uint64) (out []byte, newOff int, newCursor uint64, done bool, err error) {
+	data, rerr := t.l.fs.ReadFile(name)
+	if rerr != nil {
+		return nil, off, cursor, false, fmt.Errorf("wal: tail read %s: %w", name, rerr)
+	}
+	if off == len(segMagic) {
+		if len(data) < len(segMagic) || !bytes.Equal(data[:len(segMagic)], segMagic) {
+			// Header sheared by a prior crash: an empty torn segment.
+			return nil, off, cursor, true, nil
+		}
+	}
+	for {
+		payload, next, ok, torn := nextFrame(data, off)
+		if torn {
+			return out, off, cursor, true, nil
+		}
+		if !ok {
+			return out, off, cursor, true, nil
+		}
+		lsn, lerr := frameLSN(payload)
+		if lerr != nil {
+			return nil, off, cursor, false, fmt.Errorf("wal: tail %s: %w", name, lerr)
+		}
+		if lsn > cursor {
+			out = append(out, data[off:next]...)
+			cursor = lsn
+		}
+		off = next
+		if len(out) >= tailChunk {
+			return out, off, cursor, false, nil
+		}
+	}
+}
+
+// filterFrames appends to dst the frames in data whose LSN is beyond
+// cursor, advancing it. data is committer-encoded, so a torn or
+// malformed frame is an internal error, never a legal tail.
+func filterFrames(dst, data []byte, cursor uint64) ([]byte, uint64, error) {
+	for off := 0; off < len(data); {
+		payload, next, ok, torn := nextFrame(data, off)
+		if torn || !ok {
+			return dst, cursor, fmt.Errorf("wal: malformed frame in live batch at %d", off)
+		}
+		lsn, err := frameLSN(payload)
+		if err != nil {
+			return dst, cursor, err
+		}
+		if lsn > cursor {
+			dst = append(dst, data[off:next]...)
+			cursor = lsn
+		}
+		off = next
+	}
+	return dst, cursor, nil
+}
+
+// frameLSN extracts the LSN every record payload carries after its type
+// byte.
+func frameLSN(payload []byte) (uint64, error) {
+	if len(payload) < 9 {
+		return 0, fmt.Errorf("wal: record payload too short for lsn (%d bytes)", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload[1:9]), nil
+}
+
+// DecodeFrames decodes a Tail/feed byte stream (concatenated record
+// frames, no segment magic) and calls fn for each record in order. The
+// stream traveled over a checksummed transport, so any framing defect is
+// an error — there is no legal torn tail here.
+func DecodeFrames(data []byte, fn func(Record) error) error {
+	for off := 0; off < len(data); {
+		payload, next, ok, torn := nextFrame(data, off)
+		if torn || !ok {
+			return fmt.Errorf("wal: malformed feed frame at byte %d", off)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off = next
+	}
+	return nil
+}
+
+// ApplyRecord installs one decoded record into a store, exactly as
+// recovery replay would: commits apply write-by-write plus the epsilon
+// accounting, creates are idempotent, limit sweeps apply store-wide.
+// Followers use it to mirror the primary in LSN order.
+func ApplyRecord(store *storage.Store, rec Record) error { return applyRecord(store, rec) }
+
+// DecodeSnapshotImage parses a bootstrap image (or snapshot file) into
+// the store state it carries and the LSN it covers.
+func DecodeSnapshotImage(data []byte) (*storage.StoreState, uint64, error) {
+	return decodeSnapshot(data)
+}
+
+// SnapshotImageLSN extracts just the covered LSN from a bootstrap image
+// without decoding the store state (the feed sender stamps it on every
+// chunk).
+func SnapshotImageLSN(data []byte) (uint64, error) {
+	if len(data) < len(snapMagic) || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return 0, fmt.Errorf("wal: bad snapshot magic")
+	}
+	payload, _, ok, torn := nextFrame(data, len(snapMagic))
+	if !ok || torn || len(payload) < 8 {
+		return 0, fmt.Errorf("wal: snapshot frame torn or missing")
+	}
+	return binary.LittleEndian.Uint64(payload[:8]), nil
+}
+
+// EncodeSnapshotImage builds a bootstrap image for st as of lsn — the
+// inverse of DecodeSnapshotImage, exposed for follower tests.
+func EncodeSnapshotImage(lsn uint64, st *storage.StoreState) []byte {
+	return appendSnapshot(nil, lsn, st)
+}

@@ -103,13 +103,21 @@ type Log struct {
 	closed    bool
 	err       error // sticky: first sync failure poisons the log
 
-	// Committer-owned segment state (no mu needed: single goroutine
-	// after startup).
+	// Committer-owned segment state. seg/segSeq/segBytes need no mu
+	// (single goroutine after startup); segNames and snapLSN are also
+	// read by SubscribeFrom, so their mutations happen under mu.
 	seg      File
 	segSeq   uint64
 	segBytes int
 	segNames []string
 	snapLSN  uint64
+
+	// Subscriber state (mu): live tails, per-segment pin counts held by
+	// catch-up readers, and segments a snapshot wanted to remove while
+	// pinned (removed at last unpin instead).
+	tails  []*Tail
+	pins   map[string]int
+	doomed map[string]bool
 
 	flushCh chan struct{}
 	snapCh  chan chan error
@@ -161,6 +169,8 @@ func newLog(fs FS, source *storage.Store, info RecoveryInfo, opts Options) (*Log
 		segSeq:   info.lastSegSeq,
 		segNames: append([]string(nil), info.segments...),
 		snapLSN:  info.SnapshotLSN,
+		pins:     make(map[string]int),
+		doomed:   make(map[string]bool),
 		flushCh:  make(chan struct{}, 1),
 		snapCh:   make(chan chan error),
 		quit:     make(chan struct{}),
@@ -297,6 +307,7 @@ func (l *Log) Close() error {
 	l.mu.Unlock()
 	close(l.quit)
 	<-l.done
+	l.closeTails(ErrLogClosed)
 	var err error
 	if l.seg != nil {
 		err = l.seg.Close()
@@ -327,6 +338,7 @@ func (l *Log) Kill() {
 	l.mu.Unlock()
 	close(l.killCh)
 	<-l.done
+	l.closeTails(ErrLogKilled)
 }
 
 // Err returns the sticky log error (nil while healthy).
@@ -368,6 +380,7 @@ func (l *Log) poison(err error) {
 		l.err = err
 	}
 	l.mu.Unlock()
+	l.closeTails(err)
 }
 
 // run is the committer goroutine: the only place segment writes, fsyncs,
@@ -435,6 +448,14 @@ func (l *Log) flushOnce() {
 	}
 	if err != nil {
 		l.poison(err)
+	} else {
+		// The batch is durable: hand it to subscribers before releasing
+		// the acks, under mu so registration in SubscribeFrom is ordered
+		// against delivery (a new subscriber either receives this batch
+		// on its queue or reads it from the segment file).
+		l.mu.Lock()
+		l.deliverLocked(buf)
+		l.mu.Unlock()
 	}
 	for i, a := range pending {
 		a.err = err
@@ -538,6 +559,8 @@ func (l *Log) openSegment(seq uint64) error {
 	}
 	l.seg = f
 	l.segBytes = len(segMagic)
+	l.mu.Lock()
 	l.segNames = append(l.segNames, name)
+	l.mu.Unlock()
 	return nil
 }

@@ -279,6 +279,10 @@ const (
 	// CodeAbort reports an engine abort; Reason carries the cause and
 	// the client retries with a fresh timestamp.
 	CodeAbort
+	// CodeRedirect reports that a replica cannot serve the request
+	// (update transaction, TIL=0 query, or replica-only protocol rule);
+	// the client should retry the same request against the primary.
+	CodeRedirect
 )
 
 // Error is the failure response.

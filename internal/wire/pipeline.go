@@ -49,7 +49,9 @@ func Batchable(t MsgType) bool {
 	switch t {
 	case MsgBegin, MsgRead, MsgWrite, MsgCommit, MsgAbort:
 		return true
-	case MsgSync, MsgStats, MsgTagged, MsgBatch:
+	case MsgSync, MsgStats, MsgTagged, MsgBatch, MsgReplicaHello:
+		// ReplicaHello flips the whole connection into feed mode; it is a
+		// connection-scoped handshake, not a batchable operation.
 		return false
 	default:
 		return false

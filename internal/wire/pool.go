@@ -18,7 +18,7 @@ import "sync"
 
 // pools is indexed by MsgType. Entries without a constructor stay nil
 // and fall through to ErrUnknownMessage in the decode factory.
-var pools [MsgBatchReply + 1]*sync.Pool
+var pools [MsgReplicaRecords + 1]*sync.Pool
 
 func init() {
 	mk := func(f func() Message) *sync.Pool {
@@ -41,6 +41,9 @@ func init() {
 	pools[MsgBatch] = mk(func() Message { return &Batch{} })
 	pools[MsgTaggedReply] = mk(func() Message { return &TaggedReply{} })
 	pools[MsgBatchReply] = mk(func() Message { return &BatchReply{} })
+	pools[MsgReplicaHello] = mk(func() Message { return &ReplicaHello{} })
+	pools[MsgReplicaSnap] = mk(func() Message { return &ReplicaSnap{} })
+	pools[MsgReplicaRecords] = mk(func() Message { return &ReplicaRecords{} })
 }
 
 // Recycle resets a message to its zero value and returns it to the
@@ -98,6 +101,14 @@ func Recycle(m Message) {
 			v.Replies[i] = BatchItem{}
 		}
 		v.Replies = v.Replies[:0]
+	case *ReplicaHello:
+		*v = ReplicaHello{}
+	case *ReplicaSnap:
+		// Byte buffers keep their capacity: a bootstrap transfers many
+		// equally sized chunks through the same pooled struct.
+		*v = ReplicaSnap{Chunk: v.Chunk[:0]}
+	case *ReplicaRecords:
+		*v = ReplicaRecords{Frames: v.Frames[:0]}
 	default:
 		return
 	}

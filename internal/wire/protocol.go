@@ -48,6 +48,7 @@ const (
 	MsgStats
 	MsgTagged
 	MsgBatch
+	MsgReplicaHello
 )
 
 // Response message types.
@@ -60,6 +61,8 @@ const (
 	MsgError
 	MsgTaggedReply
 	MsgBatchReply
+	MsgReplicaSnap
+	MsgReplicaRecords
 )
 
 // String implements fmt.Stringer.
@@ -83,6 +86,8 @@ func (t MsgType) String() string {
 		return "Tagged"
 	case MsgBatch:
 		return "Batch"
+	case MsgReplicaHello:
+		return "ReplicaHello"
 	case MsgBeginOK:
 		return "BeginOK"
 	case MsgValue:
@@ -99,6 +104,10 @@ func (t MsgType) String() string {
 		return "TaggedReply"
 	case MsgBatchReply:
 		return "BatchReply"
+	case MsgReplicaSnap:
+		return "ReplicaSnap"
+	case MsgReplicaRecords:
+		return "ReplicaRecords"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -136,9 +145,9 @@ func (e *ErrUnknownMessage) Error() string {
 func newMessage(t MsgType) (Message, error) {
 	switch t {
 	case MsgBegin, MsgRead, MsgWrite, MsgCommit, MsgAbort, MsgSync, MsgStats,
-		MsgTagged, MsgBatch,
+		MsgTagged, MsgBatch, MsgReplicaHello,
 		MsgBeginOK, MsgValue, MsgOK, MsgSyncOK, MsgStatsOK, MsgError,
-		MsgTaggedReply, MsgBatchReply:
+		MsgTaggedReply, MsgBatchReply, MsgReplicaSnap, MsgReplicaRecords:
 		return pools[t].Get().(Message), nil
 	default:
 		return nil, &ErrUnknownMessage{Tag: t}

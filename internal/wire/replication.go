@@ -1,0 +1,77 @@
+package wire
+
+// Replication frames (DESIGN.md §13). A follower opens an ordinary
+// client connection and sends ReplicaHello with the last LSN it has
+// applied; the connection then becomes a one-way feed. The server
+// answers with an optional bootstrap snapshot (chunked, since a full
+// store image can exceed MaxPayload) followed by an unbounded stream of
+// ReplicaRecords frames carrying raw WAL record frames — the follower
+// decodes them with wal.DecodeFrames and applies them in LSN order.
+
+// ReplicaHello requests the committed-write feed for every record with
+// LSN greater than AfterLSN (zero means "from the beginning").
+type ReplicaHello struct {
+	AfterLSN uint64
+}
+
+// MsgType implements Message.
+func (*ReplicaHello) MsgType() MsgType { return MsgReplicaHello }
+
+func (m *ReplicaHello) appendPayload(dst []byte) []byte { return appendU64(dst, m.AfterLSN) }
+func (m *ReplicaHello) decodePayload(r *reader)         { m.AfterLSN = r.u64("after lsn") }
+
+// ReplicaSnap carries one chunk of the bootstrap snapshot image. LSN is
+// the log position the full image covers (the follower resumes after
+// it); Done marks the final chunk. Sent only when the requested resume
+// position has been truncated away on the primary.
+type ReplicaSnap struct {
+	LSN   uint64
+	Done  bool
+	Chunk []byte
+}
+
+// MsgType implements Message.
+func (*ReplicaSnap) MsgType() MsgType { return MsgReplicaSnap }
+
+func (m *ReplicaSnap) appendPayload(dst []byte) []byte {
+	dst = appendU64(dst, m.LSN)
+	done := uint8(0)
+	if m.Done {
+		done = 1
+	}
+	dst = appendU8(dst, done)
+	dst = appendU32(dst, uint32(len(m.Chunk)))
+	return append(dst, m.Chunk...)
+}
+
+func (m *ReplicaSnap) decodePayload(r *reader) {
+	m.LSN = r.u64("snapshot lsn")
+	m.Done = r.u8("snapshot done") != 0
+	n := int(r.u32("snapshot chunk length"))
+	// Copied, not aliased: the image is assembled across many frames
+	// while the connection buffer is reused underneath.
+	m.Chunk = append(m.Chunk[:0], r.take(n, "snapshot chunk")...)
+}
+
+// ReplicaRecords carries a run of raw WAL record frames in strict LSN
+// order. HeadLSN is the primary's log head when the run was emitted, so
+// the follower can measure its staleness as head minus last applied.
+type ReplicaRecords struct {
+	HeadLSN uint64
+	Frames  []byte
+}
+
+// MsgType implements Message.
+func (*ReplicaRecords) MsgType() MsgType { return MsgReplicaRecords }
+
+func (m *ReplicaRecords) appendPayload(dst []byte) []byte {
+	dst = appendU64(dst, m.HeadLSN)
+	dst = appendU32(dst, uint32(len(m.Frames)))
+	return append(dst, m.Frames...)
+}
+
+func (m *ReplicaRecords) decodePayload(r *reader) {
+	m.HeadLSN = r.u64("head lsn")
+	n := int(r.u32("frames length"))
+	m.Frames = append(m.Frames[:0], r.take(n, "frames")...)
+}

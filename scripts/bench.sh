@@ -23,7 +23,8 @@ cd "$(dirname "$0")/.."
 raw="$(mktemp)"
 loadcont="$(mktemp)"
 loadrate="$(mktemp)"
-trap 'rm -f "$raw" "$loadcont" "$loadrate"' EXIT
+repl="$(mktemp)"
+trap 'rm -f "$raw" "$loadcont" "$loadrate" "$repl"' EXIT
 
 go test -run '^$' -bench 'EngineHotPath|WireRoundTrip|WALCommit' -benchmem -benchtime=1s . | tee "$raw"
 
@@ -57,6 +58,12 @@ END { print "\n}" }
 go run ./cmd/esr-bench -load -seed 1 -duration 500ms -load-json "$loadcont"
 go run ./cmd/esr-bench -load -seed 1 -duration 500ms -rate 2000 -load-json "$loadrate"
 
+# Replica read-scaling smoke: two bounded-stale WAL followers must lift
+# query throughput at least 1.7x over the primary alone (the binary's
+# built-in -replica-min-scaleup gate), with the merged trace certified
+# and zero-epsilon queries verifiably pinned to the primary.
+go run ./cmd/esr-bench -replicas 2 -seed 1 -duration 400ms -replicas-json "$repl"
+
 # Merge the load reports into the artifact: drop the closing brace and
 # splice them in as top-level keys.
 merged="$(mktemp)"
@@ -64,6 +71,7 @@ merged="$(mktemp)"
 	sed '$d' "$out"
 	printf '  ,"loadgen": %s\n' "$(tr -d '\n' < "$loadcont")"
 	printf '  ,"loadgen_rate2000": %s\n' "$(tr -d '\n' < "$loadrate")"
+	printf '  ,"replica_scaling": %s\n' "$(tr -d '\n' < "$repl")"
 	printf '}\n'
 } > "$merged"
 mv "$merged" "$out"
